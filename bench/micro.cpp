@@ -1,0 +1,81 @@
+// Google-benchmark microbenchmarks: throughput of the simulation engine
+// and cost of the analytic decision procedures.  These bound how long
+// the table benches take (10,000 runs x ~50 cells each).
+#include <benchmark/benchmark.h>
+
+#include "analytic/interval_policy.hpp"
+#include "analytic/num_checkpoints.hpp"
+#include "policy/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace adacheck;
+
+sim::SimSetup paper_cell(double lambda) {
+  return sim::SimSetup{
+      model::task_from_utilization(0.76, 1.0, 10'000.0, 5),
+      model::CheckpointCosts::paper_scp_flavor(),
+      model::DvsProcessor::two_speed(2.0),
+      model::FaultModel{lambda, false}};
+}
+
+void BM_AdaptiveInterval(benchmark::State& state) {
+  double rd = 10'000.0;
+  for (auto _ : state) {
+    const auto d = analytic::adaptive_interval(rd, 3'800.0, 11.0, 5, 1.4e-3);
+    benchmark::DoNotOptimize(d.interval);
+  }
+}
+BENCHMARK(BM_AdaptiveInterval);
+
+void BM_NumScp(benchmark::State& state) {
+  analytic::ScpRenewalParams params;
+  params.interval = static_cast<double>(state.range(0));
+  params.lambda = 1.4e-3;
+  params.costs = model::CheckpointCosts::paper_scp_flavor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::num_scp(params));
+  }
+}
+BENCHMARK(BM_NumScp)->Arg(125)->Arg(500)->Arg(2000);
+
+void BM_NumCcp(benchmark::State& state) {
+  analytic::CcpRenewalParams params;
+  params.interval = static_cast<double>(state.range(0));
+  params.lambda = 1.4e-3;
+  params.costs = model::CheckpointCosts::paper_ccp_flavor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::num_ccp(params));
+  }
+}
+BENCHMARK(BM_NumCcp)->Arg(125)->Arg(500)->Arg(2000);
+
+void BM_SingleRun(benchmark::State& state, const char* scheme,
+                  double lambda) {
+  const auto setup = paper_cell(lambda);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto policy = policy::make_policy(scheme);
+    const auto result = sim::simulate_seeded(setup, *policy, seed++);
+    benchmark::DoNotOptimize(result.energy);
+  }
+}
+BENCHMARK_CAPTURE(BM_SingleRun, poisson_low, "Poisson", 1e-4);
+BENCHMARK_CAPTURE(BM_SingleRun, poisson_high, "Poisson", 1.6e-3);
+BENCHMARK_CAPTURE(BM_SingleRun, a_d, "A_D", 1.6e-3);
+BENCHMARK_CAPTURE(BM_SingleRun, a_d_s, "A_D_S", 1.6e-3);
+BENCHMARK_CAPTURE(BM_SingleRun, a_d_c, "A_D_C", 1.6e-3);
+
+void BM_RngExponential(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1.4e-3));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+}  // namespace
+
+BENCHMARK_MAIN();

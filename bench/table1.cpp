@@ -1,0 +1,11 @@
+// Reproduces Table 1 of the paper: adapchp_dvs_SCP (A_D_S) vs Poisson,
+// k-fault-tolerant, and ADT_DVS (A_D) with the fixed baselines at the
+// low speed f1.  SCP-flavor costs: t_s = 2, t_cp = 20.
+#include "bench/table_common.hpp"
+#include "harness/paper_params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adacheck;
+  return benchtool::run_tables(argc, argv,
+                               {harness::table1a(), harness::table1b()});
+}

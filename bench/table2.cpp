@@ -1,0 +1,10 @@
+// Reproduces Table 2 of the paper: A_D_S vs the baselines with the
+// fixed schemes running at the high speed f2 (U = N/(f2*D)).
+#include "bench/table_common.hpp"
+#include "harness/paper_params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adacheck;
+  return benchtool::run_tables(argc, argv,
+                               {harness::table2a(), harness::table2b()});
+}

@@ -1,0 +1,10 @@
+// Reproduces Table 3 of the paper: adapchp_dvs_CCP (A_D_C) vs the
+// baselines at the low speed f1.  CCP-flavor costs: t_s = 20, t_cp = 2.
+#include "bench/table_common.hpp"
+#include "harness/paper_params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adacheck;
+  return benchtool::run_tables(argc, argv,
+                               {harness::table3a(), harness::table3b()});
+}

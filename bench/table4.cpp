@@ -1,0 +1,10 @@
+// Reproduces Table 4 of the paper: A_D_C vs the baselines with the
+// fixed schemes at the high speed f2.
+#include "bench/table_common.hpp"
+#include "harness/paper_params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adacheck;
+  return benchtool::run_tables(argc, argv,
+                               {harness::table4a(), harness::table4b()});
+}

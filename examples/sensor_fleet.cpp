@@ -1,0 +1,78 @@
+// Remote sensor fleet sizing (the paper's "time-sensitive systems
+// deployed in remote locations where a steady power supply is not
+// available").
+//
+// Each node runs a periodic sensing/aggregation task from a fixed
+// battery.  Given a fleet-wide reliability requirement, the question is
+// the engineering tradeoff the paper's energy tables quantify: which
+// scheme maximizes node lifetime while meeting the per-job completion
+// probability, and how does the answer move with the fault environment?
+#include <cmath>
+#include <iostream>
+
+#include "analytic/expected_time.hpp"
+#include "analytic/intervals.hpp"
+#include "policy/factory.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/cli.hpp"
+#include "util/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adacheck;
+  const util::CliArgs args(argc, argv,
+                           {"runs", "battery", "target-p", "jobs-per-day"});
+  const int runs = static_cast<int>(args.get_int("runs", 3'000));
+  const double battery = args.get_double("battery", 2.0e10);
+  const double target_p = args.get_double("target-p", 0.999);
+  const double jobs_per_day = args.get_double("jobs-per-day", 17'280.0);
+
+  std::cout << "=== Sensor fleet: per-job U = 0.78, k = 5, battery = "
+            << battery << " ===\n"
+            << "requirement: P(timely) >= " << target_p << " per job\n\n";
+
+  // Back-of-envelope feasibility from the analytic layer first: the
+  // designers' first cut before any simulation.
+  {
+    const double i1 = analytic::poisson_interval(22.0, 1.4e-3);
+    analytic::BaselineTaskParams baseline{7'800.0, i1, 1.4e-3,
+                                          model::CheckpointCosts::paper_scp_flavor()};
+    std::cout << "Analytic sanity (lambda = 1.4e-3): Poisson-interval "
+              << util::fmt_fixed(i1, 1) << ", expected completion "
+              << util::fmt_fixed(analytic::expected_time(baseline), 0)
+              << " of deadline 10000, expected rollbacks/job "
+              << util::fmt_fixed(analytic::expected_rollbacks(baseline), 2)
+              << "\n\n";
+  }
+
+  util::TextTable table({"site lambda", "scheme", "P(timely)", "E/job",
+                         "meets P?", "node lifetime (days)"});
+  for (const double lambda : {4.0e-4, 1.0e-3, 1.6e-3}) {
+    sim::SimSetup setup{
+        model::task_from_utilization(0.78, 1.0, 10'000.0, 5),
+        model::CheckpointCosts::paper_scp_flavor(),
+        model::DvsProcessor::two_speed(2.0),
+        model::FaultModel{lambda, false}};
+    sim::MonteCarloConfig config;
+    config.runs = runs;
+    config.seed = 0x5E25;
+
+    for (const char* scheme : {"Poisson", "A_D", "A_D_S"}) {
+      const auto stats =
+          sim::run_cell(setup, policy::make_policy_factory(scheme), config);
+      const double energy = stats.energy_all.mean();
+      const double days = battery / (energy * jobs_per_day);
+      table.add_row(
+          {util::fmt_sci(lambda, 1), scheme,
+           util::fmt_prob(stats.probability()), util::fmt_energy(energy),
+           stats.probability() >= target_p ? "yes" : "NO",
+           util::fmt_fixed(days, 1)});
+    }
+    table.add_rule();
+  }
+  std::cout << table
+            << "\nReading: the Poisson baseline lives longest on paper but\n"
+               "cannot meet the completion requirement once faults are\n"
+               "non-negligible; among the schemes that do meet it, A_D_S\n"
+               "buys measurably more node-days than A_D.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "analytic/dvs_estimate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adacheck::analytic {
+
+double dvs_time_estimate(double remaining_cycles, double frequency,
+                         double checkpoint_cycles, double lambda) {
+  if (remaining_cycles < 0.0)
+    throw std::invalid_argument("dvs_time_estimate: negative work");
+  if (frequency <= 0.0)
+    throw std::invalid_argument("dvs_time_estimate: frequency <= 0");
+  if (checkpoint_cycles <= 0.0)
+    throw std::invalid_argument("dvs_time_estimate: checkpoint cycles <= 0");
+  if (lambda < 0.0) throw std::invalid_argument("dvs_time_estimate: lambda < 0");
+  const double u = std::sqrt(lambda * checkpoint_cycles / frequency);
+  if (u >= 1.0) return std::numeric_limits<double>::infinity();
+  return remaining_cycles * (1.0 + u) / (frequency * (1.0 - u));
+}
+
+const model::SpeedLevel& choose_speed(const model::DvsProcessor& processor,
+                                      double remaining_cycles,
+                                      double remaining_deadline,
+                                      double checkpoint_cycles, double lambda) {
+  for (std::size_t i = 0; i < processor.num_levels(); ++i) {
+    const auto& level = processor.level(i);
+    const double t_est = dvs_time_estimate(remaining_cycles, level.frequency,
+                                           checkpoint_cycles, lambda);
+    if (t_est <= remaining_deadline) return level;
+  }
+  return processor.fastest();
+}
+
+}  // namespace adacheck::analytic

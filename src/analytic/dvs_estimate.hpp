@@ -1,0 +1,32 @@
+// Fault-aware completion-time estimation for the DVS decision (paper §3).
+//
+// For remaining work R_c (cycles) executed at speed f with checkpoint
+// cost c cycles and fault rate lambda, the expected completion time
+// with checkpointing at the Poisson-optimal interval is estimated as
+//
+//   t_est(R_c, f) = R_c * (1 + sqrt(lambda*c/f)) / (f * (1 - sqrt(lambda*c/f)))
+//
+// (infinite when sqrt(lambda*c/f) >= 1: overhead alone outpaces
+// progress).  The voltage-scaling decision of Figs. 6/7 line 2/15 runs
+// at the low speed iff t_est at the low speed fits the remaining
+// deadline.
+#pragma once
+
+#include "model/speed.hpp"
+
+namespace adacheck::analytic {
+
+/// t_est as above.  remaining_cycles >= 0; frequency > 0;
+/// checkpoint_cycles > 0; lambda >= 0 (lambda = 0 gives R_c / f).
+double dvs_time_estimate(double remaining_cycles, double frequency,
+                         double checkpoint_cycles, double lambda);
+
+/// The Figs. 6/7 speed decision: the slowest level whose t_est meets
+/// the remaining deadline; if none qualifies, the fastest level (the
+/// paper's two-speed "else f = f2" generalized to any level count).
+const model::SpeedLevel& choose_speed(const model::DvsProcessor& processor,
+                                      double remaining_cycles,
+                                      double remaining_deadline,
+                                      double checkpoint_cycles, double lambda);
+
+}  // namespace adacheck::analytic

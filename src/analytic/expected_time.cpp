@@ -1,0 +1,77 @@
+#include "analytic/expected_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/renewal_ccp.hpp"
+
+namespace adacheck::analytic {
+
+void BaselineTaskParams::validate() const {
+  if (work <= 0.0) throw std::invalid_argument("BaselineTaskParams: work <= 0");
+  if (interval <= 0.0)
+    throw std::invalid_argument("BaselineTaskParams: interval <= 0");
+  if (lambda < 0.0)
+    throw std::invalid_argument("BaselineTaskParams: lambda < 0");
+  costs.validate();
+}
+
+namespace {
+/// Number of full intervals and the length of the trailing partial one.
+struct Segmentation {
+  int full = 0;
+  double tail = 0.0;
+};
+
+Segmentation segment(const BaselineTaskParams& p) {
+  const double n_real = p.work / p.interval;
+  int full = static_cast<int>(std::floor(n_real));
+  double tail = p.work - static_cast<double>(full) * p.interval;
+  constexpr double kEps = 1e-9;
+  if (tail < kEps * p.interval) tail = 0.0;  // work divides evenly
+  return {full, tail};
+}
+}  // namespace
+
+double fault_free_time(const BaselineTaskParams& params) {
+  params.validate();
+  const auto seg = segment(params);
+  const int checkpoints = seg.full + (seg.tail > 0.0 ? 1 : 0);
+  return params.work + static_cast<double>(checkpoints) * params.costs.cscp();
+}
+
+double expected_time(const BaselineTaskParams& params) {
+  params.validate();
+  const auto seg = segment(params);
+  // Each interval is a single-sub-interval renewal (m = 1): pay the
+  // interval + CSCP; on fault (detected at the CSCP) retry the interval.
+  CcpRenewalParams one;
+  one.lambda = params.lambda;
+  one.costs = params.costs;
+  double total = 0.0;
+  if (seg.full > 0) {
+    one.interval = params.interval;
+    total += static_cast<double>(seg.full) * ccp_expected_time(one, 1);
+  }
+  if (seg.tail > 0.0) {
+    one.interval = seg.tail;
+    total += ccp_expected_time(one, 1);
+  }
+  return total;
+}
+
+double expected_rollbacks(const BaselineTaskParams& params) {
+  params.validate();
+  const auto seg = segment(params);
+  const double mu = params.lambda;
+  // Geometric retries per interval: expected attempts = e^{mu*L}, so
+  // rollbacks per interval = e^{mu*L} - 1.
+  double total = 0.0;
+  if (seg.full > 0) {
+    total += static_cast<double>(seg.full) * std::expm1(mu * params.interval);
+  }
+  if (seg.tail > 0.0) total += std::expm1(mu * seg.tail);
+  return total;
+}
+
+}  // namespace adacheck::analytic

@@ -1,0 +1,34 @@
+// Whole-task expected / worst-case completion-time analytics for the
+// fixed-interval baseline schemes.  Used by feasibility pre-checks in
+// the examples, by tests, and for documentation tables — the simulator
+// remains the ground truth for the experiments.
+#pragma once
+
+#include "model/checkpoint.hpp"
+
+namespace adacheck::analytic {
+
+struct BaselineTaskParams {
+  double work = 0.0;            ///< total computation time at this speed.
+  double interval = 0.0;        ///< constant checkpoint interval (time).
+  double lambda = 0.0;          ///< per-processor fault rate.
+  model::CheckpointCosts costs; ///< cscp() is the per-checkpoint cost.
+
+  void validate() const;
+};
+
+/// Fault-free completion time with equidistant CSCPs every `interval`:
+/// work + ceil(work/interval) * cscp_cost (the final checkpoint is
+/// placed at task end, as all schemes in the paper do).
+double fault_free_time(const BaselineTaskParams& params);
+
+/// Expected completion time under the DMR renewal model: each interval
+/// behaves like an independent CCP-style renewal with m = 1 (detection
+/// at the interval-end CSCP, retry from the interval start).
+double expected_time(const BaselineTaskParams& params);
+
+/// Expected number of rollbacks until completion (sum over intervals of
+/// e^{2*lambda*interval} - 1 style retry counts).
+double expected_rollbacks(const BaselineTaskParams& params);
+
+}  // namespace adacheck::analytic

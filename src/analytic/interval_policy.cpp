@@ -1,0 +1,63 @@
+#include "analytic/interval_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/intervals.hpp"
+
+namespace adacheck::analytic {
+
+const char* to_string(IntervalRule rule) noexcept {
+  switch (rule) {
+    case IntervalRule::kDeadlinePressure: return "I3-deadline";
+    case IntervalRule::kExpectedFaults: return "I2-expected";
+    case IntervalRule::kFaultGuarantee: return "I2-guarantee";
+    case IntervalRule::kPoisson: return "I1-poisson";
+  }
+  return "?";
+}
+
+IntervalDecision adaptive_interval(double remaining_deadline,
+                                   double remaining_work,
+                                   double checkpoint_cost,
+                                   int remaining_faults, double lambda) {
+  if (remaining_work <= 0.0) {
+    throw std::invalid_argument("adaptive_interval: remaining work <= 0");
+  }
+  if (lambda < 0.0) {
+    throw std::invalid_argument("adaptive_interval: lambda < 0");
+  }
+  const int rf = std::max(remaining_faults, 0);  // budget may be exhausted
+  const double exp_faults = lambda * remaining_work;  // Fig. 4 line 1
+
+  if (exp_faults <= static_cast<double>(rf)) {
+    // k-fault-tolerant requirement is the more stringent one.
+    if (remaining_work >
+        poisson_threshold(remaining_deadline, lambda, checkpoint_cost)) {
+      return {deadline_interval(remaining_work, remaining_deadline,
+                                checkpoint_cost),
+              IntervalRule::kDeadlinePressure};
+    }
+    if (remaining_work >
+        k_fault_threshold(remaining_deadline, rf, checkpoint_cost)) {
+      // Fig. 4 line 6 uses the *expected* number of faults; it can be
+      // fractional, so we evaluate I2 with the real-valued count.
+      const double k_eff = std::max(exp_faults, 1e-12);
+      return {std::sqrt(remaining_work * checkpoint_cost / k_eff),
+              IntervalRule::kExpectedFaults};
+    }
+    return {k_fault_interval(remaining_work, rf, checkpoint_cost),
+            IntervalRule::kFaultGuarantee};
+  }
+  // Poisson-arrival criterion is the more stringent one.
+  if (remaining_work >
+      poisson_threshold(remaining_deadline, lambda, checkpoint_cost)) {
+    return {deadline_interval(remaining_work, remaining_deadline,
+                              checkpoint_cost),
+            IntervalRule::kDeadlinePressure};
+  }
+  return {poisson_interval(checkpoint_cost, lambda), IntervalRule::kPoisson};
+}
+
+}  // namespace adacheck::analytic

@@ -1,0 +1,42 @@
+// The adaptive checkpoint-interval procedure of the paper's Fig. 4
+// (procedure interval(Rd, Rt, C, Rf, lambda), inherited from Zhang &
+// Chakrabarty DATE'03).
+//
+// The procedure arbitrates between three interval rules based on which
+// requirement currently binds:
+//  - deadline pressure   (Rt above Th_lambda)        -> I3
+//  - expected-fault load (Rt above Th, exp <= Rf)    -> I2 with exp faults
+//  - k-fault guarantee   (otherwise, exp <= Rf)      -> I2 with Rf faults
+//  - pure Poisson        (exp > Rf, low pressure)    -> I1
+#pragma once
+
+namespace adacheck::analytic {
+
+/// Which branch of Fig. 4 produced the interval — exposed for tests and
+/// for the harness's decision traces.
+enum class IntervalRule {
+  kDeadlinePressure,   ///< I3(Rt, Rd, C)
+  kExpectedFaults,     ///< I2(Rt, lambda*Rt, C)
+  kFaultGuarantee,     ///< I2(Rt, Rf, C)
+  kPoisson,            ///< I1(C, lambda)
+};
+
+const char* to_string(IntervalRule rule) noexcept;
+
+struct IntervalDecision {
+  double interval = 0.0;  ///< chosen checkpoint interval (time units).
+  IntervalRule rule = IntervalRule::kPoisson;
+};
+
+/// Fig. 4, verbatim control flow.  Arguments use the paper's names:
+/// remaining deadline Rd, remaining execution time Rt, checkpoint cost
+/// C, remaining fault budget Rf, fault rate lambda — all in the time
+/// units of the *current* speed.  The returned interval may be
+/// +infinity (checkpointing pointless / impossible deadline); callers
+/// clamp it to the remaining work.
+IntervalDecision adaptive_interval(double remaining_deadline,
+                                   double remaining_work,
+                                   double checkpoint_cost,
+                                   int remaining_faults, double lambda);
+
+}  // namespace adacheck::analytic

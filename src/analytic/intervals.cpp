@@ -1,0 +1,79 @@
+#include "analytic/intervals.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adacheck::analytic {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void require_positive_cost(double c) {
+  if (!(c > 0.0)) {
+    throw std::invalid_argument("checkpoint cost must be > 0");
+  }
+}
+}  // namespace
+
+double poisson_interval(double checkpoint_cost, double lambda) {
+  require_positive_cost(checkpoint_cost);
+  if (lambda <= 0.0) return kInf;
+  return std::sqrt(2.0 * checkpoint_cost / lambda);
+}
+
+double k_fault_interval(double work, int k, double checkpoint_cost) {
+  require_positive_cost(checkpoint_cost);
+  if (work <= 0.0) throw std::invalid_argument("k_fault_interval: work <= 0");
+  if (k <= 0) return kInf;
+  return std::sqrt(work * checkpoint_cost / static_cast<double>(k));
+}
+
+double deadline_interval(double remaining_work, double remaining_deadline,
+                         double checkpoint_cost) {
+  require_positive_cost(checkpoint_cost);
+  if (remaining_work <= 0.0) {
+    throw std::invalid_argument("deadline_interval: work <= 0");
+  }
+  const double slack = remaining_deadline + checkpoint_cost - remaining_work;
+  if (slack <= 0.0) return kInf;
+  return 2.0 * remaining_work * checkpoint_cost / slack;
+}
+
+double poisson_threshold(double remaining_deadline, double lambda,
+                         double checkpoint_cost) {
+  require_positive_cost(checkpoint_cost);
+  if (lambda < 0.0) throw std::invalid_argument("poisson_threshold: lambda < 0");
+  return (remaining_deadline + checkpoint_cost) /
+         (1.0 + std::sqrt(lambda * checkpoint_cost / 2.0));
+}
+
+double k_fault_threshold(double remaining_deadline, int remaining_faults,
+                         double checkpoint_cost) {
+  require_positive_cost(checkpoint_cost);
+  if (remaining_faults < 0) {
+    throw std::invalid_argument("k_fault_threshold: k < 0");
+  }
+  const double a = static_cast<double>(remaining_faults) * checkpoint_cost;
+  const double b = remaining_deadline + checkpoint_cost;
+  // (sqrt(a+b) - sqrt(a))^2, written in the paper's expanded form.
+  return b + 2.0 * a - 2.0 * std::sqrt(a * a + a * b);
+}
+
+double k_fault_worst_case(double work, int k, double checkpoint_cost,
+                          double rollback_cost) {
+  require_positive_cost(checkpoint_cost);
+  if (work <= 0.0) throw std::invalid_argument("k_fault_worst_case: work <= 0");
+  if (k < 0) throw std::invalid_argument("k_fault_worst_case: k < 0");
+  const double kd = static_cast<double>(k);
+  // Interval I2 = sqrt(work*C/k); n = work/I2 checkpoints cost n*C =
+  // sqrt(k*C*work); each of the k faults redoes at most one interval
+  // I2 = sqrt(work*C/k) plus its checkpoint and the rollback:
+  // total = work + sqrt(kCw) + k*I2 + k*C + k*t_r
+  //       = work + 2*sqrt(kCw) + k*(C + t_r).
+  if (k == 0) return work;  // no checkpoints needed in the worst case
+  return work + 2.0 * std::sqrt(kd * checkpoint_cost * work) +
+         kd * (checkpoint_cost + rollback_cost);
+}
+
+}  // namespace adacheck::analytic

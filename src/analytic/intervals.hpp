@@ -1,0 +1,48 @@
+// Closed-form checkpoint-interval rules and feasibility thresholds
+// (paper §2, reconstructed from Zhang & Chakrabarty DATE'03, the
+// paper's ref [3]; derivations in DESIGN.md §3).
+//
+// All quantities are in time units at the current speed; C is the
+// per-checkpoint overhead in the same units.
+#pragma once
+
+namespace adacheck::analytic {
+
+/// I1: Poisson-arrival interval sqrt(2C/lambda) (Duda).  Minimizes the
+/// expected execution time under Poisson faults with no deadline
+/// pressure.  lambda <= 0 yields +infinity (never checkpoint).
+double poisson_interval(double checkpoint_cost, double lambda);
+
+/// I2: k-fault-tolerant interval sqrt(N*C/k).  Minimizes the worst-case
+/// execution time of N work units when up to k faults must be absorbed.
+/// k <= 0 yields +infinity.
+double k_fault_interval(double work, int k, double checkpoint_cost);
+
+/// I3: deadline-pressure interval 2*R_t*C/(R_d + C - R_t).  Used when
+/// remaining work R_t is large relative to the remaining deadline R_d:
+/// checkpoints are stretched so overhead still fits the slack.
+/// Requires R_d + C > R_t; returns +infinity otherwise (no interval can
+/// meet the deadline, so checkpoint as rarely as possible).
+double deadline_interval(double remaining_work, double remaining_deadline,
+                         double checkpoint_cost);
+
+/// Th_lambda: the largest remaining work R_t for which the Poisson
+/// interval I1 still meets the remaining deadline R_d:
+/// (R_d + C) / (1 + sqrt(lambda*C/2)).
+double poisson_threshold(double remaining_deadline, double lambda,
+                         double checkpoint_cost);
+
+/// Th: the largest remaining work R_t whose k-fault worst case
+/// R_t + 2*sqrt(R_f*C*R_t) fits within R_d + C:
+/// R_d + C + 2*R_f*C - 2*sqrt((R_f*C)^2 + R_f*C*(R_d + C)).
+/// Equivalently (sqrt(R_d + C + R_f*C) - sqrt(R_f*C))^2.
+double k_fault_threshold(double remaining_deadline, int remaining_faults,
+                         double checkpoint_cost);
+
+/// Worst-case completion time of `work` under exactly `k` absorbed
+/// faults with interval I2: work + 2*sqrt(k*C*work) + k*C (+ k*t_r).
+/// Used by tests to verify the threshold algebra.
+double k_fault_worst_case(double work, int k, double checkpoint_cost,
+                          double rollback_cost = 0.0);
+
+}  // namespace adacheck::analytic

@@ -1,0 +1,33 @@
+// The paper's Fig. 2 procedure: choose the number m of sub-intervals
+// (i.e. m-1 additional SCPs or CCPs) inside a CSCP interval of length T
+// that minimizes the renewal expected time R1(m) / R2(m).
+//
+// Fig. 2 first finds the continuous minimizer T1~ of R1 over (0, T]
+// (we use golden-section search — both R1 and R2 are unimodal in the
+// sub-interval length: cost explodes at T1 -> 0 from per-checkpoint
+// overhead and grows at T1 -> T from re-execution exposure), then
+// rounds m = T/T1~ to the better of floor/ceil.  num_*_exhaustive scans
+// integers directly and is used to validate the rounding heuristic.
+#pragma once
+
+#include "analytic/renewal_ccp.hpp"
+#include "analytic/renewal_scp.hpp"
+
+namespace adacheck::analytic {
+
+/// Caps the largest m considered; sub-intervals shorter than the
+/// cheapest checkpoint operation are never useful.
+int max_sub_intervals(double interval, const model::CheckpointCosts& costs);
+
+/// Fig. 2 for SCPs: returns m >= 1 minimizing R1(m).
+int num_scp(const ScpRenewalParams& params);
+
+/// Fig. 2 analogue for CCPs: returns m >= 1 minimizing R2(m).
+int num_ccp(const CcpRenewalParams& params);
+
+/// Exhaustive integer argmin over [1, max_sub_intervals] — ground truth
+/// for tests and the ablation bench.
+int num_scp_exhaustive(const ScpRenewalParams& params);
+int num_ccp_exhaustive(const CcpRenewalParams& params);
+
+}  // namespace adacheck::analytic

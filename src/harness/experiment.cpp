@@ -1,0 +1,72 @@
+#include "harness/experiment.hpp"
+
+#include <stdexcept>
+
+#include "model/task.hpp"
+#include "policy/factory.hpp"
+#include "util/rng.hpp"
+
+namespace adacheck::harness {
+
+void ExperimentSpec::validate() const {
+  if (id.empty()) throw std::invalid_argument("ExperimentSpec: empty id");
+  costs.validate();
+  if (deadline <= 0.0)
+    throw std::invalid_argument("ExperimentSpec: deadline <= 0");
+  if (fault_tolerance < 0)
+    throw std::invalid_argument("ExperimentSpec: k < 0");
+  if (speed_ratio <= 1.0)
+    throw std::invalid_argument("ExperimentSpec: speed_ratio <= 1");
+  if (util_level > 1)
+    throw std::invalid_argument("ExperimentSpec: util_level must be 0 or 1");
+  if (schemes.empty())
+    throw std::invalid_argument("ExperimentSpec: no schemes");
+  for (const auto& row : rows) {
+    if (row.utilization <= 0.0 || row.lambda < 0.0) {
+      throw std::invalid_argument("ExperimentSpec: bad row parameters");
+    }
+    if (!row.paper.empty() && row.paper.size() != schemes.size()) {
+      throw std::invalid_argument(
+          "ExperimentSpec: paper cells do not match schemes");
+    }
+  }
+}
+
+sim::SimSetup make_setup(const ExperimentSpec& spec,
+                         const ExperimentRow& row) {
+  auto processor = model::DvsProcessor::two_speed(spec.speed_ratio,
+                                                  spec.voltage);
+  const double util_freq = processor.level(spec.util_level).frequency;
+  sim::SimSetup setup{
+      model::task_from_utilization(row.utilization, util_freq, spec.deadline,
+                                   spec.fault_tolerance, spec.id),
+      spec.costs, std::move(processor), model::FaultModel{row.lambda, false}};
+  return setup;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const sim::MonteCarloConfig& config) {
+  spec.validate();
+  ExperimentResult result;
+  result.spec = spec;
+  result.cells.reserve(spec.rows.size());
+
+  for (std::size_t r = 0; r < spec.rows.size(); ++r) {
+    const auto setup = make_setup(spec, spec.rows[r]);
+    std::vector<sim::CellStats> row_cells;
+    row_cells.reserve(spec.schemes.size());
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      // Decorrelate cells while keeping every cell reproducible.
+      sim::MonteCarloConfig cell_config = config;
+      cell_config.seed = util::derive_seed(
+          config.seed, (r << 8) ^ s ^ 0xC311ULL);
+      row_cells.push_back(sim::run_cell(
+          setup, policy::make_policy_factory(spec.schemes[s], spec.util_level),
+          cell_config));
+    }
+    result.cells.push_back(std::move(row_cells));
+  }
+  return result;
+}
+
+}  // namespace adacheck::harness

@@ -1,0 +1,62 @@
+// Experiment descriptions and the runner that reproduces the paper's
+// tables: a grid of (utilization, lambda) cells, each simulated under
+// several schemes with a shared Monte-Carlo budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+#include "model/speed.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace adacheck::harness {
+
+/// The paper's reported numbers for one (cell, scheme) pair; E may be
+/// NaN (the tables print NaN when no run succeeds).
+struct PaperCell {
+  double p = 0.0;
+  double e = 0.0;
+};
+
+/// One table row: a (U, lambda) point with the paper's values per scheme.
+struct ExperimentRow {
+  double utilization = 0.0;  ///< U as defined by the table (see util_level)
+  double lambda = 0.0;       ///< per-processor fault rate
+  std::vector<PaperCell> paper;  ///< one entry per spec.schemes element
+};
+
+/// A full table ((a) and (b) sub-tables are separate specs).
+struct ExperimentSpec {
+  std::string id;     ///< e.g. "table1a"
+  std::string title;
+  model::CheckpointCosts costs;  ///< cycle units
+  double deadline = 10'000.0;
+  int fault_tolerance = 0;       ///< k
+  double speed_ratio = 2.0;      ///< f2 / f1
+  model::VoltageLaw voltage;     ///< energy calibration (DESIGN.md §3)
+  /// Speed level whose frequency converts U to N (paper: U = N/(f*D))
+  /// and at which the fixed baselines run: 0 = f1, 1 = f2.
+  std::size_t util_level = 0;
+  std::vector<std::string> schemes;  ///< policy names (see policy/factory.hpp)
+  std::vector<ExperimentRow> rows;
+
+  void validate() const;
+};
+
+/// Measured statistics for every (row, scheme) cell, same shape as
+/// spec.rows x spec.schemes.
+struct ExperimentResult {
+  ExperimentSpec spec;
+  std::vector<std::vector<sim::CellStats>> cells;  ///< [row][scheme]
+};
+
+/// Builds the SimSetup for one row of a spec (exposed for tests).
+sim::SimSetup make_setup(const ExperimentSpec& spec,
+                         const ExperimentRow& row);
+
+/// Runs every cell of the experiment.
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const sim::MonteCarloConfig& config = {});
+
+}  // namespace adacheck::harness

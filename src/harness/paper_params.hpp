@@ -1,0 +1,34 @@
+// The paper's exact experiment grids (Tables 1-4) with its reported
+// P/E values embedded, so every bench prints paper-vs-measured rows.
+//
+// Common parameters (paper §4): D = 10000, c = t_s + t_cp = 22 cycles,
+// t_r = 0, f2 = 2*f1, 10,000 runs per cell.
+//   SCP flavor (Tables 1-2): t_s = 2,  t_cp = 20 (comparison dominates).
+//   CCP flavor (Tables 3-4): t_s = 20, t_cp = 2  (store dominates).
+//   (a) sub-tables: k = 5, lambda in {1.4e-3, 1.6e-3},
+//       U in {0.76, 0.78, 0.80, 0.82}.
+//   (b) sub-tables: k = 1, lambda in {1e-4, 2e-4},
+//       U in {0.92, 0.95[, 1.00]}.
+// Tables 1/3 run the fixed baselines at f1 (U = N/(f1*D)); Tables 2/4
+// at f2 (U = N/(f2*D)).
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace adacheck::harness {
+
+ExperimentSpec table1a();
+ExperimentSpec table1b();
+ExperimentSpec table2a();
+ExperimentSpec table2b();
+ExperimentSpec table3a();
+ExperimentSpec table3b();
+ExperimentSpec table4a();
+ExperimentSpec table4b();
+
+/// All eight sub-tables in paper order.
+std::vector<ExperimentSpec> all_paper_tables();
+
+}  // namespace adacheck::harness

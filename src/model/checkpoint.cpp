@@ -1,0 +1,32 @@
+#include "model/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace adacheck::model {
+
+const char* to_string(CheckpointKind kind) noexcept {
+  switch (kind) {
+    case CheckpointKind::kStore: return "SCP";
+    case CheckpointKind::kCompare: return "CCP";
+    case CheckpointKind::kCompareStore: return "CSCP";
+  }
+  return "?";
+}
+
+double CheckpointCosts::cost(CheckpointKind kind) const noexcept {
+  switch (kind) {
+    case CheckpointKind::kStore: return store;
+    case CheckpointKind::kCompare: return compare;
+    case CheckpointKind::kCompareStore: return store + compare;
+  }
+  return 0.0;
+}
+
+void CheckpointCosts::validate() const {
+  if (!valid()) {
+    throw std::invalid_argument(
+        "CheckpointCosts: costs must be non-negative with t_s + t_cp > 0");
+  }
+}
+
+}  // namespace adacheck::model

@@ -1,0 +1,49 @@
+// Checkpoint taxonomy and cost model.
+//
+// Three checkpoint kinds (paper §1):
+//   SCP  — store-checkpoint: both processors store state, no comparison.
+//   CCP  — compare-checkpoint: states compared, nothing stored.
+//   CSCP — compare-and-store: comparison followed (on agreement) by a
+//          store; this is the "full" checkpoint all schemes place at
+//          the outer interval boundaries.
+//
+// Costs are cycle counts (t_s store, t_cp compare, t_r rollback); at
+// speed f an operation of c cycles takes c/f time.  The paper's lumped
+// per-checkpoint cost is c = t_s + t_cp (22 in the experiments).
+#pragma once
+
+#include <string>
+
+namespace adacheck::model {
+
+enum class CheckpointKind { kStore, kCompare, kCompareStore };
+
+/// Human-readable name ("SCP", "CCP", "CSCP").
+const char* to_string(CheckpointKind kind) noexcept;
+
+struct CheckpointCosts {
+  double store = 2.0;     ///< t_s, cycles to store both processors' states.
+  double compare = 20.0;  ///< t_cp, cycles to compare the two states.
+  double rollback = 0.0;  ///< t_r, cycles to restore a consistent state.
+
+  /// Lumped cost of a full (compare-and-store) checkpoint: c = t_s + t_cp.
+  double cscp() const noexcept { return store + compare; }
+
+  /// Cycle cost of one checkpoint of the given kind, assuming the
+  /// comparison succeeds (a failed CSCP comparison skips the store; the
+  /// simulator charges that case explicitly).
+  double cost(CheckpointKind kind) const noexcept;
+
+  bool valid() const noexcept {
+    return store >= 0.0 && compare >= 0.0 && rollback >= 0.0 &&
+           (store + compare) > 0.0;
+  }
+  void validate() const;
+
+  /// The paper's SCP-flavor experiment costs (comparison dominates).
+  static CheckpointCosts paper_scp_flavor() noexcept { return {2.0, 20.0, 0.0}; }
+  /// The paper's CCP-flavor experiment costs (store dominates).
+  static CheckpointCosts paper_ccp_flavor() noexcept { return {20.0, 2.0, 0.0}; }
+};
+
+}  // namespace adacheck::model

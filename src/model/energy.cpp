@@ -1,0 +1,25 @@
+#include "model/energy.hpp"
+
+#include <stdexcept>
+
+namespace adacheck::model {
+
+void EnergyMeter::charge(const SpeedLevel& level, double cycles) {
+  if (cycles < 0.0) throw std::invalid_argument("EnergyMeter: negative cycles");
+  total_ += level.energy(cycles);
+  total_cycles_ += cycles;
+  cycles_by_freq_[level.frequency] += cycles;
+}
+
+double EnergyMeter::cycles_at(double frequency) const noexcept {
+  const auto it = cycles_by_freq_.find(frequency);
+  return it == cycles_by_freq_.end() ? 0.0 : it->second;
+}
+
+void EnergyMeter::reset() noexcept {
+  total_ = 0.0;
+  total_cycles_ = 0.0;
+  cycles_by_freq_.clear();
+}
+
+}  // namespace adacheck::model

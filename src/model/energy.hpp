@@ -1,0 +1,39 @@
+// Energy accounting.
+//
+// The paper measures energy by "summing the product of the square of
+// the voltage and the number of computation cycles over all the
+// segments of the task".  EnergyMeter implements exactly that, keeping
+// a per-speed breakdown so benches can report how much work ran at the
+// high speed.  We account one processor of the DMR pair (both execute
+// the same cycles; a doubled figure is a constant factor).
+#pragma once
+
+#include <map>
+
+#include "model/speed.hpp"
+
+namespace adacheck::model {
+
+class EnergyMeter {
+ public:
+  /// Charges `cycles` cycles executed at `level` (computation or
+  /// checkpoint overhead alike — everything the CPU executes costs).
+  void charge(const SpeedLevel& level, double cycles);
+
+  double total() const noexcept { return total_; }
+  double cycles_at(double frequency) const noexcept;
+  double total_cycles() const noexcept { return total_cycles_; }
+  /// Per-frequency cycle breakdown (frequency -> cycles executed).
+  const std::map<double, double>& breakdown() const noexcept {
+    return cycles_by_freq_;
+  }
+
+  void reset() noexcept;
+
+ private:
+  double total_ = 0.0;
+  double total_cycles_ = 0.0;
+  std::map<double, double> cycles_by_freq_;
+};
+
+}  // namespace adacheck::model

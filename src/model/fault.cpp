@@ -1,0 +1,82 @@
+#include "model/fault.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace adacheck::model {
+
+FaultTrace::FaultTrace(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  if (!std::is_sorted(events_.begin(), events_.end(),
+                      [](const FaultEvent& a, const FaultEvent& b) {
+                        return a.time < b.time;
+                      })) {
+    throw std::invalid_argument("FaultTrace: events must be time-sorted");
+  }
+}
+
+void FaultTrace::record(double time, int processor) {
+  if (!events_.empty() && time < events_.back().time) {
+    throw std::invalid_argument("FaultTrace: out-of-order record");
+  }
+  if (processor < 0 || processor > 2) {
+    throw std::invalid_argument("FaultTrace: processor must be 0, 1, or 2");
+  }
+  events_.push_back({time, processor});
+}
+
+std::size_t FaultTrace::count_in(double t0, double t1) const {
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), t0,
+      [](const FaultEvent& e, double t) { return e.time < t; });
+  const auto hi = std::lower_bound(
+      lo, events_.end(), t1,
+      [](const FaultEvent& e, double t) { return e.time < t; });
+  return static_cast<std::size_t>(hi - lo);
+}
+
+PoissonFaultSource::PoissonFaultSource(const FaultModel& model,
+                                       util::Xoshiro256& rng)
+    : pair_rate_(model.pair_rate()), processors_(model.processors),
+      rng_(rng), next_time_(0.0), next_proc_(0) {
+  if (!model.valid()) throw std::invalid_argument("FaultModel: invalid");
+  next_time_ = rng_.exponential(pair_rate_);
+  next_proc_ = static_cast<int>(
+      rng_.below(static_cast<std::uint64_t>(processors_)));
+}
+
+void PoissonFaultSource::advance() {
+  next_time_ += rng_.exponential(pair_rate_);
+  next_proc_ = static_cast<int>(
+      rng_.below(static_cast<std::uint64_t>(processors_)));
+}
+
+double PoissonFaultSource::next_fault_after(double from_exposure,
+                                            int& processor) {
+  // The process is memoryless, so we only ever move forward; the engine
+  // queries with non-decreasing exposure except after rollbacks, where
+  // re-executed work is *new* exposure (faults can strike again), which
+  // the engine models by continuing to accumulate exposure time.
+  while (next_time_ < from_exposure) advance();
+  processor = next_proc_;
+  return next_time_;
+}
+
+ReplayFaultSource::ReplayFaultSource(const FaultTrace& trace) : trace_(trace) {}
+
+double ReplayFaultSource::next_fault_after(double from_exposure,
+                                           int& processor) {
+  while (cursor_ < trace_.size() &&
+         trace_.events()[cursor_].time < from_exposure) {
+    ++cursor_;
+  }
+  if (cursor_ >= trace_.size()) {
+    processor = 0;
+    return std::numeric_limits<double>::infinity();
+  }
+  processor = trace_.events()[cursor_].processor;
+  return trace_.events()[cursor_].time;
+}
+
+}  // namespace adacheck::model

@@ -1,0 +1,104 @@
+// Transient-fault model for the DMR pair.
+//
+// Faults arrive to the duplex *system* as one Poisson process of rate
+// lambda (per time unit); each fault strikes one of the two processors
+// uniformly.  This is the paper's "faults are injected into the system
+// using a Poisson process with parameter lambda", and it is the only
+// reading under which the paper's baseline completion probabilities
+// reproduce (DESIGN.md §3); the same lambda feeds the renewal
+// equations and interval rules, keeping analysis and injection
+// consistent.  Faults corrupt processor state; they are latent until a
+// comparison (CCP or CSCP) observes disagreement.  By default faults
+// strike only during computation segments, matching the analytic
+// model; `faults_during_overhead` extends exposure to checkpoint
+// operations for ablation.
+//
+// FaultTrace supports record/replay so a stochastic run can be rerun
+// deterministically (tests, debugging, the satellite example).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace adacheck::model {
+
+struct FaultModel {
+  double rate = 0.0;  ///< lambda: system-level fault rate per time unit.
+  bool faults_during_overhead = false;
+  /// Number of replicated processors sharing the arrival process: 2 for
+  /// the paper's DMR, 3 for the TMR extension (each arrival strikes one
+  /// processor uniformly).
+  int processors = 2;
+
+  bool valid() const noexcept {
+    return rate >= 0.0 && (processors == 2 || processors == 3);
+  }
+  /// Combined arrival rate seen by the replica group (== rate).
+  double pair_rate() const noexcept { return rate; }
+};
+
+/// A recorded fault: which processor and when (absolute sim time).
+struct FaultEvent {
+  double time = 0.0;
+  int processor = 0;  ///< replica index (0..processors-1).
+};
+
+/// Sorted-by-time fault series, recordable and replayable.
+class FaultTrace {
+ public:
+  FaultTrace() = default;
+  explicit FaultTrace(std::vector<FaultEvent> events);
+
+  void record(double time, int processor);
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Number of faults in the half-open window [t0, t1).
+  std::size_t count_in(double t0, double t1) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Source of "time until the next fault on either processor" samples.
+/// The stochastic implementation draws exponentials; the replay
+/// implementation walks a FaultTrace.  `exposure` elapses only while
+/// the pair is vulnerable (the engine controls what counts).
+class FaultSource {
+ public:
+  virtual ~FaultSource() = default;
+  /// Exposure time from `from_exposure` until the next fault on either
+  /// processor; +infinity if none.  Also reports which processor.
+  virtual double next_fault_after(double from_exposure, int& processor) = 0;
+};
+
+/// Memoryless stochastic source at the pair rate 2*lambda.
+class PoissonFaultSource final : public FaultSource {
+ public:
+  PoissonFaultSource(const FaultModel& model, util::Xoshiro256& rng);
+  double next_fault_after(double from_exposure, int& processor) override;
+
+ private:
+  double pair_rate_;
+  int processors_;
+  util::Xoshiro256& rng_;
+  double next_time_;
+  int next_proc_;
+  void advance();
+};
+
+/// Replays a pre-recorded trace (times interpreted as exposure time).
+class ReplayFaultSource final : public FaultSource {
+ public:
+  explicit ReplayFaultSource(const FaultTrace& trace);
+  double next_fault_after(double from_exposure, int& processor) override;
+
+ private:
+  const FaultTrace& trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace adacheck::model

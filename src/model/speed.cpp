@@ -1,0 +1,53 @@
+#include "model/speed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adacheck::model {
+
+double VoltageLaw::voltage_for(double frequency) const {
+  if (frequency <= 0.0)
+    throw std::invalid_argument("VoltageLaw: frequency must be > 0");
+  if (kappa <= 0.0) throw std::invalid_argument("VoltageLaw: kappa must be > 0");
+  return std::sqrt(kappa * frequency);
+}
+
+DvsProcessor::DvsProcessor(std::vector<SpeedLevel> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty())
+    throw std::invalid_argument("DvsProcessor: at least one speed level");
+  std::sort(levels_.begin(), levels_.end(),
+            [](const SpeedLevel& a, const SpeedLevel& b) {
+              return a.frequency < b.frequency;
+            });
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].frequency <= 0.0 || levels_[i].voltage <= 0.0) {
+      throw std::invalid_argument("DvsProcessor: levels must be positive");
+    }
+    if (i > 0 && levels_[i].frequency == levels_[i - 1].frequency) {
+      throw std::invalid_argument("DvsProcessor: duplicate frequency");
+    }
+  }
+}
+
+DvsProcessor DvsProcessor::two_speed(double ratio, VoltageLaw law) {
+  if (ratio <= 1.0)
+    throw std::invalid_argument("two_speed: ratio must be > 1");
+  return DvsProcessor({SpeedLevel{1.0, law.voltage_for(1.0)},
+                       SpeedLevel{ratio, law.voltage_for(ratio)}});
+}
+
+const SpeedLevel& DvsProcessor::level(std::size_t i) const {
+  if (i >= levels_.size()) throw std::out_of_range("DvsProcessor::level");
+  return levels_[i];
+}
+
+const SpeedLevel& DvsProcessor::at_least(double frequency) const noexcept {
+  for (const auto& lvl : levels_) {
+    if (lvl.frequency >= frequency) return lvl;
+  }
+  return levels_.back();
+}
+
+}  // namespace adacheck::model

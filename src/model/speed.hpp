@@ -1,0 +1,61 @@
+// Two-speed (and generally multi-level) DVS processor model.
+//
+// The paper assumes a processor with speeds f1 < f2, normalized so
+// f1 = 1 and (in the experiments) f2 = 2*f1, with negligible switching
+// time.  Energy per cycle is V(f)^2; because the paper never states its
+// supply voltages we expose a configurable voltage law with the
+// conventional near-linear V ~ f scaling (V^2 = kappa * f), calibrated
+// so the absolute energy magnitudes land near the paper's tables (see
+// DESIGN.md §3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace adacheck::model {
+
+/// One operating point of the processor.
+struct SpeedLevel {
+  double frequency = 1.0;  ///< cycles per time unit, normalized to f1 = 1.
+  double voltage = 1.0;    ///< supply voltage (arbitrary units).
+
+  /// Energy consumed executing `cycles` cycles at this level: V^2 * cycles.
+  double energy(double cycles) const noexcept {
+    return voltage * voltage * cycles;
+  }
+  /// Wall-clock time for `cycles` cycles at this level.
+  double time(double cycles) const noexcept { return cycles / frequency; }
+};
+
+/// Voltage law V(f)^2 = kappa * f.  kappa = 4.0 reproduces the paper's
+/// energy magnitudes (V1 = 2.0 at f1 = 1, V2 ~ 2.83 at f2 = 2).
+struct VoltageLaw {
+  double kappa = 4.0;
+  double voltage_for(double frequency) const;
+};
+
+/// A DVS-capable processor: an ordered set of speed levels (ascending
+/// frequency) and zero-cost switching, as assumed in the paper.
+class DvsProcessor {
+ public:
+  /// Builds a processor from explicit levels.  Levels are sorted by
+  /// frequency; duplicate frequencies are rejected.
+  explicit DvsProcessor(std::vector<SpeedLevel> levels);
+
+  /// Convenience factory for the paper's configuration: two speeds
+  /// {f1 = 1, f2 = ratio}, voltages from `law`.
+  static DvsProcessor two_speed(double ratio = 2.0, VoltageLaw law = {});
+
+  std::size_t num_levels() const noexcept { return levels_.size(); }
+  const SpeedLevel& level(std::size_t i) const;
+  const SpeedLevel& slowest() const noexcept { return levels_.front(); }
+  const SpeedLevel& fastest() const noexcept { return levels_.back(); }
+
+  /// The slowest level with frequency >= f; fastest() if none.
+  const SpeedLevel& at_least(double frequency) const noexcept;
+
+ private:
+  std::vector<SpeedLevel> levels_;
+};
+
+}  // namespace adacheck::model

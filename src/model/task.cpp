@@ -1,0 +1,49 @@
+#include "model/task.hpp"
+
+#include <stdexcept>
+
+namespace adacheck::model {
+
+double TaskSpec::utilization(double speed) const {
+  if (speed <= 0.0) throw std::invalid_argument("utilization: speed <= 0");
+  if (deadline <= 0.0) throw std::invalid_argument("utilization: deadline <= 0");
+  return cycles / (speed * deadline);
+}
+
+bool TaskSpec::valid() const noexcept {
+  if (cycles <= 0.0 || deadline <= 0.0) return false;
+  if (fault_tolerance < 0) return false;
+  if (period < 0.0) return false;
+  if (period > 0.0 && period < deadline) return false;  // D <= T convention
+  return true;
+}
+
+void TaskSpec::validate() const {
+  if (cycles <= 0.0) throw std::invalid_argument("TaskSpec: cycles must be > 0");
+  if (deadline <= 0.0)
+    throw std::invalid_argument("TaskSpec: deadline must be > 0");
+  if (fault_tolerance < 0)
+    throw std::invalid_argument("TaskSpec: fault_tolerance must be >= 0");
+  if (period < 0.0) throw std::invalid_argument("TaskSpec: period must be >= 0");
+  if (period > 0.0 && period < deadline)
+    throw std::invalid_argument("TaskSpec: period must be >= deadline");
+}
+
+TaskSpec task_from_utilization(double utilization, double speed,
+                               double deadline, int fault_tolerance,
+                               std::string name) {
+  if (utilization <= 0.0)
+    throw std::invalid_argument("task_from_utilization: U must be > 0");
+  if (speed <= 0.0)
+    throw std::invalid_argument("task_from_utilization: speed must be > 0");
+  TaskSpec t;
+  t.cycles = utilization * speed * deadline;
+  t.deadline = deadline;
+  t.period = 0.0;
+  t.fault_tolerance = fault_tolerance;
+  t.name = std::move(name);
+  t.validate();
+  return t;
+}
+
+}  // namespace adacheck::model

@@ -1,0 +1,40 @@
+// Real-time task model.
+//
+// A task is characterized the way the paper does it: a worst-case
+// cycle count N measured at the normalized minimum processor speed
+// (f1 = 1, so one cycle == one time unit at f1), a relative deadline D
+// in time units, a period T (unused by the single-job analyses but kept
+// for completeness / the examples), and the number of faults k the
+// schedule must tolerate.
+#pragma once
+
+#include <string>
+
+namespace adacheck::model {
+
+struct TaskSpec {
+  double cycles = 0.0;       ///< N: worst-case computation cycles, fault-free.
+  double deadline = 0.0;     ///< D: relative deadline (time at f1 = 1).
+  double period = 0.0;       ///< T: period; 0 means aperiodic / single job.
+  int fault_tolerance = 0;   ///< k: number of faults that must be tolerated.
+  std::string name = "task";
+
+  /// Utilization N / (f * D) at a given speed, the quantity the paper
+  /// calls U.  f must be > 0.
+  double utilization(double speed) const;
+
+  /// True when the parameters are physically meaningful (positive N and
+  /// D, non-negative k, period either 0 or >= deadline-compatible).
+  bool valid() const noexcept;
+
+  /// Throws std::invalid_argument with a description if !valid().
+  void validate() const;
+};
+
+/// Builds a TaskSpec from a target utilization: N = U * f * D.  This is
+/// how the paper parameterizes its tables ("U = N/(f1 D)").
+TaskSpec task_from_utilization(double utilization, double speed,
+                               double deadline, int fault_tolerance,
+                               std::string name = "task");
+
+}  // namespace adacheck::model

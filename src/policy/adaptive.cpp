@@ -1,0 +1,169 @@
+#include "policy/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analytic/dvs_estimate.hpp"
+#include "analytic/interval_policy.hpp"
+#include "analytic/num_checkpoints.hpp"
+#include "analytic/renewal_tmr.hpp"
+
+namespace adacheck::policy {
+
+namespace {
+std::string scheme_name(const AdaptiveConfig& c) {
+  if (!c.use_dvs) {
+    switch (c.inner) {
+      case sim::InnerKind::kNone: return "adapchp";
+      case sim::InnerKind::kScp: return "adapchp-SCP";
+      case sim::InnerKind::kCcp: return "adapchp-CCP";
+    }
+  }
+  switch (c.inner) {
+    case sim::InnerKind::kNone: return "A_D";
+    case sim::InnerKind::kScp: return "A_D_S";
+    case sim::InnerKind::kCcp: return "A_D_C";
+  }
+  return "adaptive";
+}
+}  // namespace
+
+AdaptiveCheckpointPolicy::AdaptiveCheckpointPolicy(AdaptiveConfig config)
+    : config_(config), name_(scheme_name(config)) {
+  if (config_.max_inner < 1) {
+    throw std::invalid_argument("AdaptiveConfig: max_inner must be >= 1");
+  }
+}
+
+sim::Decision AdaptiveCheckpointPolicy::decide(
+    const sim::ExecContext& ctx) const {
+  const double c_cycles = ctx.costs->cscp();
+  const auto& level =
+      config_.use_dvs
+          ? analytic::choose_speed(*ctx.processor, ctx.remaining_cycles,
+                                   ctx.remaining_deadline(), c_cycles,
+                                   ctx.lambda)
+          : ctx.processor->level(config_.fixed_level);
+
+  sim::Decision d;
+  d.speed = level;
+
+  const double f = level.frequency;
+  const double remaining_work = ctx.remaining_cycles / f;   // R_t
+  const double remaining_deadline = ctx.remaining_deadline();  // R_d
+  // Fig. 6 line 6: even the chosen (fastest-if-needed) speed cannot fit
+  // the remaining work before the deadline — break with task failure.
+  if (remaining_work > remaining_deadline) {
+    d.abort = true;
+    return d;
+  }
+
+  const double cost_time = c_cycles / f;
+  const auto interval = analytic::adaptive_interval(
+      remaining_deadline, remaining_work, cost_time, ctx.remaining_faults,
+      ctx.lambda);
+  const double itv = std::min(interval.interval, remaining_work);
+  d.cscp_interval = itv;
+  d.inner = config_.inner;
+
+  // Sub-interval count from the renewal model matching the platform's
+  // redundancy: DMR uses the paper's R1/R2, TMR the vote-aware variants.
+  const model::CheckpointCosts time_costs{ctx.costs->store / f,
+                                          ctx.costs->compare / f,
+                                          ctx.costs->rollback / f};
+  const bool tmr = ctx.redundancy == 3;
+  switch (config_.inner) {
+    case sim::InnerKind::kNone:
+      d.sub_interval = itv;
+      break;
+    case sim::InnerKind::kScp: {
+      int m = 1;
+      if (tmr) {
+        analytic::TmrRenewalParams params{itv, ctx.lambda, time_costs};
+        m = analytic::num_scp_tmr(params);
+      } else {
+        analytic::ScpRenewalParams params{itv, ctx.lambda, time_costs};
+        m = analytic::num_scp(params);
+      }
+      m = std::min(m, config_.max_inner);
+      d.sub_interval = itv / static_cast<double>(m);
+      break;
+    }
+    case sim::InnerKind::kCcp: {
+      int m = 1;
+      if (tmr) {
+        analytic::TmrRenewalParams params{itv, ctx.lambda, time_costs};
+        m = analytic::num_ccp_tmr(params);
+      } else {
+        analytic::CcpRenewalParams params{itv, ctx.lambda, time_costs};
+        m = analytic::num_ccp(params);
+      }
+      m = std::min(m, config_.max_inner);
+      d.sub_interval = itv / static_cast<double>(m);
+      break;
+    }
+  }
+  return d;
+}
+
+sim::Decision AdaptiveCheckpointPolicy::initial(const sim::ExecContext& ctx) {
+  return decide(ctx);
+}
+
+sim::Decision AdaptiveCheckpointPolicy::on_fault(const sim::ExecContext& ctx) {
+  return decide(ctx);
+}
+
+std::optional<sim::Decision> AdaptiveCheckpointPolicy::on_commit(
+    const sim::ExecContext& ctx) {
+  if (ctx.remaining_cycles <= 0.0) return std::nullopt;  // engine will finish
+  if (config_.recompute_at_commit) return decide(ctx);
+  // Even without re-planning, the while-loop guard of Figs. 3/6/7 runs
+  // every iteration: break with failure when the remaining work cannot
+  // fit the remaining deadline at the fastest speed.
+  const double best_f = ctx.processor->fastest().frequency;
+  if (ctx.remaining_cycles / best_f > ctx.remaining_deadline()) {
+    sim::Decision d;
+    d.speed = ctx.processor->fastest();
+    d.abort = true;
+    return d;
+  }
+  return std::nullopt;
+}
+
+AdaptiveConfig AdaptiveCheckpointPolicy::adt_dvs() {
+  AdaptiveConfig c;
+  c.inner = sim::InnerKind::kNone;
+  c.use_dvs = true;
+  return c;
+}
+
+AdaptiveConfig AdaptiveCheckpointPolicy::adapchp_scp() {
+  AdaptiveConfig c;
+  c.inner = sim::InnerKind::kScp;
+  c.use_dvs = false;
+  return c;
+}
+
+AdaptiveConfig AdaptiveCheckpointPolicy::adapchp_ccp() {
+  AdaptiveConfig c;
+  c.inner = sim::InnerKind::kCcp;
+  c.use_dvs = false;
+  return c;
+}
+
+AdaptiveConfig AdaptiveCheckpointPolicy::adapchp_dvs_scp() {
+  AdaptiveConfig c;
+  c.inner = sim::InnerKind::kScp;
+  c.use_dvs = true;
+  return c;
+}
+
+AdaptiveConfig AdaptiveCheckpointPolicy::adapchp_dvs_ccp() {
+  AdaptiveConfig c;
+  c.inner = sim::InnerKind::kCcp;
+  c.use_dvs = true;
+  return c;
+}
+
+}  // namespace adacheck::policy

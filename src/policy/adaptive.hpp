@@ -1,0 +1,69 @@
+// The adaptive checkpointing schemes: the paper's contribution and the
+// DATE'03 baseline it extends.
+//
+// One configurable implementation covers all five pseudocode variants:
+//
+//   scheme            figure   DVS   inner checkpoints
+//   ADT_DVS (A_D)     [3]      yes   none
+//   adapchp-SCP       Fig. 3   no    SCPs
+//   adapchp-CCP       §2.2     no    CCPs
+//   adapchp_dvs_SCP   Fig. 6   yes   SCPs   <- "A_D_S"
+//   adapchp_dvs_CCP   Fig. 7   yes   CCPs   <- "A_D_C"
+//
+// Decision recipe (the figures' lines 1-4 / 13-17):
+//   1. speed: with DVS, the slowest level whose fault-aware estimate
+//      t_est fits the remaining deadline, else the fastest (Fig. 6
+//      line 2/15); without DVS, a fixed level.
+//   2. abort when remaining work at the chosen speed cannot fit the
+//      remaining deadline (Fig. 6 line 6).
+//   3. outer interval Itv from procedure interval() (Fig. 4), clamped
+//      to the remaining work.
+//   4. inner count m from num_SCP/num_CCP (Fig. 2) on the renewal
+//      model, sub-interval itv = Itv/m.
+// Recomputed at start and after every detected fault; optionally also
+// at every committed CSCP (ablation knob, off in the paper).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/policy.hpp"
+
+namespace adacheck::policy {
+
+struct AdaptiveConfig {
+  sim::InnerKind inner = sim::InnerKind::kNone;
+  bool use_dvs = true;          ///< false: pin to `fixed_level`
+  std::size_t fixed_level = 0;  ///< used when use_dvs is false
+  bool recompute_at_commit = false;  ///< ablation: also re-plan per CSCP
+  /// Cap on the inner count so degenerate renewal minima cannot flood
+  /// an interval with checkpoints (paper's optimum is small anyway).
+  int max_inner = 4096;
+};
+
+class AdaptiveCheckpointPolicy final : public sim::ICheckpointPolicy {
+ public:
+  explicit AdaptiveCheckpointPolicy(AdaptiveConfig config);
+
+  std::string name() const override { return name_; }
+  sim::Decision initial(const sim::ExecContext& ctx) override;
+  sim::Decision on_fault(const sim::ExecContext& ctx) override;
+  std::optional<sim::Decision> on_commit(const sim::ExecContext& ctx) override;
+
+  const AdaptiveConfig& config() const noexcept { return config_; }
+
+  /// Factory helpers with the paper's scheme names.
+  static AdaptiveConfig adt_dvs();          ///< A_D (DATE'03 baseline)
+  static AdaptiveConfig adapchp_scp();      ///< Fig. 3, fixed speed
+  static AdaptiveConfig adapchp_ccp();      ///< §2.2, fixed speed
+  static AdaptiveConfig adapchp_dvs_scp();  ///< A_D_S (Fig. 6)
+  static AdaptiveConfig adapchp_dvs_ccp();  ///< A_D_C (Fig. 7)
+
+ private:
+  sim::Decision decide(const sim::ExecContext& ctx) const;
+
+  AdaptiveConfig config_;
+  std::string name_;
+};
+
+}  // namespace adacheck::policy

@@ -1,0 +1,53 @@
+#include "policy/factory.hpp"
+
+#include <stdexcept>
+
+#include "policy/adaptive.hpp"
+#include "policy/fixed_interval.hpp"
+
+namespace adacheck::policy {
+
+std::unique_ptr<sim::ICheckpointPolicy> make_policy(
+    const std::string& name, std::size_t baseline_level) {
+  if (name == "Poisson") {
+    return std::make_unique<PoissonArrivalPolicy>(baseline_level);
+  }
+  if (name == "k-f-t") {
+    return std::make_unique<KFaultTolerantPolicy>(baseline_level);
+  }
+  if (name == "A_D") {
+    return std::make_unique<AdaptiveCheckpointPolicy>(
+        AdaptiveCheckpointPolicy::adt_dvs());
+  }
+  if (name == "A_D_S") {
+    return std::make_unique<AdaptiveCheckpointPolicy>(
+        AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  }
+  if (name == "A_D_C") {
+    return std::make_unique<AdaptiveCheckpointPolicy>(
+        AdaptiveCheckpointPolicy::adapchp_dvs_ccp());
+  }
+  if (name == "adapchp-SCP") {
+    auto config = AdaptiveCheckpointPolicy::adapchp_scp();
+    config.fixed_level = baseline_level;
+    return std::make_unique<AdaptiveCheckpointPolicy>(config);
+  }
+  if (name == "adapchp-CCP") {
+    auto config = AdaptiveCheckpointPolicy::adapchp_ccp();
+    config.fixed_level = baseline_level;
+    return std::make_unique<AdaptiveCheckpointPolicy>(config);
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+sim::PolicyFactory make_policy_factory(const std::string& name,
+                                       std::size_t baseline_level) {
+  return [name, baseline_level] { return make_policy(name, baseline_level); };
+}
+
+std::vector<std::string> known_policies() {
+  return {"Poisson", "k-f-t",       "A_D",        "A_D_S",
+          "A_D_C",   "adapchp-SCP", "adapchp-CCP"};
+}
+
+}  // namespace adacheck::policy

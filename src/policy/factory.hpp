@@ -1,0 +1,32 @@
+// By-name policy construction for the harness, benches, and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/monte_carlo.hpp"
+#include "sim/policy.hpp"
+
+namespace adacheck::policy {
+
+/// Builds a policy by scheme name.  Recognized names (paper's labels):
+///   "Poisson"      Poisson-arrival baseline (at `baseline_level`)
+///   "k-f-t"        k-fault-tolerant baseline (at `baseline_level`)
+///   "A_D"          ADT_DVS adaptive baseline of ref [3]
+///   "A_D_S"        adapchp_dvs_SCP (Fig. 6)
+///   "A_D_C"        adapchp_dvs_CCP (Fig. 7)
+///   "adapchp-SCP"  non-DVS adaptive with SCPs (Fig. 3)
+///   "adapchp-CCP"  non-DVS adaptive with CCPs (§2.2)
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<sim::ICheckpointPolicy> make_policy(
+    const std::string& name, std::size_t baseline_level = 0);
+
+/// A factory closure suitable for sim::run_cell.
+sim::PolicyFactory make_policy_factory(const std::string& name,
+                                       std::size_t baseline_level = 0);
+
+/// All scheme names recognized by make_policy.
+std::vector<std::string> known_policies();
+
+}  // namespace adacheck::policy

@@ -1,0 +1,47 @@
+#include "policy/fixed_interval.hpp"
+
+#include <algorithm>
+
+#include "analytic/intervals.hpp"
+
+namespace adacheck::policy {
+
+sim::Decision PoissonArrivalPolicy::initial(const sim::ExecContext& ctx) {
+  const auto& level = ctx.processor->level(level_);
+  const double cost_time = ctx.costs->cscp() / level.frequency;
+  const double work_time = ctx.remaining_cycles / level.frequency;
+  sim::Decision d;
+  d.speed = level;
+  d.cscp_interval = std::min(
+      analytic::poisson_interval(cost_time, ctx.lambda), work_time);
+  d.sub_interval = d.cscp_interval;
+  d.inner = sim::InnerKind::kNone;
+  plan_ = d;
+  return d;
+}
+
+sim::Decision PoissonArrivalPolicy::on_fault(const sim::ExecContext&) {
+  return plan_;  // fixed scheme: never adapts
+}
+
+sim::Decision KFaultTolerantPolicy::initial(const sim::ExecContext& ctx) {
+  const auto& level = ctx.processor->level(level_);
+  const double cost_time = ctx.costs->cscp() / level.frequency;
+  const double work_time = ctx.remaining_cycles / level.frequency;
+  sim::Decision d;
+  d.speed = level;
+  d.cscp_interval =
+      std::min(analytic::k_fault_interval(work_time,
+                                          ctx.task->fault_tolerance, cost_time),
+               work_time);
+  d.sub_interval = d.cscp_interval;
+  d.inner = sim::InnerKind::kNone;
+  plan_ = d;
+  return d;
+}
+
+sim::Decision KFaultTolerantPolicy::on_fault(const sim::ExecContext&) {
+  return plan_;
+}
+
+}  // namespace adacheck::policy

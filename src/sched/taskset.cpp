@@ -1,0 +1,76 @@
+#include "sched/taskset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analytic/dvs_estimate.hpp"
+
+namespace adacheck::sched {
+
+void PeriodicTask::validate() const {
+  if (cycles <= 0.0)
+    throw std::invalid_argument("PeriodicTask: cycles must be > 0");
+  if (period <= 0.0)
+    throw std::invalid_argument("PeriodicTask: period must be > 0");
+  if (relative_deadline < 0.0 || relative_deadline > period) {
+    throw std::invalid_argument(
+        "PeriodicTask: relative deadline must be in (0, period]");
+  }
+  if (phase < 0.0) throw std::invalid_argument("PeriodicTask: phase < 0");
+  if (fault_tolerance < 0)
+    throw std::invalid_argument("PeriodicTask: fault_tolerance < 0");
+  if (policy.empty())
+    throw std::invalid_argument("PeriodicTask: empty policy name");
+}
+
+void TaskSet::validate() const {
+  if (tasks.empty()) throw std::invalid_argument("TaskSet: no tasks");
+  for (const auto& task : tasks) task.validate();
+}
+
+double TaskSet::utilization(double frequency) const {
+  if (frequency <= 0.0)
+    throw std::invalid_argument("TaskSet::utilization: frequency <= 0");
+  double total = 0.0;
+  for (const auto& task : tasks) {
+    total += task.cycles / (frequency * task.period);
+  }
+  return total;
+}
+
+double effective_utilization(const TaskSet& set, double frequency,
+                             double checkpoint_cycles, double lambda) {
+  set.validate();
+  double total = 0.0;
+  for (const auto& task : set.tasks) {
+    total += analytic::dvs_time_estimate(task.cycles, frequency,
+                                         checkpoint_cycles, lambda) /
+             task.period;
+  }
+  return total;
+}
+
+std::vector<double> blocking_estimates(const TaskSet& set, double frequency,
+                                       double checkpoint_cycles,
+                                       double lambda) {
+  set.validate();
+  std::vector<double> estimates(set.tasks.size(), 0.0);
+  // Non-preemptive: any job may have to wait for the single longest job
+  // of any *other* task that is already running.
+  std::vector<double> job_times;
+  job_times.reserve(set.tasks.size());
+  for (const auto& task : set.tasks) {
+    job_times.push_back(analytic::dvs_time_estimate(
+        task.cycles, frequency, checkpoint_cycles, lambda));
+  }
+  for (std::size_t i = 0; i < set.tasks.size(); ++i) {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < set.tasks.size(); ++j) {
+      if (j != i) worst = std::max(worst, job_times[j]);
+    }
+    estimates[i] = worst;
+  }
+  return estimates;
+}
+
+}  // namespace adacheck::sched

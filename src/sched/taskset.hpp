@@ -1,0 +1,59 @@
+// Periodic task sets for the scheduling substrate.
+//
+// The paper analyzes one job against its deadline; real embedded
+// systems run sets of periodic tasks.  A PeriodicTask releases a job
+// every `period` time units (first release at `phase`), each job being
+// an instance of the paper's task model executed under a checkpointing
+// policy.  The admission analysis estimates schedulability from the
+// fault-aware completion-time estimate t_est (paper §3) before any
+// simulation is run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+#include "model/fault.hpp"
+#include "model/speed.hpp"
+#include "model/task.hpp"
+
+namespace adacheck::sched {
+
+struct PeriodicTask {
+  std::string name = "task";
+  double cycles = 0.0;        ///< worst-case cycles per job (at f1 = 1)
+  double period = 0.0;        ///< release separation
+  double relative_deadline = 0.0;  ///< <= period (0 = implicit: == period)
+  double phase = 0.0;         ///< first release time
+  int fault_tolerance = 0;    ///< k per job
+  std::string policy = "A_D_S";  ///< checkpointing scheme for its jobs
+
+  double deadline() const noexcept {
+    return relative_deadline > 0.0 ? relative_deadline : period;
+  }
+  void validate() const;
+};
+
+struct TaskSet {
+  std::vector<PeriodicTask> tasks;
+
+  void validate() const;
+  /// Raw utilization sum(N_i / T_i) at speed f.
+  double utilization(double frequency = 1.0) const;
+};
+
+/// Fault-aware admission estimate: effective utilization
+/// sum(t_est(N_i, f, c, lambda) / T_i) at the given speed.  Values
+/// above 1 mean the executive cannot keep up even ignoring blocking.
+double effective_utilization(const TaskSet& set, double frequency,
+                             double checkpoint_cycles, double lambda);
+
+/// Non-preemptive EDF blocking bound: a job can additionally wait for
+/// the longest lower-priority job's fault-aware estimate.  Returns per
+/// task the worst-case start delay estimate; used by the example to
+/// sanity-check deadlines before simulating.
+std::vector<double> blocking_estimates(const TaskSet& set, double frequency,
+                                       double checkpoint_cycles,
+                                       double lambda);
+
+}  // namespace adacheck::sched

@@ -1,0 +1,413 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace adacheck::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int popcount(unsigned mask) noexcept { return std::popcount(mask); }
+
+/// Mutable run state shared by the helpers below.
+struct EngineState {
+  const SimSetup* setup = nullptr;
+  const EngineConfig* config = nullptr;
+  model::FaultSource* faults = nullptr;
+  RunResult* result = nullptr;
+
+  double committed = 0.0;   ///< cycles banked at consistent checkpoints
+  double now = 0.0;         ///< wall-clock time
+  double exposure = 0.0;    ///< cumulative vulnerable time
+  int remaining_faults = 0; ///< R_f
+  unsigned carry_mask = 0;  ///< replicas corrupted by trailing overhead ops
+  double last_frequency = 0.0;
+  std::size_t steps = 0;
+
+  int redundancy() const noexcept { return setup->fault_model.processors; }
+
+  double remaining_cycles() const noexcept {
+    return setup->task.cycles - committed;
+  }
+
+  void trace(TraceEventKind kind, double value = 0.0, int aux = 0) {
+    if (config->record_trace) result->trace.push(kind, now, value, aux);
+  }
+
+  void bump_steps() {
+    if (++steps > config->max_steps) {
+      throw std::runtime_error(
+          "engine: step limit exceeded (degenerate checkpoint plan?)");
+    }
+  }
+
+  /// Collects faults on the exposure window [exposure, exposure+span)
+  /// and returns the bitmask of replicas struck.
+  unsigned collect_faults(double span) {
+    unsigned mask = 0;
+    const double window_end = exposure + span;
+    double cursor = exposure;
+    int processor = 0;
+    for (;;) {
+      const double t = faults->next_fault_after(cursor, processor);
+      if (!(t < window_end)) break;
+      ++result->faults;
+      if (config->record_trace) {
+        // Both wall-clock time and the exposure coordinate (for replay).
+        result->trace.push(TraceEventKind::kFault, now + (t - exposure), t,
+                           processor);
+      }
+      mask |= 1u << processor;
+      cursor = std::nextafter(t, kInf);
+    }
+    exposure = window_end;
+    return mask;
+  }
+
+  /// Executes a computation window of `duration` time at `level`.
+  /// Returns the replica-fault mask for the window.
+  unsigned run_computation(const model::SpeedLevel& level, double duration,
+                           int sub_index) {
+    const unsigned mask = collect_faults(duration);
+    now += duration;
+    result->meter.charge(level, duration * level.frequency);
+    trace(TraceEventKind::kSegment, duration * level.frequency, sub_index);
+    return mask;
+  }
+
+  /// Executes a checkpoint/vote/rollback operation of `cycles` cycles.
+  /// Faults strike during the operation only when
+  /// faults_during_overhead is set.
+  unsigned run_overhead(const model::SpeedLevel& level, double cycles) {
+    if (cycles <= 0.0) return 0;
+    const double duration = cycles / level.frequency;
+    unsigned mask = 0;
+    if (setup->fault_model.faults_during_overhead) {
+      mask = collect_faults(duration);
+    }
+    now += duration;
+    result->meter.charge(level, cycles);
+    return mask;
+  }
+};
+
+/// Corruption bookkeeping for one interval attempt: which replicas have
+/// faulted since the last consistency point, in which sub-interval the
+/// first fault landed, and in which sub-interval a *second distinct
+/// replica* was first struck (the TMR rollback boundary — SCPs up to
+/// there still hold a 2-of-3 majority).
+struct AttemptCorruption {
+  unsigned mask = 0;
+  int first_sub = 0;   ///< 0 = clean
+  int second_sub = 0;  ///< 0 = at most one replica corrupted
+
+  void note(unsigned new_mask, int sub) {
+    if (new_mask == 0) return;
+    if (first_sub == 0) first_sub = sub;
+    const unsigned merged = mask | new_mask;
+    if (second_sub == 0 && popcount(merged) >= 2) second_sub = sub;
+    mask = merged;
+  }
+  void clear() { *this = AttemptCorruption{}; }
+  bool corrupted() const noexcept { return mask != 0; }
+};
+
+/// Result of executing one CSCP-interval attempt.
+enum class AttemptOutcome {
+  kCommitted,       ///< interval committed cleanly
+  kCommittedVoted,  ///< committed after a majority-vote correction (TMR)
+  kFaultDetected,   ///< rolled back; policy must re-plan
+};
+
+/// Executes one outer interval under `decision`.
+///
+/// DMR (2 replicas): any comparison that sees corruption triggers a
+/// rollback — to the last good SCP (SCP mode) or the interval start
+/// (CCP/None mode).
+/// TMR (3 replicas): a comparison seeing exactly one corrupted replica
+/// majority-votes it back to health (cost t_r, no work lost); two or
+/// more corrupted replicas leave no majority and force a rollback, to
+/// the last SCP that still has a 2-of-3 majority (SCP mode) or to the
+/// interval start (CCP/None mode).
+AttemptOutcome execute_interval(EngineState& st, const Decision& decision) {
+  const auto& level = decision.speed;
+  const auto& costs = st.setup->costs;
+  const double f = level.frequency;
+  const bool tmr = st.redundancy() == 3;
+
+  // Clamp the plan to the remaining work.  Interval lengths are wall
+  // clock at the current speed; work is cycles.
+  const double remaining_time = st.remaining_cycles() / f;
+  const double itv_outer = std::min(decision.cscp_interval, remaining_time);
+  double itv_sub = decision.inner == InnerKind::kNone
+                       ? itv_outer
+                       : std::min(decision.sub_interval, itv_outer);
+  if (!(itv_outer > 0.0) || !(itv_sub > 0.0)) {
+    throw std::invalid_argument("engine: non-positive checkpoint interval");
+  }
+  // Number of sub-intervals, preserving the planned sub length (the
+  // paper inserts checkpoints by length); the last one may be shorter.
+  const double n_real = itv_outer / itv_sub;
+  const int n_subs = std::max(1, static_cast<int>(std::ceil(n_real - 1e-9)));
+
+  // Corruption carried over from a trailing overhead fault of the
+  // previous interval poisons the attempt from its start.
+  AttemptCorruption corrupt;
+  corrupt.note(st.carry_mask, 1);
+  st.carry_mask = 0;
+
+  // A comparison seeing exactly one corrupted replica can vote it back.
+  const auto votable = [&] { return tmr && popcount(corrupt.mask) == 1; };
+  const auto vote_correct = [&](unsigned op_mask, int next_sub) {
+    ++st.result->corrections;
+    --st.remaining_faults;
+    st.trace(TraceEventKind::kCorrection, 0.0,
+             static_cast<int>(corrupt.mask));
+    const unsigned repair_mask = st.run_overhead(level, costs.rollback);
+    corrupt.clear();
+    corrupt.note(op_mask | repair_mask, next_sub);
+  };
+
+  bool voted_this_interval = false;
+
+  for (int i = 1; i <= n_subs; ++i) {
+    st.bump_steps();
+    const double w =
+        i < n_subs ? itv_sub
+                   : itv_outer - static_cast<double>(n_subs - 1) * itv_sub;
+    corrupt.note(st.run_computation(level, w, i), i);
+
+    const bool is_last = i == n_subs;
+    if (!is_last) {
+      switch (decision.inner) {
+        case InnerKind::kScp: {
+          // Store all replica states; no comparison, so no detection.
+          // A fault during the store corrupts the stored snapshot:
+          // attribute it to this sub-interval so rollback lands before.
+          const unsigned op_mask = st.run_overhead(level, costs.store);
+          ++st.result->checkpoints_scp;
+          st.trace(TraceEventKind::kCheckpoint, costs.store, 0);
+          corrupt.note(op_mask, i);
+          break;
+        }
+        case InnerKind::kCcp: {
+          // Compare the running states: sees any corruption so far.
+          const unsigned op_mask = st.run_overhead(level, costs.compare);
+          ++st.result->checkpoints_ccp;
+          st.trace(TraceEventKind::kCheckpoint, costs.compare, 1);
+          if (corrupt.corrupted()) {
+            if (votable()) {
+              // TMR: the two healthy replicas repair the deviant one;
+              // execution continues with no work lost.  A fault during
+              // the compare/repair corrupts the *following* window.
+              vote_correct(op_mask, i + 1);
+              voted_this_interval = true;
+              break;
+            }
+            // No majority: roll back to the interval-start CSCP.
+            st.trace(TraceEventKind::kDetection);
+            const unsigned rollback_mask =
+                st.run_overhead(level, costs.rollback);
+            ++st.result->detections;
+            ++st.result->rollbacks;
+            --st.remaining_faults;
+            st.trace(TraceEventKind::kRollback,
+                     static_cast<double>(i) * itv_sub * f,
+                     st.result->detections);
+            // Faults during the compare or restore slip past and
+            // corrupt the next attempt.
+            st.carry_mask = op_mask | rollback_mask;
+            return AttemptOutcome::kFaultDetected;
+          }
+          // Clean comparison; a fault during the compare corrupts the
+          // following execution (seen at the next comparison).
+          corrupt.note(op_mask, i + 1);
+          break;
+        }
+        case InnerKind::kNone:
+          break;  // unreachable: n_subs == 1 when inner is none
+      }
+    }
+  }
+
+  // Interval-end CSCP: one atomic compare-and-store operation costing
+  // t_cp + t_s whether or not the comparison agrees (the paper's lumped
+  // per-checkpoint cost c; its baseline results across the two cost
+  // flavors confirm the full cost is paid on mismatch too).
+  const unsigned cscp_mask = st.run_overhead(level, costs.cscp());
+  st.trace(TraceEventKind::kCheckpoint, costs.cscp(), 2);
+
+  if (corrupt.corrupted() && votable()) {
+    // TMR: repair the single deviant replica and commit the interval.
+    vote_correct(cscp_mask, 1);
+    st.carry_mask = corrupt.mask;
+    ++st.result->checkpoints_cscp;
+    st.committed += itv_outer * f;
+    st.trace(TraceEventKind::kCommit, st.committed);
+    return AttemptOutcome::kCommittedVoted;
+  }
+
+  if (corrupt.corrupted()) {
+    st.trace(TraceEventKind::kDetection);
+    ++st.result->detections;
+    ++st.result->rollbacks;
+    --st.remaining_faults;
+    const unsigned rollback_mask = st.run_overhead(level, costs.rollback);
+    if (decision.inner == InnerKind::kScp) {
+      // Roll back to the most recent recoverable SCP: DMR needs stored
+      // states that are identical (before the first fault); TMR only a
+      // 2-of-3 majority (before the second distinct-replica fault).
+      // That prefix is recovery-consistent, so it is committed.
+      const int boundary = tmr && corrupt.second_sub > 0
+                               ? corrupt.second_sub
+                               : corrupt.first_sub;
+      const double committed_subs = static_cast<double>(boundary - 1);
+      const double committed_cycles = committed_subs * itv_sub * f;
+      st.committed += committed_cycles;
+      st.trace(TraceEventKind::kRollback, itv_outer * f - committed_cycles,
+               st.result->detections);
+    } else {
+      // CCP/None: nothing stored since the interval start.
+      st.trace(TraceEventKind::kRollback, itv_outer * f,
+               st.result->detections);
+    }
+    st.carry_mask = cscp_mask | rollback_mask;
+    return AttemptOutcome::kFaultDetected;
+  }
+
+  // Agreement: the stored snapshot commits the whole interval.
+  ++st.result->checkpoints_cscp;
+  st.committed += itv_outer * f;
+  st.trace(TraceEventKind::kCommit, st.committed);
+  // A fault during the operation corrupts the running state after the
+  // committed snapshot; the next comparison will catch it.
+  st.carry_mask = cscp_mask;
+  return voted_this_interval ? AttemptOutcome::kCommittedVoted
+                             : AttemptOutcome::kCommitted;
+}
+
+void validate_decision(const Decision& d) {
+  if (!(d.speed.frequency > 0.0) || !(d.speed.voltage > 0.0)) {
+    throw std::invalid_argument("engine: decision with non-positive speed");
+  }
+  if (d.abort) return;  // intervals unused
+  if (!(d.cscp_interval > 0.0)) {
+    throw std::invalid_argument("engine: decision with non-positive Itv");
+  }
+  if (d.inner != InnerKind::kNone && !(d.sub_interval > 0.0)) {
+    throw std::invalid_argument("engine: decision with non-positive itv");
+  }
+}
+
+}  // namespace
+
+void SimSetup::validate() const {
+  task.validate();
+  costs.validate();
+  if (!fault_model.valid()) {
+    throw std::invalid_argument(
+        "SimSetup: fault model needs rate >= 0 and 2 or 3 processors");
+  }
+}
+
+RunResult simulate(const SimSetup& setup, ICheckpointPolicy& policy,
+                   model::FaultSource& fault_source,
+                   const EngineConfig& config) {
+  setup.validate();
+  RunResult result;
+
+  EngineState st;
+  st.setup = &setup;
+  st.config = &config;
+  st.faults = &fault_source;
+  st.result = &result;
+  st.remaining_faults = setup.task.fault_tolerance;
+
+  ExecContext ctx;
+  ctx.task = &setup.task;
+  ctx.costs = &setup.costs;
+  ctx.processor = &setup.processor;
+  ctx.lambda = setup.fault_model.rate;
+  ctx.redundancy = setup.fault_model.processors;
+
+  auto refresh_ctx = [&] {
+    ctx.remaining_cycles = st.remaining_cycles();
+    ctx.now = st.now;
+    ctx.remaining_faults = st.remaining_faults;
+    ctx.faults_detected = result.detections + result.corrections;
+  };
+
+  refresh_ctx();
+  Decision decision = policy.initial(ctx);
+
+  const double work_eps = setup.task.cycles * 1e-12;
+
+  for (;;) {
+    validate_decision(decision);
+    if (st.remaining_cycles() <= work_eps) {
+      result.outcome = st.now <= setup.task.deadline
+                           ? RunOutcome::kCompleted
+                           : RunOutcome::kDeadlineMiss;
+      result.finish_time = st.now;
+      st.trace(result.completed() ? TraceEventKind::kComplete
+                                  : TraceEventKind::kDeadlineMiss,
+               st.committed);
+      break;
+    }
+    if (decision.abort) {
+      result.outcome = RunOutcome::kAborted;
+      result.finish_time = st.now;
+      st.trace(TraceEventKind::kAbort);
+      break;
+    }
+    if (st.now >= setup.task.deadline) {
+      result.outcome = RunOutcome::kDeadlineMiss;
+      result.finish_time = setup.task.deadline;
+      st.trace(TraceEventKind::kDeadlineMiss, st.committed);
+      break;
+    }
+
+    if (decision.speed.frequency != st.last_frequency) {
+      if (st.last_frequency != 0.0) {
+        ++result.speed_switches;
+        st.trace(TraceEventKind::kSpeedChange, decision.speed.frequency);
+      }
+      st.last_frequency = decision.speed.frequency;
+    }
+
+    const AttemptOutcome outcome = execute_interval(st, decision);
+    refresh_ctx();
+    if (st.remaining_cycles() <= work_eps) {
+      continue;  // done — the loop top records the outcome
+    }
+    if (outcome == AttemptOutcome::kFaultDetected ||
+        outcome == AttemptOutcome::kCommittedVoted) {
+      // Both consume fault budget; the policy re-plans (Fig. 3/6/7
+      // "else" branch).  For a voted commit nothing was lost, but the
+      // remaining budget changed, so the plan may too.
+      decision = policy.on_fault(ctx);
+    } else if (auto replacement = policy.on_commit(ctx)) {
+      decision = *replacement;
+    }
+  }
+
+  result.energy = result.meter.total();
+  result.cycles_executed = result.meter.total_cycles();
+  result.cycles_committed = st.committed;
+  return result;
+}
+
+RunResult simulate_seeded(const SimSetup& setup, ICheckpointPolicy& policy,
+                          std::uint64_t seed, const EngineConfig& config) {
+  util::Xoshiro256 rng(seed);
+  model::PoissonFaultSource source(setup.fault_model, rng);
+  return simulate(setup, policy, source, config);
+}
+
+}  // namespace adacheck::sim

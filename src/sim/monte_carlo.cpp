@@ -1,0 +1,109 @@
+#include "sim/monte_carlo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/validators.hpp"
+#include "util/rng.hpp"
+
+namespace adacheck::sim {
+
+void CellStats::merge(const CellStats& other) noexcept {
+  completion.merge(other.completion);
+  energy_success.merge(other.energy_success);
+  energy_all.merge(other.energy_all);
+  finish_time_success.merge(other.finish_time_success);
+  faults.merge(other.faults);
+  rollbacks.merge(other.rollbacks);
+  corrections.merge(other.corrections);
+  high_speed_cycles.merge(other.high_speed_cycles);
+  aborted_runs += other.aborted_runs;
+  validation_failures += other.validation_failures;
+}
+
+namespace {
+
+CellStats run_range(const SimSetup& setup, const PolicyFactory& factory,
+                    const MonteCarloConfig& config, int begin, int end) {
+  CellStats stats;
+  EngineConfig engine_config;
+  engine_config.record_trace = config.validate;
+  const double base_freq = setup.processor.slowest().frequency;
+  for (int i = begin; i < end; ++i) {
+    const std::uint64_t seed =
+        util::derive_seed(config.seed, static_cast<std::uint64_t>(i));
+    auto policy = factory();
+    const RunResult result =
+        simulate_seeded(setup, *policy, seed, engine_config);
+
+    const bool ok = result.completed();
+    stats.completion.add(ok);
+    stats.energy_all.add(result.energy);
+    if (ok) {
+      stats.energy_success.add(result.energy);
+      stats.finish_time_success.add(result.finish_time);
+    }
+    stats.faults.add(static_cast<double>(result.faults));
+    stats.rollbacks.add(static_cast<double>(result.rollbacks));
+    stats.corrections.add(static_cast<double>(result.corrections));
+    double high_cycles = 0.0;
+    for (const auto& [freq, cycles] : result.meter.breakdown()) {
+      if (freq > base_freq) high_cycles += cycles;
+    }
+    stats.high_speed_cycles.add(high_cycles);
+    if (result.outcome == RunOutcome::kAborted) ++stats.aborted_runs;
+    if (config.validate && !validate_all(setup, result).empty()) {
+      ++stats.validation_failures;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+CellStats run_cell(const SimSetup& setup, const PolicyFactory& factory,
+                   const MonteCarloConfig& config) {
+  setup.validate();
+  if (config.runs <= 0) {
+    throw std::invalid_argument("MonteCarloConfig: runs must be > 0");
+  }
+  if (!factory) {
+    throw std::invalid_argument("run_cell: null policy factory");
+  }
+
+  int threads = config.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads, config.runs);
+
+  if (threads == 1) {
+    return run_range(setup, factory, config, 0, config.runs);
+  }
+
+  // Chunk by thread; per-run seeding keeps the aggregate independent of
+  // the partition.  Merge in chunk order for deterministic rounding.
+  std::vector<CellStats> partials(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  const int chunk = (config.runs + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    const int begin = t * chunk;
+    const int end = std::min(config.runs, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, t, begin, end] {
+      partials[static_cast<std::size_t>(t)] =
+          run_range(setup, factory, config, begin, end);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  CellStats total;
+  for (const auto& p : partials) total.merge(p);
+  return total;
+}
+
+}  // namespace adacheck::sim

@@ -1,0 +1,55 @@
+// Monte-Carlo experiment harness.
+//
+// Repeats a scenario `runs` times with independent fault streams and
+// aggregates the two quantities the paper reports — P (probability of
+// timely completion) and E (mean energy over successful runs) — plus
+// extended statistics.  Runs are seeded per-index from the master seed,
+// so results are bit-identical regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "util/statistics.hpp"
+
+namespace adacheck::sim {
+
+/// Fresh policy instance per run (policies carry per-run mutable state).
+using PolicyFactory = std::function<std::unique_ptr<ICheckpointPolicy>()>;
+
+struct MonteCarloConfig {
+  int runs = 10'000;          ///< paper: "repeated 10,000 times"
+  std::uint64_t seed = 0x5EED5EED;
+  int threads = 0;            ///< 0 = hardware concurrency
+  bool validate = false;      ///< run invariant validators on every run
+};
+
+/// Aggregated cell statistics.
+struct CellStats {
+  util::BinomialStats completion;        ///< P
+  util::RunningStats energy_success;     ///< E (paper's definition)
+  util::RunningStats energy_all;         ///< energy over every run
+  util::RunningStats finish_time_success;
+  util::RunningStats faults;             ///< physical faults per run
+  util::RunningStats rollbacks;
+  util::RunningStats corrections;        ///< TMR vote repairs per run
+  util::RunningStats high_speed_cycles;  ///< cycles above the base speed
+  std::size_t aborted_runs = 0;
+  std::size_t validation_failures = 0;
+
+  double probability() const noexcept { return completion.proportion(); }
+  /// Paper's E: NaN when no run succeeded (the tables print "NaN").
+  double energy() const noexcept { return energy_success.mean(); }
+
+  void merge(const CellStats& other) noexcept;
+};
+
+/// Runs one experiment cell.  Throws only on configuration errors;
+/// validation failures are counted, not thrown (the property tests
+/// assert the count is zero).
+CellStats run_cell(const SimSetup& setup, const PolicyFactory& factory,
+                   const MonteCarloConfig& config = {});
+
+}  // namespace adacheck::sim

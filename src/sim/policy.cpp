@@ -1,0 +1,25 @@
+#include "sim/policy.hpp"
+
+#include "sim/run_result.hpp"
+
+namespace adacheck::sim {
+
+const char* to_string(InnerKind kind) noexcept {
+  switch (kind) {
+    case InnerKind::kNone: return "none";
+    case InnerKind::kScp: return "scp";
+    case InnerKind::kCcp: return "ccp";
+  }
+  return "?";
+}
+
+const char* to_string(RunOutcome outcome) noexcept {
+  switch (outcome) {
+    case RunOutcome::kCompleted: return "completed";
+    case RunOutcome::kDeadlineMiss: return "deadline-miss";
+    case RunOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace adacheck::sim

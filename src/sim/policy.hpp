@@ -1,0 +1,86 @@
+// Policy interface between the DMR execution engine and the
+// checkpointing schemes.
+//
+// The engine owns the mechanics (fault sampling, detection points,
+// rollback targets, time/energy accounting); a policy owns the
+// decisions the paper's pseudocode makes: the processor speed, the
+// outer CSCP interval length Itv, the inner checkpoint kind and
+// sub-interval length itv, and the early-abort call.  Policies are
+// consulted at the three points where the paper's procedures act:
+// before the first interval (line 1-4), after every fault detection
+// (the else branch), and after every committed CSCP (where the
+// pseudocode only updates Rt/Rd, so most policies keep their plan).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "model/checkpoint.hpp"
+#include "model/speed.hpp"
+#include "model/task.hpp"
+
+namespace adacheck::sim {
+
+/// Inner-checkpoint flavor between consecutive CSCPs.
+enum class InnerKind {
+  kNone,  ///< plain CSCP scheme (baselines, A_D)
+  kScp,   ///< additional store-checkpoints (paper §2.1)
+  kCcp,   ///< additional compare-checkpoints (paper §2.2)
+};
+
+const char* to_string(InnerKind kind) noexcept;
+
+/// One checkpointing plan, valid until the next decision point.
+/// Lengths are wall-clock time units at `speed`.
+struct Decision {
+  model::SpeedLevel speed{};
+  double cscp_interval = 0.0;  ///< Itv: distance between CSCPs.
+  double sub_interval = 0.0;   ///< itv: distance between inner checkpoints
+                               ///< (== cscp_interval when inner == kNone).
+  InnerKind inner = InnerKind::kNone;
+  bool abort = false;  ///< break with task failure (Fig. 6 line 6).
+};
+
+/// Execution snapshot a policy sees at a decision point.  All times are
+/// absolute wall-clock; work is in cycles (speed-independent).
+struct ExecContext {
+  const model::TaskSpec* task = nullptr;
+  const model::CheckpointCosts* costs = nullptr;  ///< cycle units
+  const model::DvsProcessor* processor = nullptr;
+  double lambda = 0.0;           ///< system-level fault rate (per time).
+  double remaining_cycles = 0.0; ///< R_c: committed work still to do.
+  double now = 0.0;              ///< elapsed wall-clock time.
+  int remaining_faults = 0;      ///< R_f: fault budget left.
+  int faults_detected = 0;       ///< detections + corrections so far.
+  int redundancy = 2;            ///< replicas: 2 (DMR) or 3 (TMR).
+
+  /// R_d: time left before the deadline.
+  double remaining_deadline() const noexcept {
+    return task->deadline - now;
+  }
+};
+
+class ICheckpointPolicy {
+ public:
+  virtual ~ICheckpointPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before execution begins.
+  virtual Decision initial(const ExecContext& ctx) = 0;
+
+  /// Called after every fault detection + rollback (context reflects
+  /// the rolled-back state).  Adaptive schemes recompute speed and
+  /// intervals here; fixed schemes return their standing plan.
+  virtual Decision on_fault(const ExecContext& ctx) = 0;
+
+  /// Called after every committed CSCP.  Return a new plan to replace
+  /// the current one, or nullopt to keep it (the default — the paper's
+  /// procedures only recompute on faults).
+  virtual std::optional<Decision> on_commit(const ExecContext& ctx) {
+    (void)ctx;
+    return std::nullopt;
+  }
+};
+
+}  // namespace adacheck::sim

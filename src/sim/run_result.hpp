@@ -1,0 +1,37 @@
+// Outcome of one simulated task execution.
+#pragma once
+
+#include "model/energy.hpp"
+#include "sim/trace.hpp"
+
+namespace adacheck::sim {
+
+enum class RunOutcome {
+  kCompleted,     ///< all work committed at or before the deadline
+  kDeadlineMiss,  ///< wall clock reached the deadline with work pending
+  kAborted,       ///< the policy broke with task failure early
+};
+
+const char* to_string(RunOutcome outcome) noexcept;
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kDeadlineMiss;
+  double finish_time = 0.0;      ///< completion time, or time at failure
+  double energy = 0.0;           ///< sum V^2 * cycles, one processor
+  double cycles_executed = 0.0;  ///< incl. re-execution and overhead
+  double cycles_committed = 0.0; ///< useful work banked (== N on success)
+  int faults = 0;                ///< physical faults that struck
+  int detections = 0;            ///< mismatches that forced a rollback
+  int corrections = 0;           ///< TMR majority-vote repairs (no rollback)
+  int rollbacks = 0;             ///< recovery actions taken
+  int checkpoints_scp = 0;
+  int checkpoints_ccp = 0;
+  int checkpoints_cscp = 0;
+  int speed_switches = 0;
+  model::EnergyMeter meter;      ///< per-frequency breakdown
+  Trace trace;                   ///< populated when tracing is enabled
+
+  bool completed() const noexcept { return outcome == RunOutcome::kCompleted; }
+};
+
+}  // namespace adacheck::sim

@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace adacheck::sim {
+
+const char* to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kSegment: return "segment";
+    case TraceEventKind::kCheckpoint: return "checkpoint";
+    case TraceEventKind::kFault: return "fault";
+    case TraceEventKind::kDetection: return "detection";
+    case TraceEventKind::kCorrection: return "correction";
+    case TraceEventKind::kRollback: return "rollback";
+    case TraceEventKind::kCommit: return "commit";
+    case TraceEventKind::kSpeedChange: return "speed-change";
+    case TraceEventKind::kAbort: return "abort";
+    case TraceEventKind::kDeadlineMiss: return "deadline-miss";
+    case TraceEventKind::kComplete: return "complete";
+  }
+  return "?";
+}
+
+void Trace::push(TraceEventKind kind, double time, double value, int aux) {
+  events_.push_back({kind, time, value, aux});
+}
+
+std::size_t Trace::count(TraceEventKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream out;
+  char buf[160];
+  for (const auto& e : events_) {
+    std::snprintf(buf, sizeof buf, "t=%10.3f  %-13s value=%.3f aux=%d\n",
+                  e.time, sim::to_string(e.kind), e.value, e.aux);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace adacheck::sim

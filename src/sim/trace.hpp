@@ -1,0 +1,55 @@
+// Execution event traces.
+//
+// When enabled, the engine records every semantically meaningful event
+// of a run: computation segments, checkpoint operations, physical
+// faults, detections, rollbacks, commits, speed changes, and the final
+// outcome.  Traces feed the invariant validators, the debugging
+// examples, and the replay tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adacheck::sim {
+
+enum class TraceEventKind {
+  kSegment,      ///< computation: value = cycles executed, aux = sub index
+  kCheckpoint,   ///< value = overhead cycles, aux = op (0 SCP store,
+                 ///< 1 CCP compare, 2 CSCP compare-and-store)
+  kFault,        ///< physical fault strikes, aux = processor id
+  kDetection,    ///< comparison observed disagreement
+  kCorrection,   ///< TMR majority vote repaired a replica, aux = mask
+  kRollback,     ///< value = cycles discarded, aux = faults detected so far
+  kCommit,       ///< CSCP committed, value = total committed cycles
+  kSpeedChange,  ///< value = new frequency
+  kAbort,        ///< policy broke with task failure
+  kDeadlineMiss, ///< wall clock passed the deadline
+  kComplete,     ///< all work committed
+};
+
+const char* to_string(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  TraceEventKind kind;
+  double time = 0.0;   ///< wall-clock timestamp of the event('s end)
+  double value = 0.0;  ///< kind-specific payload (see enum docs)
+  int aux = 0;         ///< kind-specific payload
+};
+
+class Trace {
+ public:
+  void push(TraceEventKind kind, double time, double value = 0.0, int aux = 0);
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  std::size_t count(TraceEventKind kind) const noexcept;
+  /// Renders a human-readable listing (one event per line).
+  std::string to_string() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace adacheck::sim

@@ -1,0 +1,150 @@
+#include "sim/validators.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace adacheck::sim {
+
+namespace {
+void fail(std::vector<Violation>& out, const std::string& message) {
+  out.push_back({message});
+}
+
+template <typename... Args>
+std::string msg(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace
+
+std::vector<Violation> validate_result(const SimSetup& setup,
+                                       const RunResult& result) {
+  std::vector<Violation> out;
+  const double n = setup.task.cycles;
+  const double eps = 1e-6 * std::max(1.0, n);
+
+  if (result.energy < 0.0) fail(out, "negative energy");
+  if (std::abs(result.energy - result.meter.total()) > 1e-6 * (1.0 + result.energy)) {
+    fail(out, msg("energy ", result.energy, " != meter total ",
+                  result.meter.total()));
+  }
+  if (result.cycles_executed + eps < result.cycles_committed) {
+    fail(out, msg("executed ", result.cycles_executed, " < committed ",
+                  result.cycles_committed));
+  }
+  if (result.cycles_committed < -eps) fail(out, "negative committed cycles");
+  if (result.completed()) {
+    if (std::abs(result.cycles_committed - n) > eps) {
+      fail(out, msg("completed but committed ", result.cycles_committed,
+                    " != N ", n));
+    }
+    if (result.finish_time > setup.task.deadline + 1e-9) {
+      fail(out, msg("completed after deadline: ", result.finish_time));
+    }
+  }
+  if (result.detections != result.rollbacks) {
+    fail(out, msg("detections ", result.detections, " != rollbacks ",
+                  result.rollbacks));
+  }
+  if (result.faults < result.detections + result.corrections) {
+    fail(out, msg("faults ", result.faults, " < detections ",
+                  result.detections, " + corrections ",
+                  result.corrections));
+  }
+  if (result.corrections < 0) fail(out, "negative corrections");
+  if (result.cycles_executed > 0.0 && result.finish_time <= 0.0) {
+    fail(out, "work executed but finish_time <= 0");
+  }
+  return out;
+}
+
+std::vector<Violation> validate_trace(const SimSetup& setup,
+                                      const RunResult& result) {
+  std::vector<Violation> out;
+  const auto& events = result.trace.events();
+  if (events.empty()) {
+    fail(out, "trace requested but empty");
+    return out;
+  }
+
+  const double n = setup.task.cycles;
+  const double eps = 1e-6 * std::max(1.0, n);
+
+  double prev_time = 0.0;
+  double prev_commit = 0.0;
+  double segment_cycles = 0.0;
+  double checkpoint_cycles = 0.0;
+  bool pending_rollback = false;
+  for (const auto& e : events) {
+    if (e.time + 1e-9 < prev_time) {
+      fail(out, msg("time went backwards at ", to_string(e.kind), ": ",
+                    e.time, " < ", prev_time));
+    }
+    prev_time = std::max(prev_time, e.time);
+
+    switch (e.kind) {
+      case TraceEventKind::kSegment:
+        if (pending_rollback) {
+          fail(out, "segment executed between detection and rollback");
+        }
+        if (e.value <= 0.0) fail(out, "non-positive segment cycles");
+        segment_cycles += e.value;
+        break;
+      case TraceEventKind::kCheckpoint:
+        if (e.value < 0.0) fail(out, "negative checkpoint cycles");
+        checkpoint_cycles += e.value;
+        break;
+      case TraceEventKind::kDetection:
+        pending_rollback = true;
+        break;
+      case TraceEventKind::kRollback:
+        if (!pending_rollback) fail(out, "rollback without detection");
+        pending_rollback = false;
+        if (e.value < -eps || e.value > n + eps) {
+          fail(out, msg("rollback discards implausible cycles: ", e.value));
+        }
+        break;
+      case TraceEventKind::kCommit:
+        if (e.value + eps < prev_commit) {
+          fail(out, msg("commit went backwards: ", e.value, " < ",
+                        prev_commit));
+        }
+        prev_commit = std::max(prev_commit, e.value);
+        if (e.value > n + eps) {
+          fail(out, msg("committed more work than the task has: ", e.value));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Rollback restores and TMR vote repairs both charge t_r cycles.
+  const double rollback_cycles =
+      static_cast<double>(result.rollbacks + result.corrections) *
+      setup.costs.rollback;
+  const double accounted =
+      segment_cycles + checkpoint_cycles + rollback_cycles;
+  if (std::abs(accounted - result.cycles_executed) >
+      1e-6 * (1.0 + result.cycles_executed)) {
+    fail(out, msg("trace accounts for ", accounted, " cycles but meter saw ",
+                  result.cycles_executed));
+  }
+  if (result.completed() && std::abs(prev_commit - n) > eps) {
+    fail(out, msg("completed but last commit is ", prev_commit));
+  }
+  return out;
+}
+
+std::vector<Violation> validate_all(const SimSetup& setup,
+                                    const RunResult& result) {
+  auto out = validate_result(setup, result);
+  if (!result.trace.empty()) {
+    auto t = validate_trace(setup, result);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  return out;
+}
+
+}  // namespace adacheck::sim

@@ -1,0 +1,44 @@
+// Invariant validators over run results and traces.
+//
+// Property-based tests and the failure-injection suites run these over
+// thousands of randomized executions; any violated invariant indicates
+// an engine bug rather than a modeling choice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/run_result.hpp"
+
+namespace adacheck::sim {
+
+/// One violated invariant, human readable.
+struct Violation {
+  std::string message;
+};
+
+/// Checks result-level invariants (no trace required):
+///  - energy equals the meter total and is non-negative
+///  - executed cycles >= committed cycles >= 0
+///  - on completion, committed work equals the task's cycles
+///  - detections == rollbacks; faults >= detections + corrections
+///  - finish_time <= deadline on completion; > 0 whenever work ran
+std::vector<Violation> validate_result(const SimSetup& setup,
+                                       const RunResult& result);
+
+/// Checks trace-level invariants (requires record_trace):
+///  - event timestamps are non-decreasing
+///  - committed cycles (kCommit values) are non-decreasing and end at N
+///    on completion
+///  - every detection is followed by a rollback before the next segment
+///  - segment cycles sum to the meter's total computation cycles
+///  - rollback never discards more than one outer interval of work
+std::vector<Violation> validate_trace(const SimSetup& setup,
+                                      const RunResult& result);
+
+/// Convenience: both validators; empty result means all invariants hold.
+std::vector<Violation> validate_all(const SimSetup& setup,
+                                    const RunResult& result);
+
+}  // namespace adacheck::sim

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser shared by bench binaries and examples.
+//
+// Supports --name=value and --name value forms plus boolean switches
+// (--fast).  Unknown flags are an error so typos in experiment sweeps
+// fail loudly instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adacheck::util {
+
+class CliArgs {
+ public:
+  /// Parses argv.  Throws std::invalid_argument on malformed input or,
+  /// when `allowed` is non-empty, on flags outside the allowed set.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> allowed = {});
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adacheck::util

@@ -1,0 +1,80 @@
+#include "util/optimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace adacheck::util {
+
+ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
+                                      double lo, double hi, double tol) {
+  if (!(hi >= lo)) throw std::invalid_argument("golden_section: hi < lo");
+  constexpr double invphi = 0.6180339887498949;   // 1/phi
+  constexpr double invphi2 = 0.3819660112501051;  // 1/phi^2
+  double a = lo, b = hi;
+  double c = a + invphi2 * (b - a);
+  double d = a + invphi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = a + invphi2 * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + invphi * (b - a);
+      fd = f(d);
+    }
+  }
+  const double xm = 0.5 * (a + b);
+  return {xm, f(xm)};
+}
+
+IntegerMinimum integer_argmin(const std::function<double(std::int64_t)>& f,
+                              std::int64_t lo, std::int64_t hi,
+                              int early_stop_rises) {
+  if (lo > hi) throw std::invalid_argument("integer_argmin: lo > hi");
+  IntegerMinimum best{lo, f(lo)};
+  double prev = best.fx;
+  int rises = 0;
+  for (std::int64_t x = lo + 1; x <= hi; ++x) {
+    const double fx = f(x);
+    if (fx < best.fx) {
+      best = {x, fx};
+    }
+    if (early_stop_rises > 0) {
+      rises = fx > prev ? rises + 1 : 0;
+      if (rises >= early_stop_rises) break;
+    }
+    prev = fx;
+  }
+  return best;
+}
+
+double bisect_root(const std::function<double(double)>& f, double lo,
+                   double hi, double tol) {
+  double flo = f(lo), fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (std::signbit(flo) == std::signbit(fhi)) {
+    throw std::invalid_argument("bisect_root: no sign change on bracket");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace adacheck::util

@@ -1,0 +1,46 @@
+// Scalar minimization and root finding used by the analytic layer.
+//
+// The paper's Fig. 2 procedure first minimizes the renewal cost over a
+// continuous sub-interval length T1 (we use golden-section search on a
+// unimodal bracket) and then rounds the implied count m to the better
+// of floor/ceil.  num_SCP/num_CCP also cross-check with a direct integer
+// scan, which these helpers support.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace adacheck::util {
+
+struct ScalarMinimum {
+  double x = 0.0;  ///< argmin
+  double fx = 0.0; ///< f(argmin)
+};
+
+/// Golden-section search for the minimum of a unimodal f on [lo, hi].
+/// Runs until the bracket is narrower than tol (absolute).  If f is not
+/// unimodal the result is a local minimum inside the bracket.
+ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
+                                      double lo, double hi,
+                                      double tol = 1e-7);
+
+struct IntegerMinimum {
+  std::int64_t x = 1;
+  double fx = 0.0;
+};
+
+/// Scans f over integers [lo, hi] and returns the argmin.  If
+/// `early_stop_rises` > 0 the scan stops after the value has risen that
+/// many consecutive times (valid shortcut for convex/unimodal costs such
+/// as the renewal equations, where the tail is monotone increasing).
+IntegerMinimum integer_argmin(const std::function<double(std::int64_t)>& f,
+                              std::int64_t lo, std::int64_t hi,
+                              int early_stop_rises = 0);
+
+/// Bisection root finder for continuous f with f(lo), f(hi) of opposite
+/// sign.  Returns the root to within tol.  Throws std::invalid_argument
+/// if the bracket does not straddle a sign change.
+double bisect_root(const std::function<double(double)>& f, double lo,
+                   double hi, double tol = 1e-10);
+
+}  // namespace adacheck::util

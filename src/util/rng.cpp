@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace adacheck::util {
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Xoshiro256::exponential(double rate) noexcept {
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  // -log(1-U) with U in [0,1) avoids log(0).
+  return -std::log1p(-uniform01()) / rate;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) noexcept {
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) noexcept {
+  SplitMix64 sm(master ^ (0xA0761D6478BD642FULL + stream * 0xE7037ED1A0B428DBULL));
+  sm.next();
+  return sm.next();
+}
+
+std::vector<double> poisson_arrivals(Xoshiro256& rng, double rate,
+                                     double horizon) {
+  std::vector<double> times;
+  if (rate <= 0.0 || horizon <= 0.0) return times;
+  double t = rng.exponential(rate);
+  while (t < horizon) {
+    times.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return times;
+}
+
+}  // namespace adacheck::util

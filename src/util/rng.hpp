@@ -1,0 +1,76 @@
+// Deterministic, splittable pseudo-random number generation for the
+// simulation substrate.
+//
+// Monte-Carlo experiments need (a) reproducibility given a master seed,
+// (b) statistically independent streams per run so runs can execute on
+// any thread in any order, and (c) fast exponential sampling for Poisson
+// fault processes.  We implement SplitMix64 (seed expansion / stream
+// derivation) and xoshiro256** (bulk generation), both public-domain
+// algorithms by Blackman & Vigna, plus the distribution helpers used
+// throughout the library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace adacheck::util {
+
+/// SplitMix64: a tiny 64-bit PRNG mainly used to expand seeds and derive
+/// independent sub-stream seeds.  Passes BigCrush; period 2^64.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 256-bit-state PRNG.  Period 2^256-1.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by running SplitMix64 on `seed`, per the
+  /// reference implementation's recommendation.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponentially distributed variate with the given rate (mean 1/rate).
+  /// rate <= 0 yields +infinity (the event never happens).
+  double exponential(double rate) noexcept;
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Derives the seed for sub-stream `stream` of a master seed.  Distinct
+/// streams are statistically independent; the mapping is stable across
+/// platforms, so experiment cells are reproducible regardless of the
+/// thread that executes them.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) noexcept;
+
+/// Samples the arrival times of a homogeneous Poisson process with the
+/// given rate on [0, horizon), sorted ascending.  rate <= 0 or
+/// horizon <= 0 gives an empty vector.
+std::vector<double> poisson_arrivals(Xoshiro256& rng, double rate,
+                                     double horizon);
+
+}  // namespace adacheck::util

@@ -1,0 +1,144 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adacheck::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : mean_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci95_halfwidth() const noexcept { return 1.96 * sem(); }
+
+double RunningStats::min() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double RunningStats::max() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+void BinomialStats::add(bool success) noexcept {
+  ++trials_;
+  if (success) ++successes_;
+}
+
+void BinomialStats::merge(const BinomialStats& other) noexcept {
+  trials_ += other.trials_;
+  successes_ += other.successes_;
+}
+
+double BinomialStats::proportion() const noexcept {
+  if (trials_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+namespace {
+// Wilson score bound; sign = -1 for lower, +1 for upper.
+double wilson_bound(std::size_t successes, std::size_t trials, int sign) {
+  if (trials == 0) return std::numeric_limits<double>::quiet_NaN();
+  constexpr double z = 1.96;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return std::clamp((center + sign * margin) / denom, 0.0, 1.0);
+}
+}  // namespace
+
+double BinomialStats::wilson_lo() const noexcept {
+  return wilson_bound(successes_, trials_, -1);
+}
+
+double BinomialStats::wilson_hi() const noexcept {
+  return wilson_bound(successes_, trials_, +1);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram requires hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace adacheck::util

@@ -1,0 +1,87 @@
+// Streaming statistics for Monte-Carlo aggregation.
+//
+// Experiment cells aggregate 10,000+ run results; we need numerically
+// stable single-pass mean/variance (Welford), binomial confidence
+// intervals for completion probabilities, and mergeable accumulators so
+// per-thread partial results can be combined deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adacheck::util {
+
+/// Welford single-pass accumulator for mean / variance / extrema.
+/// Mergeable (parallel-friendly) via Chan's algorithm.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the observed samples; NaN when empty (mirrors the paper's
+  /// "NaN" energy entries for cells with zero successful runs).
+  double mean() const noexcept;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double sem() const noexcept;
+  /// Normal-approximation 95% half-width of the mean's CI.
+  double ci95_halfwidth() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Success/failure counter with Wilson-score interval for proportions.
+class BinomialStats {
+ public:
+  void add(bool success) noexcept;
+  void merge(const BinomialStats& other) noexcept;
+
+  std::size_t trials() const noexcept { return trials_; }
+  std::size_t successes() const noexcept { return successes_; }
+  /// Empirical proportion; NaN when no trials recorded.
+  double proportion() const noexcept;
+  /// Wilson 95% interval bounds — well-behaved near p = 0 and p = 1.
+  double wilson_lo() const noexcept;
+  double wilson_hi() const noexcept;
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to
+/// the edge bins.  Used by trace analyses and the examples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Smallest x such that at least `q` fraction of samples are <= x
+  /// (linear interpolation inside the bin).  q in [0, 1].
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace adacheck::util

@@ -1,0 +1,55 @@
+// Plain-text and CSV table rendering for the benchmark harness.
+//
+// Every bench binary prints the paper's table rows next to our measured
+// values; TextTable handles column alignment, CsvWriter produces
+// machine-readable output for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adacheck::util {
+
+/// Column-aligned monospace table.  Cells are strings; numeric
+/// formatting is the caller's job (see fmt_* helpers below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Appends a horizontal rule (rendered as dashes).
+  void add_rule();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+/// Minimal CSV emitter (RFC-4180 quoting for commas/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Fixed-precision float: fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double v, int precision);
+/// Probability with 4 decimals, matching the paper's tables ("0.9991");
+/// NaN renders as "NaN".
+std::string fmt_prob(double v);
+/// Energy as a rounded integer, matching the paper ("57564"); NaN
+/// renders as "NaN".
+std::string fmt_energy(double v);
+/// Compact scientific notation, e.g. "1.4e-03".
+std::string fmt_sci(double v, int precision = 2);
+
+}  // namespace adacheck::util

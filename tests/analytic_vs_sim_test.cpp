@@ -1,0 +1,115 @@
+// Cross-validation between the analytic layer and the simulator: the
+// renewal equations R1/R2 predict the expected time of one CSCP
+// interval; the engine, run many times over a single-interval task,
+// must average to the same value.  This closes the loop between the
+// paper's §2 formulas and our execution semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/num_checkpoints.hpp"
+#include "analytic/renewal_ccp.hpp"
+#include "analytic/renewal_scp.hpp"
+#include "sim/engine.hpp"
+#include "sim/monte_carlo.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+/// Mean completion time of a task consisting of exactly one outer
+/// interval of length T with m sub-intervals of the given kind.
+double simulated_interval_time(double interval, int m, double lambda,
+                               const model::CheckpointCosts& costs,
+                               InnerKind kind, int runs) {
+  SimSetup setup{model::TaskSpec{interval, 1e9, 0.0, 1'000'000, "one"},
+                 costs,
+                 model::DvsProcessor({model::SpeedLevel{1.0, 2.0}}),
+                 model::FaultModel{lambda, false}};
+  const Decision plan = testutil::inner_plan(
+      setup, interval, interval / static_cast<double>(m), kind);
+  MonteCarloConfig config;
+  config.runs = runs;
+  config.seed = 0xFACE;
+  const auto stats = run_cell(
+      setup,
+      [plan] { return std::make_unique<testutil::ScriptedPolicy>(plan); },
+      config);
+  EXPECT_DOUBLE_EQ(stats.probability(), 1.0);
+  return stats.finish_time_success.mean();
+}
+
+TEST(AnalyticVsSim, ScpRenewalMatchesEngine) {
+  const auto costs = model::CheckpointCosts::paper_scp_flavor();
+  for (const double lambda : {1e-3, 4e-3}) {
+    for (const int m : {1, 2, 4, 8}) {
+      analytic::ScpRenewalParams params;
+      params.interval = 400.0;
+      params.lambda = lambda;
+      params.costs = costs;
+      const double predicted = analytic::scp_expected_time(params, m);
+      const double simulated = simulated_interval_time(
+          400.0, m, lambda, costs, InnerKind::kScp, 40'000);
+      EXPECT_NEAR(simulated / predicted, 1.0, 0.02)
+          << "lambda=" << lambda << " m=" << m;
+    }
+  }
+}
+
+TEST(AnalyticVsSim, CcpRenewalMatchesEngine) {
+  const auto costs = model::CheckpointCosts::paper_ccp_flavor();
+  for (const double lambda : {1e-3, 4e-3}) {
+    for (const int m : {1, 2, 4, 8}) {
+      analytic::CcpRenewalParams params;
+      params.interval = 400.0;
+      params.lambda = lambda;
+      params.costs = costs;
+      // The engine's CSCP is atomic (store paid on mismatch), which the
+      // recursive form models exactly.
+      const double predicted =
+          analytic::ccp_expected_time_recursive(params, m);
+      const double simulated = simulated_interval_time(
+          400.0, m, lambda, costs, InnerKind::kCcp, 40'000);
+      EXPECT_NEAR(simulated / predicted, 1.0, 0.02)
+          << "lambda=" << lambda << " m=" << m;
+    }
+  }
+}
+
+TEST(AnalyticVsSim, PaperClosedFormCloseToEngineDespiteAtomicCscp) {
+  // The paper's own R2 closed form should still be within ~2% + the
+  // bounded t_s correction of what the engine measures.
+  analytic::CcpRenewalParams params;
+  params.interval = 300.0;
+  params.lambda = 2e-3;
+  params.costs = model::CheckpointCosts::paper_ccp_flavor();
+  const double closed = analytic::ccp_expected_time(params, 4);
+  const double simulated = simulated_interval_time(
+      300.0, 4, 2e-3, params.costs, InnerKind::kCcp, 40'000);
+  const double bound =
+      params.costs.store * std::expm1(params.lambda * params.interval);
+  EXPECT_NEAR(simulated, closed, 0.02 * closed + bound);
+}
+
+TEST(AnalyticVsSim, OptimalMFromFig2BeatsNeighborsInSimulation) {
+  // num_SCP's choice must be at least as good as m/2 and 2m when
+  // actually simulated (not just under the analytic model).
+  analytic::ScpRenewalParams params;
+  params.interval = 800.0;
+  params.lambda = 4e-3;
+  params.costs = model::CheckpointCosts::paper_scp_flavor();
+  const int m_opt = analytic::num_scp(params);
+  ASSERT_GT(m_opt, 1);
+  const double at_opt = simulated_interval_time(
+      800.0, m_opt, 4e-3, params.costs, InnerKind::kScp, 60'000);
+  const double at_half = simulated_interval_time(
+      800.0, std::max(1, m_opt / 2), 4e-3, params.costs, InnerKind::kScp,
+      60'000);
+  const double at_double = simulated_interval_time(
+      800.0, m_opt * 2, 4e-3, params.costs, InnerKind::kScp, 60'000);
+  EXPECT_LE(at_opt, at_half * 1.01);
+  EXPECT_LE(at_opt, at_double * 1.01);
+}
+
+}  // namespace
+}  // namespace adacheck::sim

@@ -1,0 +1,47 @@
+#include "model/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adacheck::model {
+namespace {
+
+TEST(CheckpointCosts, PaperFlavors) {
+  const auto scp = CheckpointCosts::paper_scp_flavor();
+  EXPECT_DOUBLE_EQ(scp.store, 2.0);
+  EXPECT_DOUBLE_EQ(scp.compare, 20.0);
+  EXPECT_DOUBLE_EQ(scp.rollback, 0.0);
+  EXPECT_DOUBLE_EQ(scp.cscp(), 22.0);  // c = t_s + t_cp
+
+  const auto ccp = CheckpointCosts::paper_ccp_flavor();
+  EXPECT_DOUBLE_EQ(ccp.store, 20.0);
+  EXPECT_DOUBLE_EQ(ccp.compare, 2.0);
+  EXPECT_DOUBLE_EQ(ccp.cscp(), 22.0);
+}
+
+TEST(CheckpointCosts, PerKindCost) {
+  const CheckpointCosts c{3.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(c.cost(CheckpointKind::kStore), 3.0);
+  EXPECT_DOUBLE_EQ(c.cost(CheckpointKind::kCompare), 5.0);
+  EXPECT_DOUBLE_EQ(c.cost(CheckpointKind::kCompareStore), 8.0);
+}
+
+TEST(CheckpointCosts, Validation) {
+  EXPECT_TRUE((CheckpointCosts{1.0, 0.0, 0.0}).valid());
+  EXPECT_FALSE((CheckpointCosts{0.0, 0.0, 0.0}).valid());  // c must be > 0
+  EXPECT_FALSE((CheckpointCosts{-1.0, 5.0, 0.0}).valid());
+  EXPECT_FALSE((CheckpointCosts{1.0, 1.0, -0.5}).valid());
+  EXPECT_THROW((CheckpointCosts{0.0, 0.0, 0.0}).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(CheckpointCosts::paper_scp_flavor().validate());
+}
+
+TEST(CheckpointKind, Names) {
+  EXPECT_EQ(std::string(to_string(CheckpointKind::kStore)), "SCP");
+  EXPECT_EQ(std::string(to_string(CheckpointKind::kCompare)), "CCP");
+  EXPECT_EQ(std::string(to_string(CheckpointKind::kCompareStore)), "CSCP");
+}
+
+}  // namespace
+}  // namespace adacheck::model

@@ -1,0 +1,66 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adacheck::util {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv,
+              std::vector<std::string> allowed = {}) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(),
+                 std::move(allowed));
+}
+
+TEST(CliArgs, EqualsForm) {
+  const auto args = parse({"--runs=500", "--seed=42"});
+  EXPECT_EQ(args.get_int("runs", 0), 500);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+}
+
+TEST(CliArgs, SpaceForm) {
+  const auto args = parse({"--runs", "500"});
+  EXPECT_EQ(args.get_int("runs", 0), 500);
+}
+
+TEST(CliArgs, BooleanSwitch) {
+  const auto args = parse({"--fast", "--verbose=false"});
+  EXPECT_TRUE(args.get_bool("fast", false));
+  EXPECT_FALSE(args.get_bool("verbose", true));
+  EXPECT_TRUE(args.get_bool("absent", true));
+}
+
+TEST(CliArgs, DoublesAndStrings) {
+  const auto args = parse({"--lambda=1.4e-3", "--csv=out.csv"});
+  EXPECT_DOUBLE_EQ(args.get_double("lambda", 0.0), 1.4e-3);
+  EXPECT_EQ(args.get_string("csv", ""), "out.csv");
+}
+
+TEST(CliArgs, PositionalArgsCollected) {
+  const auto args = parse({"input.txt", "--runs=3", "more"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(CliArgs, AllowedListRejectsUnknown) {
+  EXPECT_THROW(parse({"--oops=1"}, {"runs"}), std::invalid_argument);
+  EXPECT_NO_THROW(parse({"--runs=1"}, {"runs"}));
+}
+
+TEST(CliArgs, MalformedNumbersThrow) {
+  const auto args = parse({"--runs=abc", "--x=1.2.3"});
+  EXPECT_THROW(args.get_int("runs", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_bool("runs", false), std::invalid_argument);
+}
+
+TEST(CliArgs, HasAndGet) {
+  const auto args = parse({"--a=1"});
+  EXPECT_TRUE(args.has("a"));
+  EXPECT_FALSE(args.has("b"));
+  EXPECT_EQ(args.get("a").value(), "1");
+  EXPECT_FALSE(args.get("b").has_value());
+}
+
+}  // namespace
+}  // namespace adacheck::util

@@ -1,0 +1,91 @@
+#include "analytic/dvs_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adacheck::analytic {
+namespace {
+
+TEST(DvsTimeEstimate, MatchesPaperFormula) {
+  // t_est = R_c (1 + sqrt(lambda c/f)) / (f (1 - sqrt(lambda c/f))).
+  const double rc = 9'200.0, f = 1.0, c = 22.0, lambda = 1e-4;
+  const double u = std::sqrt(lambda * c / f);
+  EXPECT_NEAR(dvs_time_estimate(rc, f, c, lambda),
+              rc * (1.0 + u) / (f * (1.0 - u)), 1e-9);
+}
+
+TEST(DvsTimeEstimate, FaultFreeIsPureExecutionTime) {
+  EXPECT_DOUBLE_EQ(dvs_time_estimate(1'000.0, 2.0, 22.0, 0.0), 500.0);
+}
+
+TEST(DvsTimeEstimate, InfiniteWhenOverheadOutpacesProgress) {
+  // sqrt(lambda c / f) >= 1 -> estimate diverges.
+  EXPECT_TRUE(std::isinf(dvs_time_estimate(100.0, 1.0, 22.0, 1.0 / 22.0)));
+  EXPECT_TRUE(std::isinf(dvs_time_estimate(100.0, 1.0, 22.0, 10.0)));
+}
+
+TEST(DvsTimeEstimate, FasterSpeedHelpsTwice) {
+  // Higher f shortens both the base time and the per-checkpoint cost.
+  const double slow = dvs_time_estimate(1'000.0, 1.0, 22.0, 1e-3);
+  const double fast = dvs_time_estimate(1'000.0, 2.0, 22.0, 1e-3);
+  EXPECT_LT(fast, slow / 2.0 * 1.1);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(DvsTimeEstimate, ValidatesArguments) {
+  EXPECT_THROW(dvs_time_estimate(-1.0, 1.0, 22.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(dvs_time_estimate(10.0, 0.0, 22.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(dvs_time_estimate(10.0, 1.0, 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(dvs_time_estimate(10.0, 1.0, 22.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ChooseSpeed, PaperTable1Decision) {
+  // Table 1(a) entry point: U = 0.76, lambda = 1.4e-3 -> t_est at f1 is
+  // 10835 > 10000, so the scheme starts at f2 (Fig. 6 line 2).
+  const auto proc = model::DvsProcessor::two_speed(2.0);
+  const auto& lvl = choose_speed(proc, 7'600.0, 10'000.0, 22.0, 1.4e-3);
+  EXPECT_DOUBLE_EQ(lvl.frequency, 2.0);
+}
+
+TEST(ChooseSpeed, LowSpeedWhenComfortable) {
+  const auto proc = model::DvsProcessor::two_speed(2.0);
+  const auto& lvl = choose_speed(proc, 4'000.0, 10'000.0, 22.0, 1.4e-3);
+  EXPECT_DOUBLE_EQ(lvl.frequency, 1.0);
+}
+
+TEST(ChooseSpeed, FastestWhenNothingFits) {
+  // Even f2 cannot make it: the decision still returns the fastest
+  // level (the engine/policy then aborts).
+  const auto proc = model::DvsProcessor::two_speed(2.0);
+  const auto& lvl = choose_speed(proc, 30'000.0, 10'000.0, 22.0, 1.4e-3);
+  EXPECT_DOUBLE_EQ(lvl.frequency, 2.0);
+}
+
+TEST(ChooseSpeed, SwitchesBackDownAsWorkDrains) {
+  // The same scenario mid-run: after enough progress the low speed
+  // becomes feasible again (this drives the paper's energy savings).
+  const auto proc = model::DvsProcessor::two_speed(2.0);
+  const double lambda = 1.4e-3, c = 22.0;
+  const auto& early = choose_speed(proc, 7'600.0, 10'000.0, c, lambda);
+  EXPECT_DOUBLE_EQ(early.frequency, 2.0);
+  // After ~600 time units at f2: R_c = 7600 - 1200, R_d = 9400.
+  const auto& later = choose_speed(proc, 6'400.0, 9'400.0, c, lambda);
+  EXPECT_DOUBLE_EQ(later.frequency, 1.0);
+}
+
+TEST(ChooseSpeed, MultiLevelPicksSlowestFeasible) {
+  model::VoltageLaw law;
+  const model::DvsProcessor proc({{1.0, law.voltage_for(1.0)},
+                                  {1.5, law.voltage_for(1.5)},
+                                  {2.0, law.voltage_for(2.0)}});
+  const auto& lvl = choose_speed(proc, 12'000.0, 10'000.0, 22.0, 1e-4);
+  EXPECT_DOUBLE_EQ(lvl.frequency, 1.5);
+}
+
+}  // namespace
+}  // namespace adacheck::analytic

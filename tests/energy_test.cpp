@@ -1,0 +1,62 @@
+#include "model/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adacheck::model {
+namespace {
+
+TEST(EnergyMeter, AccumulatesVSquaredTimesCycles) {
+  EnergyMeter m;
+  const SpeedLevel low{1.0, 2.0};   // energy/cycle 4
+  const SpeedLevel high{2.0, 3.0};  // energy/cycle 9
+  m.charge(low, 100.0);
+  m.charge(high, 10.0);
+  EXPECT_DOUBLE_EQ(m.total(), 400.0 + 90.0);
+  EXPECT_DOUBLE_EQ(m.total_cycles(), 110.0);
+}
+
+TEST(EnergyMeter, BreakdownByFrequency) {
+  EnergyMeter m;
+  const SpeedLevel low{1.0, 2.0};
+  const SpeedLevel high{2.0, 3.0};
+  m.charge(low, 50.0);
+  m.charge(high, 25.0);
+  m.charge(low, 10.0);
+  EXPECT_DOUBLE_EQ(m.cycles_at(1.0), 60.0);
+  EXPECT_DOUBLE_EQ(m.cycles_at(2.0), 25.0);
+  EXPECT_DOUBLE_EQ(m.cycles_at(4.0), 0.0);
+  EXPECT_EQ(m.breakdown().size(), 2u);
+}
+
+TEST(EnergyMeter, ZeroChargeIsNoOp) {
+  EnergyMeter m;
+  m.charge({1.0, 1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(EnergyMeter, RejectsNegativeCycles) {
+  EnergyMeter m;
+  EXPECT_THROW(m.charge({1.0, 1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, ResetClearsEverything) {
+  EnergyMeter m;
+  m.charge({1.0, 2.0}, 10.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_cycles(), 0.0);
+  EXPECT_TRUE(m.breakdown().empty());
+}
+
+TEST(EnergyMeter, PaperCalibration) {
+  // With the default voltage law (kappa = 4), a fault-free N = 7600
+  // cycle run at f1 costs 30400 — the right magnitude for the paper's
+  // ~39000 including checkpoint overhead and re-execution.
+  VoltageLaw law;
+  EnergyMeter m;
+  m.charge({1.0, law.voltage_for(1.0)}, 7'600.0);
+  EXPECT_DOUBLE_EQ(m.total(), 30'400.0);
+}
+
+}  // namespace
+}  // namespace adacheck::model

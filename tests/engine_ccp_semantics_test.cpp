@@ -1,0 +1,130 @@
+// Exact-semantics tests of the CCP scheme (paper §2.2): detection at
+// the first comparison after the fault, rollback to the interval-start
+// CSCP, no partial commit.  Deterministic fault replay throughout.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using testutil::ScriptedPolicy;
+using testutil::inner_plan;
+using testutil::run_with_faults;
+
+// CCP-flavor costs: t_s = 20, t_cp = 2 (CSCP = 22), t_r = 0, f = 1.
+sim::SimSetup ccp_setup(double cycles, double deadline) {
+  auto setup = testutil::basic_setup(cycles, deadline);
+  setup.costs = model::CheckpointCosts::paper_ccp_flavor();
+  return setup;
+}
+
+TEST(EngineCcp, FaultFreeCostsInnerCompares) {
+  const auto setup = ccp_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  const auto result = run_with_faults(setup, policy, {});
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  // 100 work + 3 CCPs * 2 + CSCP 22.
+  EXPECT_NEAR(result.finish_time, 100.0 + 6.0 + 22.0, 1e-9);
+  EXPECT_EQ(result.checkpoints_ccp, 3);
+  EXPECT_EQ(result.checkpoints_cscp, 1);
+}
+
+TEST(EngineCcp, EarlyDetectionTruncatesAttempt) {
+  const auto setup = ccp_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  // Fault at exposure 30 (sub 2): detected at CCP 2 after executing
+  // 50 work + 2 compares = 54; subs 3-4 are NOT executed.
+  const auto result = run_with_faults(setup, policy, {30.0});
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(result.faults, 1);
+  EXPECT_EQ(result.detections, 1);
+  // Attempt 1 (failed): 54.  Attempt 2 (full interval): 128.
+  EXPECT_NEAR(result.finish_time, 54.0 + 128.0, 1e-9);
+  // Nothing was committed by the failed attempt.
+  EXPECT_NEAR(result.cycles_committed, 100.0, 1e-9);
+}
+
+TEST(EngineCcp, FaultInFirstSubDetectedAtFirstCompare) {
+  const auto setup = ccp_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  const auto result = run_with_faults(setup, policy, {10.0});
+  // Failed attempt: 25 + 2 = 27; retry full: 128.
+  EXPECT_NEAR(result.finish_time, 27.0 + 128.0, 1e-9);
+}
+
+TEST(EngineCcp, FaultInLastSubDetectedAtCscp) {
+  const auto setup = ccp_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  const auto result = run_with_faults(setup, policy, {90.0});  // sub 4
+  // Failed attempt runs everything: 100 + 3*2 + 22 = 128; retry 128.
+  EXPECT_NEAR(result.finish_time, 256.0, 1e-9);
+  EXPECT_EQ(result.detections, 1);
+}
+
+TEST(EngineCcp, TwoFaultsDistinctAttempts) {
+  const auto setup = ccp_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  // Fault 1 at 30 -> detected at CCP2 (attempt consumed 50 exposure).
+  // Attempt 2 spans exposure 50..150; fault at 60 is in its sub 1 ->
+  // detected at its CCP1 (cost 27).  Attempt 3 clean: 128.
+  const auto result = run_with_faults(setup, policy, {30.0, 60.0});
+  EXPECT_EQ(result.detections, 2);
+  EXPECT_NEAR(result.finish_time, 54.0 + 27.0 + 128.0, 1e-9);
+}
+
+TEST(EngineCcp, TwoFaultsSameSubOneDetection) {
+  const auto setup = ccp_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  const auto result = run_with_faults(setup, policy, {30.0, 40.0});
+  EXPECT_EQ(result.faults, 2);
+  EXPECT_EQ(result.detections, 1);
+  EXPECT_NEAR(result.finish_time, 54.0 + 128.0, 1e-9);
+}
+
+TEST(EngineCcp, PlainCscpSchemeEqualsCcpWithOneSub) {
+  // InnerKind::kNone must behave exactly like kCcp with sub == interval.
+  const auto setup = ccp_setup(300.0, 10'000.0);
+  ScriptedPolicy none(testutil::plain_plan(setup, 100.0));
+  ScriptedPolicy one_sub(inner_plan(setup, 100.0, 100.0, InnerKind::kCcp));
+  const auto a = run_with_faults(setup, none, {130.0});
+  const auto b = run_with_faults(setup, one_sub, {130.0});
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(EngineCcp, RollbackRestartsIntervalNotTask) {
+  // Three intervals; fault mid-second: only the second is retried.
+  const auto setup = ccp_setup(300.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  const auto result = run_with_faults(setup, policy, {130.0});
+  // Clean interval 128 + failed sub-attempt (detect at CCP2 of #2:
+  // 50 + 2*2 = 54) + retry 128 + clean 128.
+  EXPECT_NEAR(result.finish_time, 128.0 + 54.0 + 128.0 + 128.0, 1e-9);
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+}
+
+TEST(EngineCcp, RepeatedFaultsEventuallyMissDeadline) {
+  const auto setup = ccp_setup(100.0, 300.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  // A fault in every attempt's first sub: 27 per failed attempt; the
+  // deadline passes before any attempt completes.
+  std::vector<double> faults;
+  for (int i = 0; i < 40; ++i) faults.push_back(5.0 + 25.0 * i);
+  const auto result = run_with_faults(setup, policy, faults);
+  EXPECT_EQ(result.outcome, RunOutcome::kDeadlineMiss);
+  EXPECT_DOUBLE_EQ(result.cycles_committed, 0.0);
+}
+
+TEST(EngineCcp, RollbackCostChargedOnInnerDetection) {
+  auto setup = ccp_setup(100.0, 10'000.0);
+  setup.costs.rollback = 9.0;
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  const auto result = run_with_faults(setup, policy, {30.0});
+  EXPECT_NEAR(result.finish_time, 54.0 + 9.0 + 128.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace adacheck::sim

@@ -1,0 +1,117 @@
+// Ablation model: faults can also strike during checkpoint operations
+// (FaultModel::faults_during_overhead).  These tests pin the corruption
+// attribution rules of DESIGN.md §3: an SCP-store fault poisons its own
+// sub-interval (the stored snapshot is bad), a CCP-compare fault slips
+// past and poisons the next comparison window, and a CSCP-op fault
+// carries into the next interval.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using testutil::ScriptedPolicy;
+using testutil::inner_plan;
+using testutil::plain_plan;
+using testutil::run_with_faults;
+
+sim::SimSetup overhead_setup(double cycles, double deadline,
+                             model::CheckpointCosts costs) {
+  auto setup = testutil::basic_setup(cycles, deadline);
+  setup.costs = costs;
+  setup.fault_model.faults_during_overhead = true;
+  return setup;
+}
+
+TEST(EngineOverheadFaults, ExposureAdvancesThroughCheckpoints) {
+  // With the flag on, exposure includes overhead windows: a "fault" at
+  // exposure 101 (inside the final CSCP op of a 100-cycle task) fires.
+  const auto setup =
+      overhead_setup(100.0, 10'000.0, model::CheckpointCosts::paper_scp_flavor());
+  ScriptedPolicy policy(plain_plan(setup, 100.0));
+  const auto result = run_with_faults(setup, policy, {101.0});
+  EXPECT_EQ(result.faults, 1);
+}
+
+TEST(EngineOverheadFaults, ScpStoreFaultRollsBackBeforeItsSub) {
+  // Interval 100, subs of 25, t_s = 2: SCP 2 occupies exposure
+  // [52, 54).  A fault there corrupts the stored snapshot of sub 2...
+  // the engine must treat sub 2 as poisoned: commit only sub 1.
+  const auto setup =
+      overhead_setup(100.0, 10'000.0, model::CheckpointCosts::paper_scp_flavor());
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  // Exposure layout: sub1 [0,25) SCP1 [25,27) sub2 [27,52) SCP2 [52,54).
+  const auto result = run_with_faults(setup, policy, {53.0});
+  EXPECT_EQ(result.detections, 1);
+  // Wait: the fault is during SCP2, which stores sub 2's state ->
+  // first_fault_sub = 2 -> commit (2-1)*25 = 25 cycles.
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  EXPECT_NEAR(result.cycles_committed, 100.0, 1e-9);
+  // Attempt 1: 128; commit 25; attempt 2 re-runs 75: 101.
+  EXPECT_NEAR(result.finish_time, 229.0, 1e-9);
+}
+
+TEST(EngineOverheadFaults, CcpCompareFaultDetectedAtNextComparison) {
+  const auto setup =
+      overhead_setup(100.0, 10'000.0, model::CheckpointCosts::paper_ccp_flavor());
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kCcp));
+  // Exposure: sub1 [0,25) CCP1 [25,27) sub2 [27,52) CCP2 [52,54) ...
+  // Fault inside CCP1's compare: the comparison itself is already done,
+  // so detection happens at CCP2.
+  const auto result = run_with_faults(setup, policy, {26.0});
+  EXPECT_EQ(result.detections, 1);
+  // Attempt 1 fails at CCP2: 25+2+25+2 = 54; retry runs clean.
+  // Attempt 2: full interval = 100 + 3*2 + 22 = 128.
+  EXPECT_NEAR(result.finish_time, 54.0 + 128.0, 1e-9);
+}
+
+TEST(EngineOverheadFaults, CscpOpFaultCarriesToNextInterval) {
+  // Fault during the CSCP of interval 1 (exposure [100, 122) with the
+  // SCP flavor and no inner checkpoints): the commit stands, but the
+  // next interval starts corrupted and must retry once.
+  const auto setup =
+      overhead_setup(200.0, 10'000.0, model::CheckpointCosts::paper_scp_flavor());
+  ScriptedPolicy policy(plain_plan(setup, 100.0));
+  const auto result = run_with_faults(setup, policy, {110.0});
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(result.detections, 1);
+  // Interval 1 commits (122).  Interval 2 attempt 1 fails at its CSCP
+  // (122), attempt 2 clean (122).
+  EXPECT_NEAR(result.finish_time, 3.0 * 122.0, 1e-9);
+  EXPECT_NEAR(result.cycles_committed, 200.0, 1e-9);
+}
+
+TEST(EngineOverheadFaults, FlagOffIgnoresOverheadWindows) {
+  auto setup =
+      overhead_setup(200.0, 10'000.0, model::CheckpointCosts::paper_scp_flavor());
+  setup.fault_model.faults_during_overhead = false;
+  ScriptedPolicy policy(plain_plan(setup, 100.0));
+  // Exposure with the flag off spans computation only (0..200); 110 is
+  // now inside interval 2's computation -> one ordinary detection.
+  const auto result = run_with_faults(setup, policy, {110.0});
+  EXPECT_EQ(result.faults, 1);
+  EXPECT_EQ(result.detections, 1);
+  // 122 + failed 122 + retry 122.
+  EXPECT_NEAR(result.finish_time, 3.0 * 122.0, 1e-9);
+}
+
+TEST(EngineOverheadFaults, RollbackOpFaultPoisonsNextAttempt) {
+  auto costs = model::CheckpointCosts::paper_scp_flavor();
+  costs.rollback = 10.0;
+  const auto setup = overhead_setup(100.0, 10'000.0, costs);
+  ScriptedPolicy policy(plain_plan(setup, 100.0));
+  // Fault 1 at exposure 50 (computation) -> detection at CSCP
+  // (exposure [100,122)), then rollback op spans [122,132): fault 2 at
+  // 125 hits the rollback -> next attempt starts corrupted, fails at
+  // its CSCP, and the third attempt succeeds.
+  const auto result = run_with_faults(setup, policy, {50.0, 125.0});
+  EXPECT_EQ(result.detections, 2);
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  // Attempts: 122 (fail) + 10 + 122 (fail, corrupted) + 10 + 122 (ok).
+  EXPECT_NEAR(result.finish_time, 3.0 * 122.0 + 20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace adacheck::sim

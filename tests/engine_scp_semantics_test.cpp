@@ -1,0 +1,142 @@
+// Exact-semantics tests of the SCP scheme (paper §2.1): detection at
+// the interval-end CSCP, rollback to the last SCP preceding the first
+// fault, partial-interval commit.  All runs use deterministic replayed
+// fault traces so every timing assertion is exact.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using testutil::ScriptedPolicy;
+using testutil::basic_setup;
+using testutil::inner_plan;
+using testutil::run_with_faults;
+
+// Common scenario: N = 100, one outer interval of 100 with m = 4 subs
+// of 25; costs t_s = 2, t_cp = 20 (CSCP = 22), t_r = 0, f = 1.
+
+TEST(EngineScp, FaultFreeCostsInnerStores) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {});
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  // 100 work + 3 SCPs * 2 + CSCP 22.
+  EXPECT_NEAR(result.finish_time, 100.0 + 6.0 + 22.0, 1e-9);
+  EXPECT_EQ(result.checkpoints_scp, 3);
+  EXPECT_EQ(result.checkpoints_cscp, 1);
+}
+
+TEST(EngineScp, FaultInSecondSubCommitsFirst) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  // Fault at exposure 30: inside sub-interval 2 (25..50).
+  const auto result = run_with_faults(setup, policy, {30.0});
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(result.faults, 1);
+  EXPECT_EQ(result.detections, 1);
+  EXPECT_EQ(result.rollbacks, 1);
+  // Attempt 1: full interval 100 + 3*2 + 22 = 128, detection at CSCP,
+  // commit sub 1 (25 cycles).  Attempt 2 re-runs 75 as 3 subs of 25:
+  // 75 + 2*2 + 22 = 101.  Total 229.
+  EXPECT_NEAR(result.finish_time, 229.0, 1e-9);
+  EXPECT_NEAR(result.cycles_committed, 100.0, 1e-9);
+  EXPECT_NEAR(result.cycles_executed, 229.0, 1e-9);  // f = 1
+}
+
+TEST(EngineScp, FaultInFirstSubCommitsNothing) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {10.0});
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  // Attempt 1: 128, commit 0.  Attempt 2: full 100 again: 128.
+  EXPECT_NEAR(result.finish_time, 256.0, 1e-9);
+}
+
+TEST(EngineScp, FaultInLastSubCommitsAllButOne) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {90.0});  // sub 4
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  // Attempt 1: 128, commit 75.  Attempt 2: 25 left, one sub: 25 + 22.
+  EXPECT_NEAR(result.finish_time, 128.0 + 47.0, 1e-9);
+}
+
+TEST(EngineScp, TwoFaultsSameAttemptRollToFirst) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  // Faults in subs 2 and 4 of the same attempt: ONE detection at the
+  // CSCP, rollback before sub 2.
+  const auto result = run_with_faults(setup, policy, {30.0, 90.0});
+  EXPECT_EQ(result.faults, 2);
+  EXPECT_EQ(result.detections, 1);
+  EXPECT_NEAR(result.finish_time, 229.0, 1e-9);  // same as single fault
+}
+
+TEST(EngineScp, FaultDuringReExecutionDetectedAgain) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  // First fault in sub 2 (exposure 30).  Re-execution covers exposure
+  // 100..175 (75 of work); second fault at 120 lands in its first sub
+  // (the re-run of original sub 2).
+  const auto result = run_with_faults(setup, policy, {30.0, 120.0});
+  EXPECT_EQ(result.faults, 2);
+  EXPECT_EQ(result.detections, 2);
+  // Attempt 1: 128 (commit 25). Attempt 2: 101, fault in first sub ->
+  // commit 0. Attempt 3: re-run 75: 101. Total 330.
+  EXPECT_NEAR(result.finish_time, 330.0, 1e-9);
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+}
+
+TEST(EngineScp, SubIntervalNotDividingInterval) {
+  // Interval 100 with sub 40 -> subs of 40, 40, 20.
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 40.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {});
+  EXPECT_EQ(result.checkpoints_scp, 2);
+  EXPECT_NEAR(result.finish_time, 100.0 + 2.0 * 2.0 + 22.0, 1e-9);
+}
+
+TEST(EngineScp, FaultInShortTrailingSub) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 40.0, InnerKind::kScp));
+  // Fault at 85: in the trailing 20-length sub (3rd).
+  const auto result = run_with_faults(setup, policy, {85.0});
+  // Attempt 1: 126, commit 80.  Attempt 2: 20 left: 20 + 22 = 42.
+  EXPECT_NEAR(result.finish_time, 126.0 + 42.0, 1e-9);
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+}
+
+TEST(EngineScp, RollbackCostCharged) {
+  auto setup = basic_setup(100.0, 10'000.0);
+  setup.costs.rollback = 7.0;
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {30.0});
+  EXPECT_NEAR(result.finish_time, 229.0 + 7.0, 1e-9);
+}
+
+TEST(EngineScp, EnergyCountsEveryExecutedCycle) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {30.0});
+  // f = 1, V = 2: energy = 4 * executed cycles = 4 * 229.
+  EXPECT_NEAR(result.energy, 4.0 * 229.0, 1e-9);
+}
+
+TEST(EngineScp, MultiIntervalTaskWithInnerScps) {
+  // N = 300 as three intervals of 100, each with 4 subs; fault in the
+  // second interval only.
+  const auto setup = basic_setup(300.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {130.0});  // sub 2 of #2
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  // Intervals: 128 (clean) + [128 detect, commit 25] + 101 (re-run 75)
+  // + 128 (clean) = 485.
+  EXPECT_NEAR(result.finish_time, 485.0, 1e-9);
+  EXPECT_EQ(result.checkpoints_cscp, 3);
+}
+
+}  // namespace
+}  // namespace adacheck::sim

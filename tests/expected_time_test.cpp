@@ -1,0 +1,85 @@
+#include "analytic/expected_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adacheck::analytic {
+namespace {
+
+BaselineTaskParams params(double work, double interval, double lambda) {
+  BaselineTaskParams p;
+  p.work = work;
+  p.interval = interval;
+  p.lambda = lambda;
+  p.costs = model::CheckpointCosts::paper_scp_flavor();
+  return p;
+}
+
+TEST(FaultFreeTime, EvenDivision) {
+  // 1000 work in 10 intervals of 100, each ending with a CSCP (22).
+  EXPECT_DOUBLE_EQ(fault_free_time(params(1'000.0, 100.0, 0.0)),
+                   1'000.0 + 10.0 * 22.0);
+}
+
+TEST(FaultFreeTime, TrailingPartialInterval) {
+  // 950 work with interval 100: 9 full + 1 partial = 10 checkpoints.
+  EXPECT_DOUBLE_EQ(fault_free_time(params(950.0, 100.0, 0.0)),
+                   950.0 + 10.0 * 22.0);
+}
+
+TEST(FaultFreeTime, IntervalLargerThanWork) {
+  EXPECT_DOUBLE_EQ(fault_free_time(params(50.0, 100.0, 0.0)), 50.0 + 22.0);
+}
+
+TEST(ExpectedTime, ReducesToFaultFreeAtZeroLambda) {
+  const auto p = params(1'000.0, 100.0, 0.0);
+  EXPECT_NEAR(expected_time(p), fault_free_time(p), 1e-9);
+}
+
+TEST(ExpectedTime, GrowsWithLambda) {
+  const double t0 = expected_time(params(1'000.0, 100.0, 1e-4));
+  const double t1 = expected_time(params(1'000.0, 100.0, 1e-3));
+  const double t2 = expected_time(params(1'000.0, 100.0, 1e-2));
+  EXPECT_LT(t0, t1);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(ExpectedTime, PaperScaleSanity) {
+  // Poisson baseline of Table 1(a): N = 7600, I1 = sqrt(2*22/1.4e-3).
+  const double i1 = std::sqrt(2.0 * 22.0 / 1.4e-3);
+  const double t = expected_time(params(7'600.0, i1, 1.4e-3));
+  // Effective time must exceed N + overhead but stay in the right
+  // ballpark (the paper's baselines finish around 8600-11000).
+  EXPECT_GT(t, 8'500.0);
+  EXPECT_LT(t, 11'000.0);
+}
+
+TEST(ExpectedRollbacks, ZeroAtZeroLambda) {
+  EXPECT_DOUBLE_EQ(expected_rollbacks(params(1'000.0, 100.0, 0.0)), 0.0);
+}
+
+TEST(ExpectedRollbacks, MatchesGeometricRetries) {
+  // One interval of length L: expected retries = e^{lambda*L} - 1.
+  const auto p = params(100.0, 100.0, 5e-3);
+  EXPECT_NEAR(expected_rollbacks(p), std::expm1(5e-3 * 100.0), 1e-12);
+}
+
+TEST(ExpectedRollbacks, SumsOverIntervals) {
+  const auto one = params(100.0, 100.0, 2e-3);
+  const auto ten = params(1'000.0, 100.0, 2e-3);
+  EXPECT_NEAR(expected_rollbacks(ten), 10.0 * expected_rollbacks(one),
+              1e-9);
+}
+
+TEST(BaselineTaskParams, Validation) {
+  EXPECT_THROW(expected_time(params(0.0, 100.0, 1e-3)),
+               std::invalid_argument);
+  EXPECT_THROW(expected_time(params(100.0, 0.0, 1e-3)),
+               std::invalid_argument);
+  EXPECT_THROW(expected_time(params(100.0, 10.0, -1e-3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adacheck::analytic

@@ -1,0 +1,53 @@
+#include "policy/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy/adaptive.hpp"
+
+namespace adacheck::policy {
+namespace {
+
+TEST(Factory, BuildsEveryKnownPolicy) {
+  for (const auto& name : known_policies()) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(Factory, RejectsUnknownNames) {
+  EXPECT_THROW(make_policy("definitely-not-a-policy"),
+               std::invalid_argument);
+  EXPECT_THROW(make_policy(""), std::invalid_argument);
+  EXPECT_THROW(make_policy("a_d_s"), std::invalid_argument);  // case matters
+}
+
+TEST(Factory, BaselineLevelThreadsThrough) {
+  // The level only affects the fixed baselines and the non-DVS adaptive
+  // schemes; it must not break the DVS ones.
+  EXPECT_NO_THROW(make_policy("Poisson", 1));
+  EXPECT_NO_THROW(make_policy("k-f-t", 1));
+  EXPECT_NO_THROW(make_policy("A_D_S", 1));
+  const auto adaptive = make_policy("adapchp-SCP", 1);
+  const auto* impl =
+      dynamic_cast<const AdaptiveCheckpointPolicy*>(adaptive.get());
+  ASSERT_NE(impl, nullptr);
+  EXPECT_EQ(impl->config().fixed_level, 1u);
+  EXPECT_FALSE(impl->config().use_dvs);
+}
+
+TEST(Factory, FactoryClosureMakesFreshInstances) {
+  const auto factory = make_policy_factory("A_D_S");
+  const auto a = factory();
+  const auto b = factory();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "A_D_S");
+}
+
+TEST(Factory, KnownPolicyListIsComplete) {
+  const auto names = known_policies();
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace adacheck::policy

@@ -1,0 +1,103 @@
+#include "analytic/interval_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "analytic/intervals.hpp"
+
+namespace adacheck::analytic {
+namespace {
+
+// Fig. 4 branch selection, checked against hand-evaluated thresholds.
+
+TEST(AdaptiveInterval, PoissonBranchWhenFaultsExceedBudget) {
+  // exp_error = lambda * Rt = 10.6 > Rf = 5 and Rt below Th_lambda
+  // -> line 10: I1.
+  const auto d = adaptive_interval(10'000.0, 7'600.0, 22.0, 5, 1.4e-3);
+  EXPECT_EQ(d.rule, IntervalRule::kPoisson);
+  EXPECT_NEAR(d.interval, poisson_interval(22.0, 1.4e-3), 1e-9);
+}
+
+TEST(AdaptiveInterval, DeadlineBranchUnderPressure) {
+  // Rt above Th_lambda -> I3 regardless of the fault-budget side.
+  const double lambda = 1.4e-3;
+  const double th = poisson_threshold(9'000.0, lambda, 22.0);
+  const double rt = th * 1.05;
+  const auto d = adaptive_interval(9'000.0, rt, 22.0, 50, lambda);
+  EXPECT_EQ(d.rule, IntervalRule::kDeadlinePressure);
+  EXPECT_NEAR(d.interval, deadline_interval(rt, 9'000.0, 22.0), 1e-9);
+
+  // Same with the budget exhausted (exp_error > Rf).
+  const auto d2 = adaptive_interval(9'000.0, rt, 22.0, 0, lambda);
+  EXPECT_EQ(d2.rule, IntervalRule::kDeadlinePressure);
+}
+
+TEST(AdaptiveInterval, ExpectedFaultBranchBetweenThresholds) {
+  // Rt between Th and Th_lambda with exp_error <= Rf -> I2 with the
+  // expected fault count (Fig. 4 line 6).
+  const double lambda = 1e-4, c = 22.0, rd = 10'000.0;
+  const int rf = 5;
+  const double th_l = poisson_threshold(rd, lambda, c);
+  const double th_k = k_fault_threshold(rd, rf, c);
+  ASSERT_LT(th_k, th_l);
+  const double rt = 0.5 * (th_k + th_l);
+  ASSERT_LE(lambda * rt, rf);
+  const auto d = adaptive_interval(rd, rt, c, rf, lambda);
+  EXPECT_EQ(d.rule, IntervalRule::kExpectedFaults);
+  EXPECT_NEAR(d.interval, std::sqrt(rt * c / (lambda * rt)), 1e-6);
+}
+
+TEST(AdaptiveInterval, GuaranteeBranchWhenComfortable) {
+  // Small Rt -> line 7: I2 with the full budget Rf.
+  const double lambda = 1e-4, c = 22.0, rd = 10'000.0;
+  const int rf = 5;
+  const double rt = 3'000.0;
+  ASSERT_LT(rt, k_fault_threshold(rd, rf, c));
+  const auto d = adaptive_interval(rd, rt, c, rf, lambda);
+  EXPECT_EQ(d.rule, IntervalRule::kFaultGuarantee);
+  EXPECT_NEAR(d.interval, k_fault_interval(rt, rf, c), 1e-9);
+}
+
+TEST(AdaptiveInterval, NegativeBudgetTreatedAsZero) {
+  // After more than k detections R_f can go below zero; the procedure
+  // must still return a usable interval (Poisson side).
+  const auto d = adaptive_interval(5'000.0, 3'000.0, 22.0, -2, 1e-3);
+  EXPECT_GT(d.interval, 0.0);
+}
+
+TEST(AdaptiveInterval, ZeroLambdaFavorsGuarantee) {
+  // exp_error = 0 <= Rf always; comfortable Rt -> k-fault interval.
+  const auto d = adaptive_interval(10'000.0, 4'000.0, 22.0, 5, 0.0);
+  EXPECT_EQ(d.rule, IntervalRule::kFaultGuarantee);
+}
+
+TEST(AdaptiveInterval, IntervalShrinksAsBudgetTightens) {
+  // Fewer remaining faults to tolerate -> larger interval (fewer
+  // checkpoints needed for the guarantee).
+  const double rd = 10'000.0, rt = 3'000.0, c = 22.0;
+  const auto d5 = adaptive_interval(rd, rt, c, 5, 1e-4);
+  const auto d1 = adaptive_interval(rd, rt, c, 1, 1e-4);
+  EXPECT_GT(d1.interval, d5.interval);
+}
+
+TEST(AdaptiveInterval, RejectsBadArguments) {
+  EXPECT_THROW(adaptive_interval(100.0, 0.0, 22.0, 1, 1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(adaptive_interval(100.0, 50.0, 22.0, 1, -1e-3),
+               std::invalid_argument);
+}
+
+TEST(IntervalRule, Names) {
+  EXPECT_EQ(std::string(to_string(IntervalRule::kPoisson)), "I1-poisson");
+  EXPECT_EQ(std::string(to_string(IntervalRule::kDeadlinePressure)),
+            "I3-deadline");
+  EXPECT_EQ(std::string(to_string(IntervalRule::kExpectedFaults)),
+            "I2-expected");
+  EXPECT_EQ(std::string(to_string(IntervalRule::kFaultGuarantee)),
+            "I2-guarantee");
+}
+
+}  // namespace
+}  // namespace adacheck::analytic

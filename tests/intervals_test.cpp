@@ -1,0 +1,120 @@
+#include "analytic/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace adacheck::analytic {
+namespace {
+
+TEST(PoissonInterval, MatchesDudaFormula) {
+  // I1 = sqrt(2C/lambda); paper table-1 parameters: C = 22, lambda = 1.4e-3.
+  EXPECT_NEAR(poisson_interval(22.0, 1.4e-3), std::sqrt(2.0 * 22.0 / 1.4e-3),
+              1e-9);
+}
+
+TEST(PoissonInterval, ZeroLambdaNeverCheckpoints) {
+  EXPECT_TRUE(std::isinf(poisson_interval(22.0, 0.0)));
+}
+
+TEST(PoissonInterval, DecreasesWithLambda) {
+  EXPECT_GT(poisson_interval(22.0, 1e-4), poisson_interval(22.0, 1e-3));
+}
+
+TEST(KFaultInterval, MatchesFormula) {
+  // I2 = sqrt(N*C/k).
+  EXPECT_NEAR(k_fault_interval(7'600.0, 5, 22.0),
+              std::sqrt(7'600.0 * 22.0 / 5.0), 1e-9);
+}
+
+TEST(KFaultInterval, ZeroFaultsNeverCheckpoints) {
+  EXPECT_TRUE(std::isinf(k_fault_interval(100.0, 0, 22.0)));
+}
+
+TEST(KFaultInterval, MoreFaultsMoreCheckpoints) {
+  EXPECT_GT(k_fault_interval(1'000.0, 1, 22.0),
+            k_fault_interval(1'000.0, 10, 22.0));
+}
+
+TEST(DeadlineInterval, StretchesWithPressure) {
+  // More remaining work against the same deadline -> larger interval
+  // (checkpoint overhead must shrink).
+  const double i_loose = deadline_interval(5'000.0, 10'000.0, 22.0);
+  const double i_tight = deadline_interval(9'000.0, 10'000.0, 22.0);
+  EXPECT_GT(i_tight, i_loose);
+}
+
+TEST(DeadlineInterval, InfiniteWhenDeadlineImpossible) {
+  EXPECT_TRUE(std::isinf(deadline_interval(10'000.0, 9'000.0, 22.0)));
+}
+
+TEST(DeadlineInterval, OverheadFitsSlack) {
+  // With interval I3 the total checkpoint overhead (work/I3)*C is at
+  // most half the slack (the factor 2 reserves recovery room).
+  const double work = 8'000.0, deadline = 10'000.0, c = 22.0;
+  const double i3 = deadline_interval(work, deadline, c);
+  const double overhead = work / i3 * c;
+  EXPECT_NEAR(overhead, (deadline + c - work) / 2.0, 1e-9);
+}
+
+TEST(PoissonThreshold, ExactFeasibilityBoundary) {
+  // Th_lambda is the largest R_t whose Poisson-checkpointed effective
+  // time R_t*(1 + sqrt(lambda*C/2)) fits R_d + C.
+  const double rd = 10'000.0, lambda = 1.4e-3, c = 22.0;
+  const double th = poisson_threshold(rd, lambda, c);
+  const double effective = th * (1.0 + std::sqrt(lambda * c / 2.0));
+  EXPECT_NEAR(effective, rd + c, 1e-6);
+}
+
+TEST(PoissonThreshold, ZeroLambdaGivesFullDeadline) {
+  EXPECT_NEAR(poisson_threshold(10'000.0, 0.0, 22.0), 10'022.0, 1e-9);
+}
+
+TEST(KFaultThreshold, ExactFeasibilityBoundary) {
+  // At R_t = Th, the k-fault worst case R_t + 2*sqrt(R_f*C*R_t) equals
+  // R_d + C (DESIGN.md derivation).
+  const double rd = 10'000.0, c = 22.0;
+  for (int k : {1, 3, 5, 10}) {
+    const double th = k_fault_threshold(rd, k, c);
+    const double worst = th + 2.0 * std::sqrt(k * c * th);
+    EXPECT_NEAR(worst, rd + c, 1e-6) << "k=" << k;
+  }
+}
+
+TEST(KFaultThreshold, ClosedFormFactorization) {
+  // The paper's expanded form equals (sqrt(Rd+C+RfC) - sqrt(RfC))^2.
+  const double rd = 7'500.0, c = 22.0;
+  const int k = 5;
+  const double a = k * c, b = rd + c;
+  const double expected = std::pow(std::sqrt(a + b) - std::sqrt(a), 2);
+  EXPECT_NEAR(k_fault_threshold(rd, k, c), expected, 1e-9);
+}
+
+TEST(KFaultThreshold, ZeroFaultsGivesFullDeadline) {
+  EXPECT_NEAR(k_fault_threshold(10'000.0, 0, 22.0), 10'022.0, 1e-9);
+}
+
+TEST(KFaultWorstCase, FormulaAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(k_fault_worst_case(1'000.0, 0, 22.0), 1'000.0);
+  const double w1 = k_fault_worst_case(1'000.0, 1, 22.0);
+  const double w5 = k_fault_worst_case(1'000.0, 5, 22.0);
+  EXPECT_GT(w5, w1);
+  EXPECT_GT(w1, 1'000.0);
+  // Rollback cost adds k * t_r.
+  EXPECT_NEAR(k_fault_worst_case(1'000.0, 3, 22.0, 10.0) -
+                  k_fault_worst_case(1'000.0, 3, 22.0, 0.0),
+              30.0, 1e-9);
+}
+
+TEST(Intervals, RejectBadArguments) {
+  EXPECT_THROW(poisson_interval(0.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(k_fault_interval(0.0, 5, 22.0), std::invalid_argument);
+  EXPECT_THROW(deadline_interval(0.0, 100.0, 22.0), std::invalid_argument);
+  EXPECT_THROW(poisson_threshold(100.0, -1.0, 22.0), std::invalid_argument);
+  EXPECT_THROW(k_fault_threshold(100.0, -1, 22.0), std::invalid_argument);
+  EXPECT_THROW(k_fault_worst_case(-5.0, 1, 22.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adacheck::analytic

@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adacheck::util {
+namespace {
+
+/// Captures stderr for the duration of a scope.
+class StderrCapture {
+ public:
+  StderrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~StderrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_level(LogLevel::kInfo); }
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, LevelFilteringDropsBelowThreshold) {
+  StderrCapture capture;
+  set_log_level(LogLevel::kWarn);
+  log_info("should not appear");
+  log_warn("warning text");
+  log_error("error text");
+  const auto text = capture.text();
+  EXPECT_EQ(text.find("should not appear"), std::string::npos);
+  EXPECT_NE(text.find("[WARN] warning text"), std::string::npos);
+  EXPECT_NE(text.find("[ERROR] error text"), std::string::npos);
+}
+
+TEST_F(LogTest, DebugEnabledWhenRequested) {
+  StderrCapture capture;
+  set_log_level(LogLevel::kDebug);
+  log_debug("debug text");
+  EXPECT_NE(capture.text().find("[DEBUG] debug text"), std::string::npos);
+}
+
+TEST_F(LogTest, VariadicConcatenation) {
+  StderrCapture capture;
+  log_info("run ", 42, " finished at t=", 1.5);
+  EXPECT_NE(capture.text().find("[INFO] run 42 finished at t=1.5"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace adacheck::util

@@ -1,0 +1,142 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "policy/factory.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using testutil::basic_setup;
+using testutil::dvs_setup;
+
+PolicyFactory scripted_factory(const SimSetup& setup, double interval) {
+  const Decision plan = testutil::plain_plan(setup, interval);
+  return [plan] { return std::make_unique<testutil::ScriptedPolicy>(plan); };
+}
+
+TEST(MonteCarlo, FaultFreeCellCompletesAlways) {
+  const auto setup = basic_setup(1'000.0, 10'000.0);
+  MonteCarloConfig config;
+  config.runs = 200;
+  const auto stats = run_cell(setup, scripted_factory(setup, 100.0), config);
+  EXPECT_EQ(stats.completion.trials(), 200u);
+  EXPECT_DOUBLE_EQ(stats.probability(), 1.0);
+  // Deterministic energy: every run identical.
+  EXPECT_NEAR(stats.energy_success.stddev(), 0.0, 1e-9);
+  EXPECT_NEAR(stats.energy(), 4.0 * 1'220.0, 1e-6);
+}
+
+TEST(MonteCarlo, ZeroSuccessCellReportsNaNEnergy) {
+  // Deadline shorter than fault-free execution: P = 0, E = NaN (the
+  // paper's NaN cells).
+  const auto setup = basic_setup(1'000.0, 900.0);
+  MonteCarloConfig config;
+  config.runs = 50;
+  const auto stats = run_cell(setup, scripted_factory(setup, 100.0), config);
+  EXPECT_DOUBLE_EQ(stats.probability(), 0.0);
+  EXPECT_TRUE(std::isnan(stats.energy()));
+  EXPECT_FALSE(std::isnan(stats.energy_all.mean()));
+}
+
+TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 1e-3);
+  MonteCarloConfig serial;
+  serial.runs = 400;
+  serial.threads = 1;
+  serial.seed = 99;
+  MonteCarloConfig parallel = serial;
+  parallel.threads = 4;
+  const auto a = run_cell(setup, scripted_factory(setup, 150.0), serial);
+  const auto b = run_cell(setup, scripted_factory(setup, 150.0), parallel);
+  // Per-run seeding: success counts match exactly; merged moments agree
+  // to floating-point merge tolerance.
+  EXPECT_EQ(a.completion.successes(), b.completion.successes());
+  EXPECT_NEAR(a.energy_all.mean(), b.energy_all.mean(),
+              1e-9 * a.energy_all.mean());
+  EXPECT_NEAR(a.faults.mean(), b.faults.mean(), 1e-9);
+}
+
+TEST(MonteCarlo, SameSeedSameResults) {
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 1e-3);
+  MonteCarloConfig config;
+  config.runs = 300;
+  config.seed = 1234;
+  const auto a = run_cell(setup, scripted_factory(setup, 150.0), config);
+  const auto b = run_cell(setup, scripted_factory(setup, 150.0), config);
+  EXPECT_EQ(a.completion.successes(), b.completion.successes());
+  EXPECT_DOUBLE_EQ(a.energy_all.mean(), b.energy_all.mean());
+}
+
+TEST(MonteCarlo, DifferentSeedsDiffer) {
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 2e-3);
+  MonteCarloConfig a_cfg;
+  a_cfg.runs = 300;
+  a_cfg.seed = 1;
+  MonteCarloConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const auto a = run_cell(setup, scripted_factory(setup, 150.0), a_cfg);
+  const auto b = run_cell(setup, scripted_factory(setup, 150.0), b_cfg);
+  EXPECT_NE(a.energy_all.mean(), b.energy_all.mean());
+}
+
+TEST(MonteCarlo, FaultRateMatchesInjectedLambda) {
+  // Expected faults per run ~ lambda * total exposure; with rare faults
+  // exposure ~ fault-free exec time (computation only).
+  const double lambda = 1e-3;
+  const auto setup = basic_setup(2'000.0, 1e9, 50, lambda);
+  MonteCarloConfig config;
+  config.runs = 3'000;
+  const auto stats = run_cell(setup, scripted_factory(setup, 200.0), config);
+  EXPECT_GT(stats.faults.mean(), 2'000.0 * lambda * 0.9);
+  EXPECT_LT(stats.faults.mean(), 2'000.0 * lambda * 1.35);
+}
+
+TEST(MonteCarlo, ValidationModeCountsNoFailures) {
+  const auto setup = basic_setup(1'500.0, 2'200.0, 5, 2e-3);
+  MonteCarloConfig config;
+  config.runs = 500;
+  config.validate = true;
+  const auto stats = run_cell(setup, scripted_factory(setup, 120.0), config);
+  EXPECT_EQ(stats.validation_failures, 0u);
+}
+
+TEST(MonteCarlo, AbortedRunsCounted) {
+  // A_D_S on an impossible task aborts instead of running to the
+  // deadline.
+  auto setup = dvs_setup(30'000.0, 10'000.0, 5, 1e-3);
+  MonteCarloConfig config;
+  config.runs = 20;
+  const auto stats =
+      run_cell(setup, policy::make_policy_factory("A_D_S"), config);
+  EXPECT_EQ(stats.aborted_runs, 20u);
+  EXPECT_DOUBLE_EQ(stats.probability(), 0.0);
+}
+
+TEST(MonteCarlo, HighSpeedCyclesTracked) {
+  // Force an A_D run that must use f2: high utilization.
+  auto setup = dvs_setup(15'000.0, 10'000.0, 5, 1e-4);
+  MonteCarloConfig config;
+  config.runs = 50;
+  const auto stats =
+      run_cell(setup, policy::make_policy_factory("A_D"), config);
+  EXPECT_GT(stats.high_speed_cycles.mean(), 0.0);
+}
+
+TEST(MonteCarlo, ConfigValidation) {
+  const auto setup = basic_setup(100.0, 1'000.0);
+  MonteCarloConfig config;
+  config.runs = 0;
+  EXPECT_THROW(run_cell(setup, scripted_factory(setup, 50.0), config),
+               std::invalid_argument);
+  config.runs = 10;
+  EXPECT_THROW(run_cell(setup, PolicyFactory{}, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adacheck::sim

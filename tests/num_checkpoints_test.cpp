@@ -1,0 +1,116 @@
+#include "analytic/num_checkpoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace adacheck::analytic {
+namespace {
+
+ScpRenewalParams scp_params(double interval, double lambda,
+                            model::CheckpointCosts costs =
+                                model::CheckpointCosts::paper_scp_flavor()) {
+  ScpRenewalParams p;
+  p.interval = interval;
+  p.lambda = lambda;
+  p.costs = costs;
+  return p;
+}
+
+CcpRenewalParams ccp_params(double interval, double lambda,
+                            model::CheckpointCosts costs =
+                                model::CheckpointCosts::paper_ccp_flavor()) {
+  CcpRenewalParams p;
+  p.interval = interval;
+  p.lambda = lambda;
+  p.costs = costs;
+  return p;
+}
+
+TEST(MaxSubIntervals, BoundedByCheapestOperation) {
+  // Sub-intervals shorter than the cheaper checkpoint op are useless.
+  const auto costs = model::CheckpointCosts::paper_scp_flavor();  // min 2
+  EXPECT_EQ(max_sub_intervals(100.0, costs), 50);
+  EXPECT_EQ(max_sub_intervals(1.0, costs), 1);
+  EXPECT_LE(max_sub_intervals(1e9, costs), 4096);  // hard cap
+}
+
+TEST(NumScp, SingleIntervalWhenFaultFree) {
+  // lambda = 0: any extra SCP is pure overhead.
+  EXPECT_EQ(num_scp(scp_params(500.0, 0.0)), 1);
+}
+
+TEST(NumScp, SingleIntervalWhenShort) {
+  // A short, low-risk interval cannot amortize an extra store.
+  EXPECT_EQ(num_scp(scp_params(30.0, 1e-4)), 1);
+}
+
+TEST(NumScp, SplitsLongRiskyIntervals) {
+  EXPECT_GT(num_scp(scp_params(2'000.0, 5e-3)), 1);
+}
+
+TEST(NumScp, MatchesExhaustiveScan) {
+  // The Fig. 2 continuous-then-round procedure must land on (or tie
+  // with) the true integer optimum across a parameter sweep.
+  for (double interval : {60.0, 125.0, 300.0, 800.0, 2'000.0}) {
+    for (double lambda : {1e-4, 1.4e-3, 5e-3, 2e-2}) {
+      const auto p = scp_params(interval, lambda);
+      const int fig2 = num_scp(p);
+      const int exact = num_scp_exhaustive(p);
+      const double v_fig2 = scp_expected_time(p, fig2);
+      const double v_exact = scp_expected_time(p, exact);
+      EXPECT_LE(v_fig2, v_exact * 1.001)
+          << "interval=" << interval << " lambda=" << lambda
+          << " fig2 m=" << fig2 << " exact m=" << exact;
+    }
+  }
+}
+
+TEST(NumCcp, SingleIntervalWhenFaultFree) {
+  EXPECT_EQ(num_ccp(ccp_params(500.0, 0.0)), 1);
+}
+
+TEST(NumCcp, SplitsLongRiskyIntervals) {
+  EXPECT_GT(num_ccp(ccp_params(2'000.0, 5e-3)), 1);
+}
+
+TEST(NumCcp, MatchesExhaustiveScan) {
+  for (double interval : {60.0, 125.0, 300.0, 800.0, 2'000.0}) {
+    for (double lambda : {1e-4, 1.4e-3, 5e-3, 2e-2}) {
+      const auto p = ccp_params(interval, lambda);
+      const double v_fig2 = ccp_expected_time(p, num_ccp(p));
+      const double v_exact = ccp_expected_time(p, num_ccp_exhaustive(p));
+      EXPECT_LE(v_fig2, v_exact * 1.001)
+          << "interval=" << interval << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(NumScp, CheapStoresEncourageMoreScps) {
+  // SCP flavor (t_s = 2) should tolerate more inner checkpoints than a
+  // hypothetical expensive-store variant at the same risk.
+  const auto cheap = scp_params(1'000.0, 5e-3);
+  const auto expensive =
+      scp_params(1'000.0, 5e-3, model::CheckpointCosts{40.0, 20.0, 0.0});
+  EXPECT_GE(num_scp_exhaustive(cheap), num_scp_exhaustive(expensive));
+}
+
+TEST(NumCcp, CheapComparesEncourageMoreCcps) {
+  const auto cheap = ccp_params(1'000.0, 5e-3);
+  const auto expensive =
+      ccp_params(1'000.0, 5e-3, model::CheckpointCosts{20.0, 40.0, 0.0});
+  EXPECT_GE(num_ccp_exhaustive(cheap), num_ccp_exhaustive(expensive));
+}
+
+TEST(NumScp, OptimalCountGrowsWithRisk) {
+  int prev = 0;
+  for (double lambda : {1e-4, 1e-3, 5e-3, 2e-2}) {
+    const int m = num_scp_exhaustive(scp_params(1'000.0, lambda));
+    EXPECT_GE(m, prev) << "lambda=" << lambda;
+    prev = m;
+  }
+  EXPECT_GT(prev, 1);
+}
+
+}  // namespace
+}  // namespace adacheck::analytic

@@ -1,0 +1,98 @@
+#include "util/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adacheck::util {
+namespace {
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto m = golden_section_minimize(
+      [](double x) { return (x - 3.0) * (x - 3.0) + 2.0; }, -10.0, 10.0);
+  EXPECT_NEAR(m.x, 3.0, 1e-5);
+  EXPECT_NEAR(m.fx, 2.0, 1e-9);
+}
+
+TEST(GoldenSection, HandlesBoundaryMinimum) {
+  // Monotone increasing: minimum at the left edge.
+  const auto m =
+      golden_section_minimize([](double x) { return x; }, 2.0, 9.0);
+  EXPECT_NEAR(m.x, 2.0, 1e-5);
+}
+
+TEST(GoldenSection, NonSmoothUnimodal) {
+  const auto m = golden_section_minimize(
+      [](double x) { return std::abs(x - 1.25); }, 0.0, 4.0);
+  EXPECT_NEAR(m.x, 1.25, 1e-5);
+}
+
+TEST(GoldenSection, RejectsInvertedBracket) {
+  EXPECT_THROW(
+      golden_section_minimize([](double x) { return x; }, 1.0, 0.0),
+      std::invalid_argument);
+}
+
+TEST(GoldenSection, CheckpointRenewalShape) {
+  // The shape num_SCP minimizes: overhead/x + growth*x, minimum at
+  // sqrt(overhead/growth).
+  const double overhead = 22.0, growth = 0.0014;
+  const auto m = golden_section_minimize(
+      [&](double x) { return overhead / x + growth * x; }, 1e-3, 1e5,
+      1e-6);
+  EXPECT_NEAR(m.x, std::sqrt(overhead / growth), 1.0);
+}
+
+TEST(IntegerArgmin, FindsDiscreteMinimum) {
+  const auto best = integer_argmin(
+      [](std::int64_t m) {
+        const double md = static_cast<double>(m);
+        return 100.0 / md + 3.0 * md;
+      },
+      1, 100);
+  EXPECT_EQ(best.x, 6);  // sqrt(100/3) ~ 5.77 -> 6 beats 5 here
+}
+
+TEST(IntegerArgmin, EarlyStopMatchesFullScanOnConvex) {
+  const auto f = [](std::int64_t m) {
+    const double md = static_cast<double>(m);
+    return 400.0 / md + 1.7 * md;
+  };
+  const auto full = integer_argmin(f, 1, 1'000);
+  const auto fast = integer_argmin(f, 1, 1'000, /*early_stop_rises=*/3);
+  EXPECT_EQ(full.x, fast.x);
+  EXPECT_DOUBLE_EQ(full.fx, fast.fx);
+}
+
+TEST(IntegerArgmin, SinglePointRange) {
+  const auto best =
+      integer_argmin([](std::int64_t) { return 7.0; }, 5, 5);
+  EXPECT_EQ(best.x, 5);
+  EXPECT_DOUBLE_EQ(best.fx, 7.0);
+}
+
+TEST(IntegerArgmin, RejectsEmptyRange) {
+  EXPECT_THROW(integer_argmin([](std::int64_t) { return 0.0; }, 2, 1),
+               std::invalid_argument);
+}
+
+TEST(BisectRoot, FindsSqrtTwo) {
+  const double root = bisect_root(
+      [](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectRoot, ExactEndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x - 1.0; }, 0.0, 1.0),
+                   1.0);
+}
+
+TEST(BisectRoot, RejectsNoSignChange) {
+  EXPECT_THROW(
+      bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adacheck::util

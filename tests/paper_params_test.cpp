@@ -1,0 +1,103 @@
+// Guards the transcription of the paper's tables: grids, cost flavors,
+// speed levels, and a sample of the embedded reported values.
+#include "harness/paper_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adacheck::harness {
+namespace {
+
+TEST(PaperParams, EightSubTables) {
+  const auto tables = all_paper_tables();
+  ASSERT_EQ(tables.size(), 8u);
+  EXPECT_EQ(tables[0].id, "table1a");
+  EXPECT_EQ(tables[7].id, "table4b");
+}
+
+TEST(PaperParams, CommonParameters) {
+  for (const auto& spec : all_paper_tables()) {
+    EXPECT_DOUBLE_EQ(spec.deadline, 10'000.0) << spec.id;
+    EXPECT_DOUBLE_EQ(spec.costs.cscp(), 22.0) << spec.id;  // c = 22
+    EXPECT_DOUBLE_EQ(spec.costs.rollback, 0.0) << spec.id; // t_r = 0
+    EXPECT_DOUBLE_EQ(spec.speed_ratio, 2.0) << spec.id;    // f2 = 2 f1
+    EXPECT_EQ(spec.schemes.size(), 4u) << spec.id;
+    EXPECT_EQ(spec.schemes[0], "Poisson");
+    EXPECT_EQ(spec.schemes[1], "k-f-t");
+    EXPECT_EQ(spec.schemes[2], "A_D");
+  }
+}
+
+TEST(PaperParams, CostFlavors) {
+  // Tables 1-2: SCP flavor (t_s = 2, t_cp = 20); 3-4: CCP flavor.
+  EXPECT_DOUBLE_EQ(table1a().costs.store, 2.0);
+  EXPECT_DOUBLE_EQ(table2b().costs.compare, 20.0);
+  EXPECT_DOUBLE_EQ(table3a().costs.store, 20.0);
+  EXPECT_DOUBLE_EQ(table4b().costs.compare, 2.0);
+  EXPECT_EQ(table1a().schemes[3], "A_D_S");
+  EXPECT_EQ(table3a().schemes[3], "A_D_C");
+}
+
+TEST(PaperParams, UtilizationLevels) {
+  EXPECT_EQ(table1a().util_level, 0u);  // baselines at f1
+  EXPECT_EQ(table2a().util_level, 1u);  // baselines at f2
+  EXPECT_EQ(table3b().util_level, 0u);
+  EXPECT_EQ(table4a().util_level, 1u);
+}
+
+TEST(PaperParams, SubTableAGrids) {
+  for (const auto& spec : {table1a(), table2a(), table3a(), table4a()}) {
+    EXPECT_EQ(spec.fault_tolerance, 5) << spec.id;
+    ASSERT_EQ(spec.rows.size(), 8u) << spec.id;
+    EXPECT_DOUBLE_EQ(spec.rows.front().utilization, 0.76);
+    EXPECT_DOUBLE_EQ(spec.rows.back().utilization, 0.82);
+    EXPECT_DOUBLE_EQ(spec.rows.front().lambda, 1.4e-3);
+    EXPECT_DOUBLE_EQ(spec.rows[1].lambda, 1.6e-3);
+  }
+}
+
+TEST(PaperParams, SubTableBGrids) {
+  for (const auto& spec : {table1b(), table3b()}) {
+    EXPECT_EQ(spec.fault_tolerance, 1) << spec.id;
+    ASSERT_EQ(spec.rows.size(), 6u) << spec.id;
+    EXPECT_DOUBLE_EQ(spec.rows.back().utilization, 1.00);
+    EXPECT_DOUBLE_EQ(spec.rows.front().lambda, 1e-4);
+  }
+  // The high-speed (b) tables stop at U = 0.95 in the paper.
+  for (const auto& spec : {table2b(), table4b()}) {
+    ASSERT_EQ(spec.rows.size(), 4u) << spec.id;
+    EXPECT_DOUBLE_EQ(spec.rows.back().utilization, 0.95);
+  }
+}
+
+TEST(PaperParams, SpotCheckEmbeddedValues) {
+  // Table 1(a) row 1: Poisson P = 0.1185 / E = 39015; A_D_S 0.9999/52863.
+  const auto t1a = table1a();
+  EXPECT_DOUBLE_EQ(t1a.rows[0].paper[0].p, 0.1185);
+  EXPECT_DOUBLE_EQ(t1a.rows[0].paper[0].e, 39'015.0);
+  EXPECT_DOUBLE_EQ(t1a.rows[0].paper[3].p, 0.9999);
+  EXPECT_DOUBLE_EQ(t1a.rows[0].paper[3].e, 52'863.0);
+  // Table 1(b) U = 1.00 rows: baselines report NaN energy.
+  const auto t1b = table1b();
+  EXPECT_TRUE(std::isnan(t1b.rows[4].paper[0].e));
+  EXPECT_DOUBLE_EQ(t1b.rows[4].paper[0].p, 0.0);
+  // Table 4(a) last row: A_D_C P = 0.2115.
+  const auto t4a = table4a();
+  EXPECT_DOUBLE_EQ(t4a.rows[7].paper[3].p, 0.2115);
+  EXPECT_DOUBLE_EQ(t4a.rows[7].paper[3].e, 154'400.0);
+}
+
+TEST(PaperParams, PaperShapeHoldsInEmbeddedData) {
+  // Internal consistency of the transcription: in every (a)-table cell
+  // the proposed scheme's reported P beats both fixed baselines.
+  for (const auto& spec : {table1a(), table2a(), table3a(), table4a()}) {
+    for (const auto& row : spec.rows) {
+      EXPECT_GT(row.paper[3].p, row.paper[0].p) << spec.id;
+      EXPECT_GT(row.paper[3].p, row.paper[1].p) << spec.id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adacheck::harness

@@ -1,0 +1,209 @@
+#include "policy/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/dvs_estimate.hpp"
+#include "analytic/interval_policy.hpp"
+#include "analytic/num_checkpoints.hpp"
+#include "sim/engine.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::policy {
+namespace {
+
+sim::ExecContext make_context(const sim::SimSetup& setup,
+                              double remaining_cycles, double now,
+                              int remaining_faults) {
+  sim::ExecContext ctx;
+  ctx.task = &setup.task;
+  ctx.costs = &setup.costs;
+  ctx.processor = &setup.processor;
+  ctx.lambda = setup.fault_model.rate;
+  ctx.remaining_cycles = remaining_cycles;
+  ctx.now = now;
+  ctx.remaining_faults = remaining_faults;
+  return ctx;
+}
+
+TEST(AdaptivePolicy, SchemeNamesFollowPaper) {
+  EXPECT_EQ(AdaptiveCheckpointPolicy(AdaptiveCheckpointPolicy::adt_dvs())
+                .name(),
+            "A_D");
+  EXPECT_EQ(AdaptiveCheckpointPolicy(
+                AdaptiveCheckpointPolicy::adapchp_dvs_scp())
+                .name(),
+            "A_D_S");
+  EXPECT_EQ(AdaptiveCheckpointPolicy(
+                AdaptiveCheckpointPolicy::adapchp_dvs_ccp())
+                .name(),
+            "A_D_C");
+  EXPECT_EQ(AdaptiveCheckpointPolicy(AdaptiveCheckpointPolicy::adapchp_scp())
+                .name(),
+            "adapchp-SCP");
+  EXPECT_EQ(AdaptiveCheckpointPolicy(AdaptiveCheckpointPolicy::adapchp_ccp())
+                .name(),
+            "adapchp-CCP");
+}
+
+TEST(AdaptivePolicy, DvsPicksHighSpeedUnderPressure) {
+  // Paper Table 1(a) entry state: t_est at f1 misses the deadline.
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(AdaptiveCheckpointPolicy::adt_dvs());
+  const auto d = policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  EXPECT_DOUBLE_EQ(d.speed.frequency, 2.0);
+  EXPECT_FALSE(d.abort);
+  EXPECT_EQ(d.inner, sim::InnerKind::kNone);
+}
+
+TEST(AdaptivePolicy, DvsDropsToLowSpeedWhenComfortable) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(AdaptiveCheckpointPolicy::adt_dvs());
+  // Mid-run: 4000 cycles left, 8000 time left -> f1 feasible.
+  const auto d = policy.on_fault(make_context(setup, 4'000.0, 2'000.0, 4));
+  EXPECT_DOUBLE_EQ(d.speed.frequency, 1.0);
+}
+
+TEST(AdaptivePolicy, IntervalMatchesFig4) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(AdaptiveCheckpointPolicy::adt_dvs());
+  const auto d = policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  // At f2: Rt = 3800, C = 11; Fig. 4 chooses I1 here (exp_error > Rf,
+  // Rt below the lambda-threshold).
+  const auto expected = analytic::adaptive_interval(
+      10'000.0, 3'800.0, 11.0, 5, 1.4e-3);
+  EXPECT_EQ(expected.rule, analytic::IntervalRule::kPoisson);
+  EXPECT_NEAR(d.cscp_interval, expected.interval, 1e-9);
+}
+
+TEST(AdaptivePolicy, ScpVariantUsesNumScp) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  const auto d = policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  EXPECT_EQ(d.inner, sim::InnerKind::kScp);
+  // sub_interval = Itv / num_SCP(Itv) with time-scaled costs at f2.
+  analytic::ScpRenewalParams params;
+  params.interval = d.cscp_interval;
+  params.lambda = 1.4e-3;
+  params.costs = {2.0 / 2.0, 20.0 / 2.0, 0.0};
+  const int m = analytic::num_scp(params);
+  EXPECT_NEAR(d.sub_interval, d.cscp_interval / m, 1e-9);
+  EXPECT_GE(m, 1);
+}
+
+TEST(AdaptivePolicy, CcpVariantUsesNumCcp) {
+  auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  setup.costs = model::CheckpointCosts::paper_ccp_flavor();
+  AdaptiveCheckpointPolicy policy(
+      AdaptiveCheckpointPolicy::adapchp_dvs_ccp());
+  const auto d = policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  EXPECT_EQ(d.inner, sim::InnerKind::kCcp);
+  EXPECT_LE(d.sub_interval, d.cscp_interval);
+}
+
+TEST(AdaptivePolicy, AbortsWhenNothingFits) {
+  // Remaining work exceeds the deadline even at f2 (Fig. 6 line 6).
+  const auto setup = testutil::dvs_setup(30'000.0, 10'000.0, 5, 1e-3);
+  AdaptiveCheckpointPolicy policy(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  const auto d = policy.initial(make_context(setup, 30'000.0, 0.0, 5));
+  EXPECT_TRUE(d.abort);
+}
+
+TEST(AdaptivePolicy, NonDvsVariantPinsSpeed) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  auto config = AdaptiveCheckpointPolicy::adapchp_scp();
+  config.fixed_level = 0;
+  AdaptiveCheckpointPolicy policy(config);
+  const auto d = policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  EXPECT_DOUBLE_EQ(d.speed.frequency, 1.0);
+  EXPECT_EQ(d.inner, sim::InnerKind::kScp);
+}
+
+TEST(AdaptivePolicy, NonDvsAbortsWhenItsSpeedCannotFit) {
+  // At f1 the remaining work exceeds the deadline; without DVS the
+  // Fig. 3 guard fires even though f2 would have fit.
+  const auto setup = testutil::dvs_setup(11'000.0, 10'000.0, 5, 1e-4);
+  auto config = AdaptiveCheckpointPolicy::adapchp_scp();
+  AdaptiveCheckpointPolicy policy(config);
+  const auto d = policy.initial(make_context(setup, 11'000.0, 0.0, 5));
+  EXPECT_TRUE(d.abort);
+}
+
+TEST(AdaptivePolicy, OnCommitKeepsPlanByDefault) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  (void)policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  const auto replacement =
+      policy.on_commit(make_context(setup, 7'000.0, 400.0, 5));
+  EXPECT_FALSE(replacement.has_value());
+}
+
+TEST(AdaptivePolicy, OnCommitAbortsWhenHopeless) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  (void)policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  // 6000 cycles left but only 2000 time: even f2 cannot fit.
+  const auto replacement =
+      policy.on_commit(make_context(setup, 6'000.0, 8'000.0, 3));
+  ASSERT_TRUE(replacement.has_value());
+  EXPECT_TRUE(replacement->abort);
+}
+
+TEST(AdaptivePolicy, RecomputeAtCommitKnob) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  auto config = AdaptiveCheckpointPolicy::adapchp_dvs_scp();
+  config.recompute_at_commit = true;
+  AdaptiveCheckpointPolicy policy(config);
+  (void)policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  const auto replacement =
+      policy.on_commit(make_context(setup, 7'000.0, 400.0, 5));
+  ASSERT_TRUE(replacement.has_value());
+  EXPECT_FALSE(replacement->abort);
+  EXPECT_GT(replacement->cscp_interval, 0.0);
+}
+
+TEST(AdaptivePolicy, MaxInnerCapRespected) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 2e-2);
+  auto config = AdaptiveCheckpointPolicy::adapchp_dvs_scp();
+  config.max_inner = 2;
+  AdaptiveCheckpointPolicy policy(config);
+  const auto d = policy.initial(make_context(setup, 7'600.0, 0.0, 5));
+  if (!d.abort) {
+    EXPECT_GE(d.sub_interval, d.cscp_interval / 2.0 - 1e-9);
+  }
+  EXPECT_THROW(
+      AdaptiveCheckpointPolicy([] {
+        auto c = AdaptiveCheckpointPolicy::adapchp_dvs_scp();
+        c.max_inner = 0;
+        return c;
+      }()),
+      std::invalid_argument);
+}
+
+TEST(AdaptivePolicy, ExhaustedFaultBudgetStillPlans) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 1, 1e-4);
+  AdaptiveCheckpointPolicy policy(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  const auto d = policy.on_fault(make_context(setup, 3'000.0, 5'000.0, -1));
+  EXPECT_FALSE(d.abort);
+  EXPECT_GT(d.cscp_interval, 0.0);
+}
+
+TEST(AdaptivePolicy, IntervalNeverExceedsRemainingWork) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1e-4);
+  AdaptiveCheckpointPolicy policy(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  for (double rc : {7'600.0, 2'000.0, 200.0, 10.0}) {
+    const auto d = policy.on_fault(make_context(setup, rc, 1'000.0, 3));
+    ASSERT_FALSE(d.abort);
+    EXPECT_LE(d.cscp_interval, rc / d.speed.frequency + 1e-9) << rc;
+  }
+}
+
+}  // namespace
+}  // namespace adacheck::policy

@@ -1,0 +1,115 @@
+#include "policy/fixed_interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/intervals.hpp"
+#include "sim/engine.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::policy {
+namespace {
+
+sim::ExecContext make_context(const sim::SimSetup& setup) {
+  sim::ExecContext ctx;
+  ctx.task = &setup.task;
+  ctx.costs = &setup.costs;
+  ctx.processor = &setup.processor;
+  ctx.lambda = setup.fault_model.rate;
+  ctx.remaining_cycles = setup.task.cycles;
+  ctx.now = 0.0;
+  ctx.remaining_faults = setup.task.fault_tolerance;
+  return ctx;
+}
+
+TEST(PoissonArrivalPolicy, UsesDudaInterval) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  PoissonArrivalPolicy policy(0);
+  const auto d = policy.initial(make_context(setup));
+  EXPECT_DOUBLE_EQ(d.speed.frequency, 1.0);
+  EXPECT_EQ(d.inner, sim::InnerKind::kNone);
+  EXPECT_NEAR(d.cscp_interval, analytic::poisson_interval(22.0, 1.4e-3),
+              1e-9);
+  EXPECT_FALSE(d.abort);
+}
+
+TEST(PoissonArrivalPolicy, HighSpeedLevelScalesCost) {
+  // At f2, the checkpoint cost in time is c/f2 = 11 and I1 shrinks by
+  // sqrt(2).
+  const auto setup = testutil::dvs_setup(15'200.0, 10'000.0, 5, 1.4e-3);
+  PoissonArrivalPolicy policy(1);
+  const auto d = policy.initial(make_context(setup));
+  EXPECT_DOUBLE_EQ(d.speed.frequency, 2.0);
+  EXPECT_NEAR(d.cscp_interval, analytic::poisson_interval(11.0, 1.4e-3),
+              1e-9);
+}
+
+TEST(PoissonArrivalPolicy, ZeroLambdaClampsToWholeTask) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 0.0);
+  PoissonArrivalPolicy policy(0);
+  const auto d = policy.initial(make_context(setup));
+  // I1 is infinite; the plan clamps to the whole remaining work.
+  EXPECT_DOUBLE_EQ(d.cscp_interval, 7'600.0);
+}
+
+TEST(PoissonArrivalPolicy, NeverAdaptsOnFault) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  PoissonArrivalPolicy policy(0);
+  auto ctx = make_context(setup);
+  const auto first = policy.initial(ctx);
+  ctx.remaining_cycles = 1'000.0;  // deep into the run
+  ctx.now = 9'000.0;
+  ctx.remaining_faults = 0;
+  const auto later = policy.on_fault(ctx);
+  EXPECT_DOUBLE_EQ(later.cscp_interval, first.cscp_interval);
+  EXPECT_DOUBLE_EQ(later.speed.frequency, first.speed.frequency);
+}
+
+TEST(KFaultTolerantPolicy, UsesWorstCaseInterval) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  KFaultTolerantPolicy policy(0);
+  const auto d = policy.initial(make_context(setup));
+  EXPECT_NEAR(d.cscp_interval,
+              analytic::k_fault_interval(7'600.0, 5, 22.0), 1e-9);
+}
+
+TEST(KFaultTolerantPolicy, ZeroKClampsToWholeTask) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 0, 1.4e-3);
+  KFaultTolerantPolicy policy(0);
+  const auto d = policy.initial(make_context(setup));
+  EXPECT_DOUBLE_EQ(d.cscp_interval, 7'600.0);
+}
+
+TEST(KFaultTolerantPolicy, FixedAcrossFaults) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  KFaultTolerantPolicy policy(0);
+  auto ctx = make_context(setup);
+  const auto first = policy.initial(ctx);
+  ctx.remaining_cycles = 500.0;
+  const auto later = policy.on_fault(ctx);
+  EXPECT_DOUBLE_EQ(later.cscp_interval, first.cscp_interval);
+}
+
+TEST(FixedPolicies, EndToEndFaultFreeTiming) {
+  // Full-run integration at lambda = 0: finish time equals the analytic
+  // fault-free time with the policy's interval.
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 0.0);
+  KFaultTolerantPolicy policy(0);
+  model::FaultTrace none;
+  model::ReplayFaultSource source(none);
+  const auto result = sim::simulate(setup, policy, source);
+  EXPECT_EQ(result.outcome, sim::RunOutcome::kCompleted);
+  const double interval = analytic::k_fault_interval(7'600.0, 5, 22.0);
+  const int checkpoints =
+      static_cast<int>(std::ceil(7'600.0 / interval - 1e-9));
+  EXPECT_NEAR(result.finish_time, 7'600.0 + checkpoints * 22.0, 1e-6);
+}
+
+TEST(FixedPolicies, Names) {
+  EXPECT_EQ(PoissonArrivalPolicy(0).name(), "Poisson");
+  EXPECT_EQ(KFaultTolerantPolicy(0).name(), "k-f-t");
+}
+
+}  // namespace
+}  // namespace adacheck::policy

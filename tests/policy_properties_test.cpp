@@ -1,0 +1,145 @@
+// Cross-policy property suite: every scheme, across a randomized grid
+// of task parameters, must produce invariant-clean runs.  This is the
+// library's broadest failure-injection net; any engine or policy bug
+// that breaks accounting, commits phantom work, or finishes late shows
+// up here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "policy/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/validators.hpp"
+#include "util/rng.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using Param = std::tuple<std::string, double, double, int>;
+// (policy name, utilization, lambda, k)
+
+class PolicyProperties : public ::testing::TestWithParam<Param> {};
+
+SimSetup setup_for(double utilization, double lambda, int k) {
+  auto processor = model::DvsProcessor::two_speed(2.0);
+  SimSetup setup{
+      model::task_from_utilization(utilization, 1.0, 10'000.0, k),
+      model::CheckpointCosts::paper_scp_flavor(), std::move(processor),
+      model::FaultModel{lambda, false}};
+  return setup;
+}
+
+TEST_P(PolicyProperties, HundredSeededRunsAreInvariantClean) {
+  const auto& [name, utilization, lambda, k] = GetParam();
+  const auto setup = setup_for(utilization, lambda, k);
+  EngineConfig config;
+  config.record_trace = true;
+  int completions = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    auto policy = policy::make_policy(name);
+    const auto result =
+        simulate_seeded(setup, *policy, util::derive_seed(4711, seed),
+                        config);
+    completions += result.completed();
+    const auto violations = validate_all(setup, result);
+    ASSERT_TRUE(violations.empty())
+        << name << " U=" << utilization << " lambda=" << lambda
+        << " seed=" << seed << ": " << violations.front().message;
+    // Energy must be consistent with the voltage law bounds: between
+    // all-low-speed and all-high-speed rates.
+    const double v_lo = setup.processor.slowest().voltage;
+    const double v_hi = setup.processor.fastest().voltage;
+    EXPECT_GE(result.energy, v_lo * v_lo * result.cycles_executed - 1e-6);
+    EXPECT_LE(result.energy, v_hi * v_hi * result.cycles_executed + 1e-6);
+  }
+  // The adaptive DVS schemes must actually succeed on feasible loads.
+  if ((name == "A_D" || name == "A_D_S" || name == "A_D_C") &&
+      utilization <= 0.9 && lambda <= 2e-3) {
+    EXPECT_GT(completions, 60) << name;
+  }
+}
+
+std::string grid_label(const ::testing::TestParamInfo<Param>& info) {
+  std::string label = std::get<0>(info.param);
+  for (auto& ch : label) {
+    if (ch == '-') ch = '_';
+  }
+  label += "_u" +
+           std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+  label += "_l" +
+           std::to_string(static_cast<int>(std::get<2>(info.param) * 1e5));
+  label += "_k" + std::to_string(std::get<3>(info.param));
+  return label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesGrid, PolicyProperties,
+    ::testing::Combine(
+        ::testing::Values("Poisson", "k-f-t", "A_D", "A_D_S", "A_D_C",
+                          "adapchp-SCP", "adapchp-CCP"),
+        ::testing::Values(0.5, 0.8, 1.1),
+        ::testing::Values(1e-4, 2e-3),
+        ::testing::Values(1, 5)),
+    grid_label);
+
+std::string scheme_label(const ::testing::TestParamInfo<std::string>& info) {
+  std::string label = info.param;
+  for (auto& ch : label) {
+    if (ch == '-') ch = '_';
+  }
+  return label;
+}
+
+// Determinism across the whole policy zoo: the same seed must give the
+// same outcome (policies must not carry hidden global state).
+class PolicyDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyDeterminism, SameSeedSameRun) {
+  const auto setup = setup_for(0.8, 1.4e-3, 5);
+  auto p1 = policy::make_policy(GetParam());
+  auto p2 = policy::make_policy(GetParam());
+  const auto a = simulate_seeded(setup, *p1, 31337);
+  const auto b = simulate_seeded(setup, *p2, 31337);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.faults, b.faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PolicyDeterminism,
+                         ::testing::Values("Poisson", "k-f-t", "A_D",
+                                           "A_D_S", "A_D_C", "adapchp-SCP",
+                                           "adapchp-CCP"),
+                         scheme_label);
+
+// Monte-Carlo-level sanity for each scheme on the paper's Table 1(a)
+// first cell: validators clean across 300 runs, probabilities within
+// the physically meaningful range.
+class PolicyCellSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyCellSanity, Table1aFirstCell) {
+  const auto setup = setup_for(0.76, 1.4e-3, 5);
+  MonteCarloConfig config;
+  config.runs = 300;
+  config.validate = true;
+  const auto stats =
+      run_cell(setup, policy::make_policy_factory(GetParam()), config);
+  EXPECT_EQ(stats.validation_failures, 0u);
+  EXPECT_GE(stats.probability(), 0.0);
+  EXPECT_LE(stats.probability(), 1.0);
+  if (!std::isnan(stats.energy())) {
+    EXPECT_GT(stats.energy(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PolicyCellSanity,
+                         ::testing::Values("Poisson", "k-f-t", "A_D",
+                                           "A_D_S", "A_D_C", "adapchp-SCP",
+                                           "adapchp-CCP"),
+                         scheme_label);
+
+}  // namespace
+}  // namespace adacheck::sim

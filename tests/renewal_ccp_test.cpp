@@ -1,0 +1,149 @@
+#include "analytic/renewal_ccp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace adacheck::analytic {
+namespace {
+
+CcpRenewalParams paper_params(double interval = 125.0,
+                              double lambda = 1.4e-3) {
+  CcpRenewalParams p;
+  p.interval = interval;
+  p.lambda = lambda;
+  p.costs = model::CheckpointCosts::paper_ccp_flavor();
+  return p;
+}
+
+TEST(CcpRenewal, SingleSubIntervalClosedForm) {
+  // R2(1) = t_s + (T + t_cp) * e^{lambda*T} with t_r = 0.
+  const auto p = paper_params(200.0, 2e-3);
+  const double expected = 20.0 + (200.0 + 2.0) * std::exp(2e-3 * 200.0);
+  EXPECT_NEAR(ccp_expected_time(p, 1), expected, 1e-9);
+}
+
+TEST(CcpRenewal, FaultFreeIsStraightLine) {
+  auto p = paper_params(100.0, 0.0);
+  for (int m : {1, 2, 5}) {
+    EXPECT_NEAR(ccp_expected_time(p, m),
+                100.0 + m * p.costs.compare + p.costs.store, 1e-9);
+  }
+}
+
+TEST(CcpRenewal, MatchesPaperEquation2) {
+  // R2(T2) = t_s + (T2 + t_cp)(e^{lambda T} - 1)/(1 - e^{-lambda T2}).
+  const auto p = paper_params(300.0, 2.5e-3);
+  for (int m : {1, 2, 3, 6, 10}) {
+    const double t2 = p.interval / m;
+    const double mu = p.lambda;
+    const double expected =
+        p.costs.store + (t2 + p.costs.compare) *
+                            (std::exp(mu * p.interval) - 1.0) /
+                            (1.0 - std::exp(-mu * t2));
+    EXPECT_NEAR(ccp_expected_time(p, m), expected, 1e-6) << "m=" << m;
+  }
+}
+
+TEST(CcpRenewal, EarlyDetectionHelpsAtHighRisk) {
+  // Splitting a risky interval with CCPs shortens detection latency and
+  // therefore the expected time.
+  const auto p = paper_params(800.0, 5e-3);
+  EXPECT_LT(ccp_expected_time(p, 4), ccp_expected_time(p, 1));
+}
+
+TEST(CcpRenewal, DivergesAsSubIntervalsExplode) {
+  const auto p = paper_params();
+  EXPECT_GT(ccp_expected_time(p, 4'000), ccp_expected_time(p, 40));
+}
+
+TEST(CcpRenewal, ContinuousFormContinuity) {
+  const auto p = paper_params(120.0, 1e-3);
+  EXPECT_NEAR(ccp_expected_time_continuous(p, 40.0),
+              ccp_expected_time(p, 3), 1e-9);
+  // The continuous relaxation is defined between integer points too and
+  // stays between neighboring integer values in the convex region.
+  const double mid = ccp_expected_time_continuous(p, 34.0);  // m ~ 3.5
+  EXPECT_GT(mid, 0.0);
+}
+
+TEST(CcpRenewal, RecursiveMatchesClosedFormWhenStoreFree) {
+  // With t_s = 0 the atomic-CSCP correction vanishes and the recursion
+  // must equal the paper's closed form exactly.
+  auto p = paper_params(250.0, 3e-3);
+  p.costs.store = 0.0;
+  for (int m : {1, 2, 4, 8}) {
+    EXPECT_NEAR(ccp_expected_time_recursive(p, m), ccp_expected_time(p, m),
+                1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(CcpRenewal, RecursiveExceedsClosedFormByBoundedStoreTerm) {
+  // The simulator's CSCP pays t_s even on mismatch; the difference from
+  // the paper's form is at most t_s * (e^{mu*T} - 1).
+  const auto p = paper_params(300.0, 3e-3);
+  for (int m : {1, 3, 9}) {
+    const double closed = ccp_expected_time(p, m);
+    const double recursive = ccp_expected_time_recursive(p, m);
+    EXPECT_GE(recursive, closed - 1e-9);
+    EXPECT_LE(recursive - closed,
+              p.costs.store * std::expm1(p.lambda * p.interval) + 1e-9);
+  }
+}
+
+TEST(CcpRenewal, RollbackCostRaisesExpectedTime) {
+  auto base = paper_params(300.0, 2e-3);
+  auto with_tr = base;
+  with_tr.costs.rollback = 40.0;
+  EXPECT_GT(ccp_expected_time(with_tr, 3), ccp_expected_time(base, 3));
+}
+
+TEST(CcpRenewal, ValidatesArguments) {
+  auto p = paper_params();
+  EXPECT_THROW(ccp_expected_time(p, 0), std::invalid_argument);
+  EXPECT_THROW(ccp_expected_time_continuous(p, 0.0), std::invalid_argument);
+  EXPECT_THROW(ccp_expected_time_continuous(p, 2.0 * p.interval),
+               std::invalid_argument);
+}
+
+// Brute-force Monte-Carlo of the CCP semantics with the atomic CSCP,
+// validating the recursive expectation.
+double simulate_ccp_interval(const CcpRenewalParams& p, int m,
+                             std::uint64_t seed, int reps) {
+  util::Xoshiro256 rng(seed);
+  const double t2 = p.interval / m;
+  const double q = std::exp(-p.lambda * t2);
+  double total = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (;;) {
+      bool failed = false;
+      for (int i = 1; i <= m; ++i) {
+        total += t2;
+        total += i < m ? p.costs.compare : p.costs.cscp();
+        if (rng.uniform01() > q) {  // fault: detected at this comparison
+          total += p.costs.rollback;
+          failed = true;
+          break;
+        }
+      }
+      if (!failed) break;
+    }
+  }
+  return total / reps;
+}
+
+TEST(CcpRenewal, RecursiveMatchesDirectSimulation) {
+  const auto p = paper_params(400.0, 3e-3);
+  for (int m : {1, 2, 5}) {
+    const double analytic = ccp_expected_time_recursive(p, m);
+    const double simulated = simulate_ccp_interval(p, m, 4242, 200'000);
+    EXPECT_NEAR(simulated / analytic, 1.0, 0.02) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace adacheck::analytic

@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace adacheck::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 rng(12345);
+  const auto a = rng();
+  const auto b = rng();
+  Xoshiro256 rng2(12345);
+  EXPECT_EQ(rng2(), a);
+  EXPECT_EQ(rng2(), b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(11);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Xoshiro256, ExponentialZeroRateIsInfinite) {
+  Xoshiro256 rng(11);
+  EXPECT_TRUE(std::isinf(rng.exponential(0.0)));
+  EXPECT_TRUE(std::isinf(rng.exponential(-1.0)));
+}
+
+TEST(Xoshiro256, BelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(13);
+  std::array<int, 5> counts{};
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.below(5);
+    ASSERT_LT(v, 5u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+}
+
+TEST(DeriveSeed, DistinctStreamsDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    seeds.insert(derive_seed(0xABCDEF, i));
+  }
+  EXPECT_EQ(seeds.size(), 1'000u);
+}
+
+TEST(DeriveSeed, StableMapping) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 1));
+}
+
+TEST(PoissonArrivals, EmptyForZeroRateOrHorizon) {
+  Xoshiro256 rng(3);
+  EXPECT_TRUE(poisson_arrivals(rng, 0.0, 100.0).empty());
+  EXPECT_TRUE(poisson_arrivals(rng, 1.0, 0.0).empty());
+}
+
+TEST(PoissonArrivals, SortedAndWithinHorizon) {
+  Xoshiro256 rng(5);
+  const auto times = poisson_arrivals(rng, 0.1, 1'000.0);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (double t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 1'000.0);
+  }
+}
+
+TEST(PoissonArrivals, CountMatchesRateTimesHorizon) {
+  Xoshiro256 rng(17);
+  double total = 0.0;
+  const int reps = 400;
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(poisson_arrivals(rng, 0.02, 500.0).size());
+  }
+  EXPECT_NEAR(total / reps, 10.0, 0.5);  // lambda * horizon = 10
+}
+
+}  // namespace
+}  // namespace adacheck::util

@@ -1,0 +1,189 @@
+#include "sched/executive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/taskset.hpp"
+
+namespace adacheck::sched {
+namespace {
+
+ExecutiveConfig quiet_config(double horizon, double lambda = 0.0) {
+  ExecutiveConfig config;
+  config.horizon = horizon;
+  config.costs = model::CheckpointCosts::paper_scp_flavor();
+  config.fault_model = model::FaultModel{lambda, false};
+  return config;
+}
+
+PeriodicTask make_task(const char* name, double cycles, double period,
+                       const char* policy = "A_D_S") {
+  PeriodicTask task;
+  task.name = name;
+  task.cycles = cycles;
+  task.period = period;
+  task.fault_tolerance = 3;
+  task.policy = policy;
+  return task;
+}
+
+TEST(TaskSet, ValidationRules) {
+  TaskSet empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  PeriodicTask bad = make_task("bad", 0.0, 100.0);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = make_task("bad", 10.0, 100.0);
+  bad.relative_deadline = 200.0;  // > period
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  TaskSet ok{{make_task("a", 10.0, 100.0)}};
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(TaskSet, UtilizationSums) {
+  TaskSet set{{make_task("a", 100.0, 1'000.0),
+               make_task("b", 300.0, 1'000.0)}};
+  EXPECT_DOUBLE_EQ(set.utilization(1.0), 0.4);
+  EXPECT_DOUBLE_EQ(set.utilization(2.0), 0.2);
+}
+
+TEST(TaskSet, EffectiveUtilizationExceedsRaw) {
+  TaskSet set{{make_task("a", 400.0, 1'000.0)}};
+  const double raw = set.utilization(1.0);
+  const double effective = effective_utilization(set, 1.0, 22.0, 1e-3);
+  EXPECT_GT(effective, raw);
+}
+
+TEST(TaskSet, BlockingEstimatesUseOtherTasks) {
+  TaskSet set{{make_task("short", 100.0, 1'000.0),
+               make_task("long", 800.0, 4'000.0)}};
+  const auto blocking = blocking_estimates(set, 1.0, 22.0, 0.0);
+  ASSERT_EQ(blocking.size(), 2u);
+  EXPECT_NEAR(blocking[0], 800.0, 1e-9);  // short waits for long
+  EXPECT_NEAR(blocking[1], 100.0, 1e-9);
+}
+
+TEST(Executive, SingleTaskFaultFreeCompletesEveryJob) {
+  TaskSet set{{make_task("ctl", 400.0, 1'000.0)}};
+  const auto result = run_executive(set, quiet_config(10'000.0));
+  EXPECT_EQ(result.per_task[0].released, 10);
+  EXPECT_EQ(result.per_task[0].completed, 10);
+  EXPECT_EQ(result.per_task[0].missed, 0);
+  EXPECT_GT(result.total_energy, 0.0);
+  EXPECT_EQ(result.jobs.size(), 10u);
+}
+
+TEST(Executive, PhaseDelaysFirstRelease) {
+  auto task = make_task("ctl", 100.0, 1'000.0);
+  task.phase = 2'500.0;
+  TaskSet set{{task}};
+  const auto result = run_executive(set, quiet_config(10'000.0));
+  EXPECT_EQ(result.per_task[0].released, 8);  // 2500, 3500, ..., 9500
+  EXPECT_DOUBLE_EQ(result.jobs.front().release, 2'500.0);
+}
+
+TEST(Executive, EdfPicksEarliestDeadline) {
+  // Both release at 0; the tighter-deadline task must run first even
+  // though it is listed second.
+  auto loose = make_task("loose", 200.0, 4'000.0);
+  auto tight = make_task("tight", 200.0, 1'000.0);
+  TaskSet set{{loose, tight}};
+  const auto result = run_executive(set, quiet_config(4'000.0));
+  ASSERT_GE(result.jobs.size(), 2u);
+  EXPECT_EQ(set.tasks[result.jobs[0].task_index].name, "tight");
+  EXPECT_EQ(set.tasks[result.jobs[1].task_index].name, "loose");
+}
+
+TEST(Executive, NonPreemptiveBlockingDelaysButMeetsDeadlines) {
+  // A long job blocks a short one; with enough slack both complete.
+  auto longt = make_task("long", 900.0, 4'000.0);
+  auto shortt = make_task("short", 100.0, 2'000.0);
+  shortt.phase = 10.0;  // releases just after the long job starts
+  TaskSet set{{longt, shortt}};
+  const auto result = run_executive(set, quiet_config(4'000.0));
+  for (const auto& task_stats : result.per_task) {
+    EXPECT_EQ(task_stats.missed, 0);
+  }
+  // The short job's response time includes the blocking.
+  EXPECT_GT(result.per_task[1].response_time.max(), 900.0);
+}
+
+TEST(Executive, OverloadProducesMissesAndSkips) {
+  // Utilization ~ 1.6: the executive must fall behind and skip jobs.
+  TaskSet set{{make_task("a", 800.0, 1'000.0, "k-f-t"),
+               make_task("b", 800.0, 1'000.0, "k-f-t")}};
+  auto config = quiet_config(20'000.0);
+  const auto result = run_executive(set, config);
+  int missed = result.per_task[0].missed + result.per_task[1].missed;
+  EXPECT_GT(missed, 0);
+  int skipped = result.per_task[0].skipped + result.per_task[1].skipped;
+  EXPECT_GT(skipped, 0);
+}
+
+TEST(Executive, SkipLateJobsOffStartsThemAnyway) {
+  TaskSet set{{make_task("a", 800.0, 1'000.0, "k-f-t"),
+               make_task("b", 800.0, 1'000.0, "k-f-t")}};
+  auto config = quiet_config(10'000.0);
+  config.skip_late_jobs = false;
+  const auto result = run_executive(set, config);
+  for (const auto& stats : result.per_task) {
+    EXPECT_EQ(stats.skipped, 0);
+  }
+}
+
+TEST(Executive, FaultsCauseMissesAtHighLoad) {
+  TaskSet set{{make_task("ctl", 700.0, 1'000.0, "k-f-t")}};
+  const auto clean = run_executive(set, quiet_config(50'000.0, 0.0));
+  const auto faulty = run_executive(set, quiet_config(50'000.0, 2e-3));
+  EXPECT_EQ(clean.per_task[0].missed, 0);
+  EXPECT_GT(faulty.per_task[0].missed, clean.per_task[0].missed);
+  EXPECT_GT(faulty.miss_ratio(0), 0.0);
+}
+
+TEST(Executive, AdaptiveSchemeBeatsFixedUnderFaults) {
+  const double lambda = 1.6e-3;
+  TaskSet fixed{{make_task("ctl", 700.0, 1'000.0, "k-f-t")}};
+  TaskSet adaptive{{make_task("ctl", 700.0, 1'000.0, "A_D_S")}};
+  const auto fixed_result =
+      run_executive(fixed, quiet_config(50'000.0, lambda));
+  const auto adaptive_result =
+      run_executive(adaptive, quiet_config(50'000.0, lambda));
+  EXPECT_LT(adaptive_result.miss_ratio(0), fixed_result.miss_ratio(0));
+}
+
+TEST(Executive, DeterministicPerSeed) {
+  TaskSet set{{make_task("a", 400.0, 1'000.0),
+               make_task("b", 700.0, 3'000.0)}};
+  auto config = quiet_config(30'000.0, 1e-3);
+  const auto r1 = run_executive(set, config);
+  const auto r2 = run_executive(set, config);
+  EXPECT_DOUBLE_EQ(r1.total_energy, r2.total_energy);
+  EXPECT_EQ(r1.jobs.size(), r2.jobs.size());
+  config.seed += 1;
+  const auto r3 = run_executive(set, config);
+  EXPECT_NE(r1.total_energy, r3.total_energy);
+}
+
+TEST(Executive, ConfigValidation) {
+  TaskSet set{{make_task("a", 10.0, 100.0)}};
+  auto config = quiet_config(0.0);
+  EXPECT_THROW(run_executive(set, config), std::invalid_argument);
+  config = quiet_config(100.0);
+  config.speed_ratio = 1.0;
+  EXPECT_THROW(run_executive(set, config), std::invalid_argument);
+}
+
+TEST(Executive, EnergyAccountingConsistent) {
+  TaskSet set{{make_task("a", 400.0, 1'000.0)}};
+  const auto result = run_executive(set, quiet_config(10'000.0, 1e-3));
+  double sum = 0.0;
+  for (const auto& job : result.jobs) sum += job.energy;
+  EXPECT_NEAR(sum, result.total_energy, 1e-6);
+  EXPECT_NEAR(result.per_task[0].energy, result.total_energy, 1e-6);
+}
+
+}  // namespace
+}  // namespace adacheck::sched

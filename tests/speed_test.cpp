@@ -1,0 +1,71 @@
+#include "model/speed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adacheck::model {
+namespace {
+
+TEST(SpeedLevel, EnergyAndTime) {
+  SpeedLevel lvl{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(lvl.energy(100.0), 900.0);  // V^2 * cycles
+  EXPECT_DOUBLE_EQ(lvl.time(100.0), 50.0);     // cycles / f
+}
+
+TEST(VoltageLaw, SquareRootScaling) {
+  VoltageLaw law;  // kappa = 4.0 default
+  EXPECT_DOUBLE_EQ(law.voltage_for(1.0), 2.0);
+  EXPECT_NEAR(law.voltage_for(2.0), 2.0 * std::sqrt(2.0), 1e-12);
+  // Energy per cycle doubles when frequency doubles (V^2 ~ f).
+  const double e1 = std::pow(law.voltage_for(1.0), 2);
+  const double e2 = std::pow(law.voltage_for(2.0), 2);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-12);
+}
+
+TEST(VoltageLaw, RejectsBadInput) {
+  VoltageLaw law;
+  EXPECT_THROW(law.voltage_for(0.0), std::invalid_argument);
+  law.kappa = -1.0;
+  EXPECT_THROW(law.voltage_for(1.0), std::invalid_argument);
+}
+
+TEST(DvsProcessor, TwoSpeedFactoryNormalized) {
+  const auto proc = DvsProcessor::two_speed(2.0);
+  ASSERT_EQ(proc.num_levels(), 2u);
+  EXPECT_DOUBLE_EQ(proc.slowest().frequency, 1.0);
+  EXPECT_DOUBLE_EQ(proc.fastest().frequency, 2.0);
+  EXPECT_LT(proc.slowest().voltage, proc.fastest().voltage);
+}
+
+TEST(DvsProcessor, SortsLevels) {
+  DvsProcessor proc({{3.0, 3.0}, {1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(proc.level(0).frequency, 1.0);
+  EXPECT_DOUBLE_EQ(proc.level(1).frequency, 2.0);
+  EXPECT_DOUBLE_EQ(proc.level(2).frequency, 3.0);
+}
+
+TEST(DvsProcessor, AtLeastPicksSlowestSufficient) {
+  DvsProcessor proc({{1.0, 1.0}, {2.0, 2.0}, {4.0, 3.0}});
+  EXPECT_DOUBLE_EQ(proc.at_least(1.5).frequency, 2.0);
+  EXPECT_DOUBLE_EQ(proc.at_least(2.0).frequency, 2.0);
+  EXPECT_DOUBLE_EQ(proc.at_least(9.0).frequency, 4.0);  // saturates
+  EXPECT_DOUBLE_EQ(proc.at_least(0.1).frequency, 1.0);
+}
+
+TEST(DvsProcessor, RejectsDegenerateConfigs) {
+  EXPECT_THROW(DvsProcessor({}), std::invalid_argument);
+  EXPECT_THROW(DvsProcessor({{1.0, 1.0}, {1.0, 2.0}}),
+               std::invalid_argument);  // duplicate frequency
+  EXPECT_THROW(DvsProcessor({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(DvsProcessor({{1.0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(DvsProcessor::two_speed(1.0), std::invalid_argument);
+}
+
+TEST(DvsProcessor, LevelBoundsChecked) {
+  const auto proc = DvsProcessor::two_speed(2.0);
+  EXPECT_THROW(proc.level(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace adacheck::model

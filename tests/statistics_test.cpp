@@ -1,0 +1,146 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace adacheck::util {
+namespace {
+
+TEST(RunningStats, EmptyMeanIsNaN) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.uniform(-5.0, 20.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoOp) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericalStabilityLargeOffset) {
+  // Welford should survive a huge common offset that would destroy the
+  // naive sum-of-squares formula.
+  RunningStats s;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) s.add(offset + x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+TEST(BinomialStats, EmptyProportionIsNaN) {
+  BinomialStats b;
+  EXPECT_TRUE(std::isnan(b.proportion()));
+  EXPECT_TRUE(std::isnan(b.wilson_lo()));
+}
+
+TEST(BinomialStats, ProportionAndMerge) {
+  BinomialStats a, b;
+  for (int i = 0; i < 30; ++i) a.add(i < 12);
+  for (int i = 0; i < 70; ++i) b.add(i < 48);
+  a.merge(b);
+  EXPECT_EQ(a.trials(), 100u);
+  EXPECT_EQ(a.successes(), 60u);
+  EXPECT_DOUBLE_EQ(a.proportion(), 0.6);
+}
+
+TEST(BinomialStats, WilsonIntervalBracketsProportion) {
+  BinomialStats b;
+  for (int i = 0; i < 200; ++i) b.add(i < 150);
+  EXPECT_LT(b.wilson_lo(), 0.75);
+  EXPECT_GT(b.wilson_hi(), 0.75);
+  EXPECT_GT(b.wilson_lo(), 0.68);
+  EXPECT_LT(b.wilson_hi(), 0.81);
+}
+
+TEST(BinomialStats, WilsonWellBehavedAtExtremes) {
+  BinomialStats zero, one;
+  for (int i = 0; i < 50; ++i) {
+    zero.add(false);
+    one.add(true);
+  }
+  EXPECT_EQ(zero.wilson_lo(), 0.0);
+  EXPECT_GT(zero.wilson_hi(), 0.0);
+  EXPECT_LT(zero.wilson_hi(), 0.12);
+  EXPECT_EQ(one.wilson_hi(), 1.0);
+  EXPECT_LT(one.wilson_lo(), 1.0);
+  EXPECT_GT(one.wilson_lo(), 0.88);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);  // clamps to bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256 rng(33);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_TRUE(std::isnan(Histogram(0.0, 1.0, 4).quantile(0.5)));
+}
+
+}  // namespace
+}  // namespace adacheck::util

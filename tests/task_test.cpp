@@ -1,0 +1,68 @@
+#include "model/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adacheck::model {
+namespace {
+
+TEST(TaskSpec, UtilizationMatchesPaperDefinition) {
+  TaskSpec t{7'600.0, 10'000.0, 0.0, 5, "t"};
+  EXPECT_DOUBLE_EQ(t.utilization(1.0), 0.76);  // U = N/(f1*D)
+  EXPECT_DOUBLE_EQ(t.utilization(2.0), 0.38);  // U = N/(f2*D)
+}
+
+TEST(TaskSpec, UtilizationRejectsBadSpeed) {
+  TaskSpec t{100.0, 10.0, 0.0, 0, "t"};
+  EXPECT_THROW(t.utilization(0.0), std::invalid_argument);
+  EXPECT_THROW(t.utilization(-1.0), std::invalid_argument);
+}
+
+TEST(TaskSpec, ValidityRules) {
+  TaskSpec good{100.0, 10.0, 0.0, 1, "g"};
+  EXPECT_TRUE(good.valid());
+  EXPECT_NO_THROW(good.validate());
+
+  TaskSpec zero_cycles = good;
+  zero_cycles.cycles = 0.0;
+  EXPECT_FALSE(zero_cycles.valid());
+  EXPECT_THROW(zero_cycles.validate(), std::invalid_argument);
+
+  TaskSpec bad_deadline = good;
+  bad_deadline.deadline = -1.0;
+  EXPECT_FALSE(bad_deadline.valid());
+
+  TaskSpec bad_k = good;
+  bad_k.fault_tolerance = -2;
+  EXPECT_FALSE(bad_k.valid());
+
+  TaskSpec short_period = good;
+  short_period.period = 5.0;  // period < deadline violates D <= T
+  EXPECT_FALSE(short_period.valid());
+
+  TaskSpec ok_period = good;
+  ok_period.period = 20.0;
+  EXPECT_TRUE(ok_period.valid());
+}
+
+TEST(TaskFromUtilization, RoundTripsThroughU) {
+  const auto t = task_from_utilization(0.76, 1.0, 10'000.0, 5);
+  EXPECT_DOUBLE_EQ(t.cycles, 7'600.0);
+  EXPECT_DOUBLE_EQ(t.utilization(1.0), 0.76);
+  EXPECT_EQ(t.fault_tolerance, 5);
+
+  // Table 2 style: U defined against the high speed.
+  const auto t2 = task_from_utilization(0.76, 2.0, 10'000.0, 5);
+  EXPECT_DOUBLE_EQ(t2.cycles, 15'200.0);
+}
+
+TEST(TaskFromUtilization, RejectsBadInputs) {
+  EXPECT_THROW(task_from_utilization(0.0, 1.0, 100.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(task_from_utilization(0.5, 0.0, 100.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(task_from_utilization(0.5, 1.0, 0.0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adacheck::model

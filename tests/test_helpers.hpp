@@ -1,0 +1,106 @@
+// Shared fixtures for the simulator test suites.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "model/fault.hpp"
+#include "sim/engine.hpp"
+#include "sim/policy.hpp"
+
+namespace adacheck::testutil {
+
+/// Policy that replays a fixed plan (optionally a scripted sequence of
+/// plans, one per decision point) and records how often each hook ran.
+class ScriptedPolicy final : public sim::ICheckpointPolicy {
+ public:
+  explicit ScriptedPolicy(sim::Decision plan) : plans_{std::move(plan)} {}
+  explicit ScriptedPolicy(std::vector<sim::Decision> plans)
+      : plans_(std::move(plans)) {}
+
+  std::string name() const override { return "scripted"; }
+
+  sim::Decision initial(const sim::ExecContext&) override {
+    ++initial_calls;
+    return next();
+  }
+  sim::Decision on_fault(const sim::ExecContext&) override {
+    ++fault_calls;
+    return next();
+  }
+  std::optional<sim::Decision> on_commit(const sim::ExecContext&) override {
+    ++commit_calls;
+    return std::nullopt;
+  }
+
+  int initial_calls = 0;
+  int fault_calls = 0;
+  int commit_calls = 0;
+
+ private:
+  sim::Decision next() {
+    const sim::Decision d = plans_[cursor_];
+    if (cursor_ + 1 < plans_.size()) ++cursor_;
+    return d;  // last plan repeats forever
+  }
+  std::vector<sim::Decision> plans_;
+  std::size_t cursor_ = 0;
+};
+
+/// A one-speed (f = 1, V = 2) scenario with paper SCP-flavor costs.
+inline sim::SimSetup basic_setup(double cycles, double deadline,
+                                 int k = 10, double lambda = 0.0) {
+  return sim::SimSetup{
+      model::TaskSpec{cycles, deadline, 0.0, k, "test"},
+      model::CheckpointCosts::paper_scp_flavor(),
+      model::DvsProcessor({model::SpeedLevel{1.0, 2.0}}),
+      model::FaultModel{lambda, false}};
+}
+
+/// Two-speed variant (f2 = 2) for DVS tests.
+inline sim::SimSetup dvs_setup(double cycles, double deadline, int k = 10,
+                               double lambda = 0.0) {
+  auto setup = basic_setup(cycles, deadline, k, lambda);
+  setup.processor = model::DvsProcessor::two_speed(2.0);
+  return setup;
+}
+
+/// Plan with a single full-interval CSCP scheme at the setup's slowest
+/// speed.
+inline sim::Decision plain_plan(const sim::SimSetup& setup,
+                                double interval) {
+  sim::Decision d;
+  d.speed = setup.processor.slowest();
+  d.cscp_interval = interval;
+  d.sub_interval = interval;
+  d.inner = sim::InnerKind::kNone;
+  return d;
+}
+
+/// Plan with inner checkpoints.
+inline sim::Decision inner_plan(const sim::SimSetup& setup, double interval,
+                                double sub, sim::InnerKind kind) {
+  sim::Decision d;
+  d.speed = setup.processor.slowest();
+  d.cscp_interval = interval;
+  d.sub_interval = sub;
+  d.inner = kind;
+  return d;
+}
+
+/// Runs with a deterministic fault list given in exposure coordinates.
+inline sim::RunResult run_with_faults(const sim::SimSetup& setup,
+                                      sim::ICheckpointPolicy& policy,
+                                      std::vector<double> fault_exposures,
+                                      bool record_trace = true) {
+  std::vector<model::FaultEvent> events;
+  events.reserve(fault_exposures.size());
+  for (double t : fault_exposures) events.push_back({t, 0});
+  const model::FaultTrace trace(std::move(events));
+  model::ReplayFaultSource source(trace);
+  sim::EngineConfig config;
+  config.record_trace = record_trace;
+  return sim::simulate(setup, policy, source, config);
+}
+
+}  // namespace adacheck::testutil

@@ -1,0 +1,119 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/engine.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using testutil::ScriptedPolicy;
+using testutil::basic_setup;
+using testutil::inner_plan;
+using testutil::run_with_faults;
+
+TEST(Trace, PushAndCount) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  t.push(TraceEventKind::kSegment, 1.0, 25.0, 1);
+  t.push(TraceEventKind::kFault, 2.0, 0.0, 1);
+  t.push(TraceEventKind::kSegment, 3.0, 25.0, 2);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count(TraceEventKind::kSegment), 2u);
+  EXPECT_EQ(t.count(TraceEventKind::kFault), 1u);
+  EXPECT_EQ(t.count(TraceEventKind::kRollback), 0u);
+}
+
+TEST(Trace, ToStringListsEvents) {
+  Trace t;
+  t.push(TraceEventKind::kCommit, 128.0, 100.0);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("commit"), std::string::npos);
+  EXPECT_NE(s.find("128"), std::string::npos);
+}
+
+TEST(Trace, KindNamesAreDistinct) {
+  EXPECT_STREQ(to_string(TraceEventKind::kSegment), "segment");
+  EXPECT_STREQ(to_string(TraceEventKind::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(to_string(TraceEventKind::kDeadlineMiss), "deadline-miss");
+}
+
+TEST(EngineTrace, CleanRunEventSequence) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {});
+  const auto& events = result.trace.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(result.trace.count(TraceEventKind::kSegment), 4u);
+  EXPECT_EQ(result.trace.count(TraceEventKind::kCheckpoint), 4u);  // 3 SCP + CSCP
+  EXPECT_EQ(result.trace.count(TraceEventKind::kCommit), 1u);
+  EXPECT_EQ(result.trace.count(TraceEventKind::kComplete), 1u);
+  EXPECT_EQ(events.back().kind, TraceEventKind::kComplete);
+}
+
+TEST(EngineTrace, FaultRunRecordsDetectionAndRollback) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {30.0});
+  EXPECT_EQ(result.trace.count(TraceEventKind::kFault), 1u);
+  EXPECT_EQ(result.trace.count(TraceEventKind::kDetection), 1u);
+  EXPECT_EQ(result.trace.count(TraceEventKind::kRollback), 1u);
+  // The fault event stores wall-clock time and the exposure coordinate.
+  for (const auto& e : result.trace.events()) {
+    if (e.kind == TraceEventKind::kFault) {
+      EXPECT_DOUBLE_EQ(e.value, 30.0);  // exposure coordinate
+      EXPECT_NEAR(e.time, 32.0, 1e-9);  // 30 + SCP1 overhead (2)
+    }
+    if (e.kind == TraceEventKind::kRollback) {
+      // 3 of 4 sub-intervals discarded: 75 cycles.
+      EXPECT_NEAR(e.value, 75.0, 1e-9);
+    }
+  }
+}
+
+TEST(EngineTrace, CheckpointOpCodes) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {});
+  int scp_ops = 0, cscp_ops = 0;
+  for (const auto& e : result.trace.events()) {
+    if (e.kind != TraceEventKind::kCheckpoint) continue;
+    if (e.aux == 0) {
+      ++scp_ops;
+      EXPECT_DOUBLE_EQ(e.value, 2.0);  // t_s
+    } else if (e.aux == 2) {
+      ++cscp_ops;
+      EXPECT_DOUBLE_EQ(e.value, 22.0);  // t_s + t_cp
+    }
+  }
+  EXPECT_EQ(scp_ops, 3);
+  EXPECT_EQ(cscp_ops, 1);
+}
+
+TEST(EngineTrace, DisabledByDefault) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  model::FaultTrace faults;
+  model::ReplayFaultSource source(faults);
+  const auto result = simulate(setup, policy, source);  // default config
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(EngineTrace, AbortAndDeadlineMissMarked) {
+  const auto setup = basic_setup(100.0, 50.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  const auto miss = run_with_faults(setup, policy, {});
+  EXPECT_EQ(miss.trace.count(TraceEventKind::kDeadlineMiss), 1u);
+
+  Decision abort_plan = testutil::plain_plan(setup, 100.0);
+  abort_plan.abort = true;
+  ScriptedPolicy aborter(abort_plan);
+  const auto aborted = run_with_faults(setup, aborter, {});
+  EXPECT_EQ(aborted.trace.count(TraceEventKind::kAbort), 1u);
+}
+
+}  // namespace
+}  // namespace adacheck::sim

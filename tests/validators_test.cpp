@@ -1,0 +1,136 @@
+#include "sim/validators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using testutil::ScriptedPolicy;
+using testutil::basic_setup;
+using testutil::inner_plan;
+using testutil::run_with_faults;
+
+TEST(Validators, CleanRunHasNoViolations) {
+  const auto setup = basic_setup(300.0, 10'000.0);
+  ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, InnerKind::kScp));
+  const auto result = run_with_faults(setup, policy, {130.0});
+  EXPECT_TRUE(validate_all(setup, result).empty());
+}
+
+TEST(Validators, FaultyRunsAcrossModesStillValid) {
+  for (const auto kind :
+       {InnerKind::kNone, InnerKind::kScp, InnerKind::kCcp}) {
+    const auto setup = basic_setup(300.0, 10'000.0);
+    ScriptedPolicy policy(inner_plan(setup, 100.0, 25.0, kind));
+    const auto result = run_with_faults(setup, policy, {30.0, 130.0, 140.0});
+    EXPECT_TRUE(validate_all(setup, result).empty())
+        << "mode " << to_string(kind);
+  }
+}
+
+TEST(Validators, DetectsEnergyMismatch) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  result.energy += 1'000.0;  // corrupt
+  const auto violations = validate_result(setup, result);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].message.find("energy"), std::string::npos);
+}
+
+TEST(Validators, DetectsCommitShortfall) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  result.cycles_committed = 50.0;  // claims completion with missing work
+  EXPECT_FALSE(validate_result(setup, result).empty());
+}
+
+TEST(Validators, DetectsLateCompletion) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  result.finish_time = setup.task.deadline + 1.0;
+  EXPECT_FALSE(validate_result(setup, result).empty());
+}
+
+TEST(Validators, DetectsRollbackImbalance) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  result.detections = 3;  // without matching rollbacks
+  EXPECT_FALSE(validate_result(setup, result).empty());
+}
+
+TEST(Validators, DetectsImpossibleDetectionCount) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  result.detections = 2;
+  result.rollbacks = 2;  // balanced, but no faults occurred
+  EXPECT_FALSE(validate_result(setup, result).empty());
+}
+
+TEST(Validators, TraceDetectsBackwardsTime) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  result.trace.push(TraceEventKind::kSegment, /*time=*/1.0, 10.0, 1);
+  const auto violations = validate_trace(setup, result);
+  ASSERT_FALSE(violations.empty());
+}
+
+TEST(Validators, TraceDetectsUnaccountedCycles) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  result.cycles_executed += 500.0;  // meter and trace now disagree
+  bool found = false;
+  for (const auto& v : validate_trace(setup, result)) {
+    if (v.message.find("accounts for") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validators, TraceDetectsRollbackWithoutDetection) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  ScriptedPolicy policy(testutil::plain_plan(setup, 100.0));
+  auto result = run_with_faults(setup, policy, {});
+  Trace t;
+  t.push(TraceEventKind::kRollback, 10.0, 50.0);
+  result.trace = t;
+  bool found = false;
+  for (const auto& v : validate_trace(setup, result)) {
+    if (v.message.find("rollback without detection") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validators, EmptyTraceFlaggedWhenRequested) {
+  const auto setup = basic_setup(100.0, 10'000.0);
+  RunResult result;  // empty trace, zero everything
+  EXPECT_FALSE(validate_trace(setup, result).empty());
+}
+
+TEST(Validators, RandomizedRunsNeverViolate) {
+  // Property sweep: random lambdas and plans, every run must validate.
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const double lambda = 1e-4 * static_cast<double>(1 + seed % 40);
+    auto setup = basic_setup(2'000.0, 5'000.0, 5, lambda);
+    const auto kind = static_cast<InnerKind>(seed % 3);
+    ScriptedPolicy policy(inner_plan(setup, 200.0, 40.0, kind));
+    EngineConfig config;
+    config.record_trace = true;
+    const auto result = simulate_seeded(setup, policy, seed, config);
+    const auto violations = validate_all(setup, result);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front().message;
+  }
+}
+
+}  // namespace
+}  // namespace adacheck::sim

@@ -19,7 +19,9 @@ struct ScalarMinimum {
 
 /// Golden-section search for the minimum of a unimodal f on [lo, hi].
 /// Runs until the bracket is narrower than tol (absolute).  If f is not
-/// unimodal the result is a local minimum inside the bracket.
+/// unimodal the result is a local minimum inside the bracket.  Throws
+/// std::invalid_argument on a non-finite bracket, hi < lo, or a
+/// tolerance that is not finite and positive.
 ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
                                       double lo, double hi,
                                       double tol = 1e-7);
@@ -39,7 +41,8 @@ IntegerMinimum integer_argmin(const std::function<double(std::int64_t)>& f,
 
 /// Bisection root finder for continuous f with f(lo), f(hi) of opposite
 /// sign.  Returns the root to within tol.  Throws std::invalid_argument
-/// if the bracket does not straddle a sign change.
+/// if the bracket does not straddle a sign change, is non-finite, or
+/// the tolerance is not finite and positive.
 double bisect_root(const std::function<double(double)>& f, double lo,
                    double hi, double tol = 1e-10);
 

@@ -108,10 +108,23 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Casting a NaN or ±inf offset to an integer is UB, so resolve the
+  // bin with explicit range checks: NaN is tallied separately, and
+  // out-of-range values (±inf included) clamp to the edge bins.
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
+  std::size_t idx;
+  if (x <= lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = std::min(static_cast<std::size_t>((x - lo_) / width_),
+                   counts_.size() - 1);
+  }
+  ++counts_[idx];
   ++total_;
 }
 
@@ -131,9 +144,11 @@ double Histogram::quantile(double q) const {
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
-    if (next >= target) {
-      const double frac =
-          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+    // Empty bins can satisfy `next >= target` when target == 0 (q == 0
+    // with empty leading bins); the quantile must land in a populated
+    // bin, so skip bins that contribute no mass.
+    if (counts_[i] > 0 && next >= target) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
       return bin_lo(i) + frac * width_;
     }
     cum = next;

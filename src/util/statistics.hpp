@@ -62,8 +62,10 @@ class BinomialStats {
   std::size_t successes_ = 0;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to
-/// the edge bins.  Used by trace analyses and the examples.
+/// Fixed-width histogram over [lo, hi); out-of-range samples (±inf
+/// included) clamp to the edge bins, NaN samples are counted in
+/// nan_count() and otherwise ignored.  Used by trace analyses and the
+/// examples.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -72,6 +74,9 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const;
   std::size_t bins() const noexcept { return counts_.size(); }
   std::size_t total() const noexcept { return total_; }
+  /// Samples rejected because they were NaN; never binned or counted
+  /// in total().
+  std::size_t nan_count() const noexcept { return nan_count_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
   /// Smallest x such that at least `q` fraction of samples are <= x
@@ -82,6 +87,7 @@ class Histogram {
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_count_ = 0;
 };
 
 }  // namespace adacheck::util

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "policy/factory.hpp"
 #include "tests/test_helpers.hpp"
@@ -59,6 +61,46 @@ TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
   EXPECT_NEAR(a.energy_all.mean(), b.energy_all.mean(),
               1e-9 * a.energy_all.mean());
   EXPECT_NEAR(a.faults.mean(), b.faults.mean(), 1e-9);
+}
+
+TEST(MonteCarlo, MergedCellStatsAgreeAcrossThreadCounts) {
+  // Per-index seeding makes each run bit-identical regardless of which
+  // worker executes it, so every merged accumulator — not just the
+  // headline P/E — must agree between threads = 1 and threads = 4:
+  // counts exactly, means to Chan-merge floating-point tolerance.
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 2e-3);
+  MonteCarloConfig serial;
+  serial.runs = 600;
+  serial.threads = 1;
+  serial.seed = 0xD15EA5E;
+  MonteCarloConfig parallel = serial;
+  parallel.threads = 4;
+  const auto a = run_cell(setup, scripted_factory(setup, 150.0), serial);
+  const auto b = run_cell(setup, scripted_factory(setup, 150.0), parallel);
+
+  EXPECT_EQ(a.completion.trials(), b.completion.trials());
+  EXPECT_EQ(a.completion.successes(), b.completion.successes());
+  EXPECT_EQ(a.aborted_runs, b.aborted_runs);
+  EXPECT_EQ(a.validation_failures, b.validation_failures);
+
+  const std::pair<const util::RunningStats*, const util::RunningStats*>
+      tracked[] = {
+          {&a.energy_success, &b.energy_success},
+          {&a.energy_all, &b.energy_all},
+          {&a.finish_time_success, &b.finish_time_success},
+          {&a.faults, &b.faults},
+          {&a.rollbacks, &b.rollbacks},
+          {&a.corrections, &b.corrections},
+          {&a.high_speed_cycles, &b.high_speed_cycles},
+      };
+  for (const auto& [lhs, rhs] : tracked) {
+    EXPECT_EQ(lhs->count(), rhs->count());
+    if (lhs->count() == 0) continue;
+    const double scale = std::max(1.0, std::abs(lhs->mean()));
+    EXPECT_NEAR(lhs->mean(), rhs->mean(), 1e-9 * scale);
+    EXPECT_DOUBLE_EQ(lhs->min(), rhs->min());
+    EXPECT_DOUBLE_EQ(lhs->max(), rhs->max());
+  }
 }
 
 TEST(MonteCarlo, SameSeedSameResults) {

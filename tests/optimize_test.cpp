@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace adacheck::util {
 namespace {
@@ -31,6 +32,35 @@ TEST(GoldenSection, RejectsInvertedBracket) {
   EXPECT_THROW(
       golden_section_minimize([](double x) { return x; }, 1.0, 0.0),
       std::invalid_argument);
+}
+
+TEST(GoldenSection, RejectsBadToleranceAndBracket) {
+  // Regression: tol <= 0 could spin forever once the bracket hit the
+  // floating-point floor; non-finite brackets never converge.
+  const auto f = [](double x) { return x * x; };
+  EXPECT_THROW(golden_section_minimize(f, -1.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(golden_section_minimize(f, -1.0, 1.0, -1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(golden_section_minimize(
+                   f, -1.0, 1.0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(golden_section_minimize(
+                   f, -std::numeric_limits<double>::infinity(), 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(golden_section_minimize(
+                   f, -1.0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(GoldenSection, TerminatesWhenTolBelowBracketUlp) {
+  // Regression: with tol below the bracket's ULP spacing the probe
+  // points round onto the endpoints and the width stops shrinking —
+  // the search must stop at floating-point resolution, not spin.
+  const auto m = golden_section_minimize(
+      [](double x) { return (x - 1e10) * (x - 1e10); }, 1e10,
+      1e10 + 1.0, 1e-7);
+  EXPECT_NEAR(m.x, 1e10, 1e-5);
 }
 
 TEST(GoldenSection, CheckpointRenewalShape) {
@@ -86,6 +116,31 @@ TEST(BisectRoot, ExactEndpointRoot) {
   EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x; }, 0.0, 1.0), 0.0);
   EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x - 1.0; }, 0.0, 1.0),
                    1.0);
+}
+
+TEST(BisectRoot, RejectsBadToleranceAndBracket) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW(bisect_root(f, -1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(bisect_root(f, -1.0, 1.0, -1e-12), std::invalid_argument);
+  EXPECT_THROW(
+      bisect_root(f, -1.0, 1.0, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      bisect_root(f, -std::numeric_limits<double>::infinity(), 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      bisect_root(f, -1.0, std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+TEST(BisectRoot, TerminatesWhenTolBelowBracketUlp) {
+  // Regression: on a large-magnitude bracket the midpoint eventually
+  // rounds back onto an endpoint; bisection must return the resolved
+  // root instead of looping on `hi - lo > tol` forever.
+  const double root = bisect_root(
+      [](double x) { return x - (1e12 + 0.5); }, 1e12, 1e12 + 1.0,
+      1e-10);
+  EXPECT_NEAR(root, 1e12 + 0.5, 1e-3);
 }
 
 TEST(BisectRoot, RejectsNoSignChange) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -131,6 +132,32 @@ TEST(Histogram, BinsAndClamping) {
   EXPECT_EQ(h.bin_count(4), 2u);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, NonFiniteSamplesAreSafe) {
+  // Regression: casting NaN/±inf bin offsets to an integer was UB.
+  // Infinities clamp to the edge bins; NaN is tallied separately and
+  // never binned.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+}
+
+TEST(Histogram, ZeroQuantileSkipsEmptyLeadingBins) {
+  // Regression: quantile(0.0) returned lo_ even when every sample sat
+  // in a later bin.
+  Histogram h(0.0, 10.0, 5);
+  h.add(7.0);
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 6.0);  // lower edge of bin [6, 8)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);  // upper edge of bin [6, 8)
 }
 
 TEST(Histogram, QuantileOnUniformData) {

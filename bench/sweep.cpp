@@ -1,0 +1,84 @@
+// Full-grid parallel sweep with machine-readable perf output.
+//
+// Runs all eight paper sub-tables (or a --tables subset) as one flat
+// task queue on the shared thread pool and writes BENCH_sweep.json:
+// every cell's statistics plus wall-clock and runs-per-second, the
+// numbers CI archives to track the perf trajectory.
+//
+// Usage: bench_sweep [--runs=N] [--seed=S] [--threads=T]
+//                    [--out=BENCH_sweep.json] [--tables=table1a,table2b]
+//                    [--validate] [--no-perf]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json_report.hpp"
+#include "harness/paper_params.hpp"
+#include "harness/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adacheck;
+  const util::CliArgs args(argc, argv, {"runs", "seed", "threads", "out",
+                                        "tables", "validate", "no-perf"});
+  sim::MonteCarloConfig config;
+  config.runs = static_cast<int>(args.get_int("runs", 10'000));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5EED5EED));
+  config.threads = static_cast<int>(args.get_int("threads", 0));
+  config.validate = args.get_bool("validate", false);
+
+  std::vector<harness::ExperimentSpec> specs = harness::all_paper_tables();
+  const std::string tables = args.get_string("tables", "");
+  if (!tables.empty()) {
+    const auto wanted = split_csv(tables);
+    std::vector<harness::ExperimentSpec> filtered;
+    for (const auto& spec : specs) {
+      for (const auto& id : wanted) {
+        if (spec.id == id) {
+          filtered.push_back(spec);
+          break;
+        }
+      }
+    }
+    if (filtered.empty()) {
+      std::cerr << "no table matches --tables=" << tables << "\n";
+      return 1;
+    }
+    specs = std::move(filtered);
+  }
+
+  const auto sweep = harness::run_sweep(specs, config);
+
+  harness::JsonReportOptions options;
+  options.include_perf = !args.get_bool("no-perf", false);
+  const std::string out_path = args.get_string("out", "BENCH_sweep.json");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open output file: " << out_path << "\n";
+    return 1;
+  }
+  harness::write_sweep_json(sweep, out, options);
+
+  std::cout << "sweep: " << sweep.perf.cells << " cells x " << config.runs
+            << " runs on " << sweep.perf.threads << " threads\n"
+            << "wall: " << sweep.perf.wall_seconds << " s, "
+            << sweep.perf.runs_per_second << " runs/s\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}

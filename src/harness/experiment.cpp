@@ -44,29 +44,49 @@ sim::SimSetup make_setup(const ExperimentSpec& spec,
   return setup;
 }
 
-ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                const sim::MonteCarloConfig& config) {
+std::uint64_t cell_seed(std::uint64_t master, std::size_t row,
+                        std::size_t scheme) noexcept {
+  return util::derive_seed(master, (row << 8) ^ scheme ^ 0xC311ULL);
+}
+
+std::vector<sim::CellJob> experiment_jobs(
+    const ExperimentSpec& spec, const sim::MonteCarloConfig& config) {
   spec.validate();
+  std::vector<sim::CellJob> jobs;
+  jobs.reserve(spec.rows.size() * spec.schemes.size());
+  for (std::size_t r = 0; r < spec.rows.size(); ++r) {
+    const auto setup = make_setup(spec, spec.rows[r]);
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      sim::MonteCarloConfig cell_config = config;
+      cell_config.seed = cell_seed(config.seed, r, s);
+      jobs.push_back(
+          {setup,
+           policy::make_policy_factory(spec.schemes[s], spec.util_level),
+           cell_config});
+    }
+  }
+  return jobs;
+}
+
+ExperimentResult assemble_experiment(
+    const ExperimentSpec& spec,
+    std::vector<sim::CellStats>::const_iterator first) {
   ExperimentResult result;
   result.spec = spec;
   result.cells.reserve(spec.rows.size());
-
+  const auto width = static_cast<std::ptrdiff_t>(spec.schemes.size());
   for (std::size_t r = 0; r < spec.rows.size(); ++r) {
-    const auto setup = make_setup(spec, spec.rows[r]);
-    std::vector<sim::CellStats> row_cells;
-    row_cells.reserve(spec.schemes.size());
-    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
-      // Decorrelate cells while keeping every cell reproducible.
-      sim::MonteCarloConfig cell_config = config;
-      cell_config.seed = util::derive_seed(
-          config.seed, (r << 8) ^ s ^ 0xC311ULL);
-      row_cells.push_back(sim::run_cell(
-          setup, policy::make_policy_factory(spec.schemes[s], spec.util_level),
-          cell_config));
-    }
-    result.cells.push_back(std::move(row_cells));
+    result.cells.emplace_back(first, first + width);
+    first += width;
   }
   return result;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const sim::MonteCarloConfig& config) {
+  const auto stats = sim::run_cells(experiment_jobs(spec, config),
+                                    config.threads);
+  return assemble_experiment(spec, stats.begin());
 }
 
 }  // namespace adacheck::harness

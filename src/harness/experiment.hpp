@@ -55,7 +55,27 @@ struct ExperimentResult {
 sim::SimSetup make_setup(const ExperimentSpec& spec,
                          const ExperimentRow& row);
 
-/// Runs every cell of the experiment.
+/// Seed for the (row, scheme) cell: decorrelates cells while keeping
+/// every cell reproducible.  Shared by run_experiment and run_sweep so
+/// their results are interchangeable.
+std::uint64_t cell_seed(std::uint64_t master, std::size_t row,
+                        std::size_t scheme) noexcept;
+
+/// The flat Monte-Carlo job list for every (row, scheme) cell of the
+/// spec, in row-major order (exposed for run_sweep and tests).
+std::vector<sim::CellJob> experiment_jobs(const ExperimentSpec& spec,
+                                          const sim::MonteCarloConfig& config);
+
+/// Reassembles a row-major flat stats slice (as produced by running
+/// experiment_jobs) into the spec's [row][scheme] cell grid.  `first`
+/// must point at the spec's first cell of a range holding at least
+/// rows x schemes entries.
+ExperimentResult assemble_experiment(
+    const ExperimentSpec& spec,
+    std::vector<sim::CellStats>::const_iterator first);
+
+/// Runs every cell of the experiment as one flat task queue on the
+/// shared thread pool (config.threads caps the parallelism).
 ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const sim::MonteCarloConfig& config = {});
 

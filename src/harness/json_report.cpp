@@ -1,0 +1,212 @@
+#include "harness/json_report.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace adacheck::harness {
+
+namespace {
+
+/// Minimal streaming JSON encoder: fixed key order, two-space indent,
+/// shortest round-trip doubles, non-finite doubles as null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void key(const char* name) {
+    element_prefix();
+    write_string(name);
+    os_ << ": ";
+    pending_key_ = true;
+  }
+
+  void begin_object() {
+    element_start();
+    os_ << '{';
+    first_.push_back(true);
+  }
+  void end_object() { close('}'); }
+
+  void begin_array() {
+    element_start();
+    os_ << '[';
+    first_.push_back(true);
+  }
+  void end_array() { close(']'); }
+
+  void value(const std::string& s) {
+    element_start();
+    write_string(s.c_str());
+  }
+  void value(double v) {
+    element_start();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    os_.write(buf, res.ptr - buf);
+  }
+  void value(bool b) { element_start(); os_ << (b ? "true" : "false"); }
+  // One template for all integer widths: distinct exact overloads
+  // would be ambiguous for std::size_t on platforms where it matches
+  // neither uint64_t nor long long exactly.  bool prefers the
+  // non-template overload above.
+  void value(std::integral auto v) { element_start(); os_ << v; }
+
+  template <class T>
+  void kv(const char* name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void element_start() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    element_prefix();
+  }
+  void element_prefix() {
+    if (first_.empty()) return;  // document root
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+    newline_indent();
+  }
+  void newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < first_.size(); ++i) os_ << "  ";
+  }
+  void close(char bracket) {
+    const bool was_empty = first_.back();
+    first_.pop_back();
+    if (!was_empty) newline_indent();
+    os_ << bracket;
+  }
+  void write_string(const char* s) {
+    os_ << '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+void write_cell(JsonWriter& json, const std::string& scheme,
+                const sim::CellStats& stats) {
+  json.begin_object();
+  json.kv("scheme", scheme);
+  json.kv("trials", stats.completion.trials());
+  json.kv("successes", stats.completion.successes());
+  json.kv("p", stats.probability());
+  json.kv("p_lo", stats.completion.wilson_lo());
+  json.kv("p_hi", stats.completion.wilson_hi());
+  json.kv("e", stats.energy());
+  json.kv("e_ci95", stats.energy_success.ci95_halfwidth());
+  json.kv("e_all", stats.energy_all.mean());
+  json.kv("finish_time", stats.finish_time_success.mean());
+  json.kv("faults", stats.faults.mean());
+  json.kv("rollbacks", stats.rollbacks.mean());
+  json.kv("corrections", stats.corrections.mean());
+  json.kv("high_speed_cycles", stats.high_speed_cycles.mean());
+  json.kv("aborted_runs", stats.aborted_runs);
+  json.kv("validation_failures", stats.validation_failures);
+  json.end_object();
+}
+
+}  // namespace
+
+void write_sweep_json(const SweepResult& sweep, std::ostream& os,
+                      const JsonReportOptions& options) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.kv("schema", std::string("adacheck-sweep-v1"));
+
+  // Only result-affecting parameters here — thread count is an
+  // execution detail and lives in "perf", keeping the no-perf document
+  // byte-identical across thread counts.
+  json.key("config");
+  json.begin_object();
+  json.kv("runs", sweep.config.runs);
+  json.kv("seed", static_cast<std::uint64_t>(sweep.config.seed));
+  json.kv("validate", sweep.config.validate);
+  json.end_object();
+
+  if (options.include_perf) {
+    json.key("perf");
+    json.begin_object();
+    json.kv("wall_seconds", sweep.perf.wall_seconds);
+    json.kv("total_runs", sweep.perf.total_runs);
+    json.kv("runs_per_second", sweep.perf.runs_per_second);
+    json.kv("threads", sweep.perf.threads);
+    json.kv("cells", sweep.perf.cells);
+    json.end_object();
+  }
+
+  json.key("experiments");
+  json.begin_array();
+  for (const auto& experiment : sweep.experiments) {
+    const auto& spec = experiment.spec;
+    json.begin_object();
+    json.kv("id", spec.id);
+    json.kv("title", spec.title);
+    json.key("schemes");
+    json.begin_array();
+    for (const auto& scheme : spec.schemes) json.value(scheme);
+    json.end_array();
+    json.key("rows");
+    json.begin_array();
+    for (std::size_t r = 0; r < spec.rows.size(); ++r) {
+      json.begin_object();
+      json.kv("utilization", spec.rows[r].utilization);
+      json.kv("lambda", spec.rows[r].lambda);
+      json.key("cells");
+      json.begin_array();
+      for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+        write_cell(json, spec.schemes[s], experiment.cells[r][s]);
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << "\n";
+}
+
+std::string sweep_json(const SweepResult& sweep,
+                       const JsonReportOptions& options) {
+  std::ostringstream out;
+  write_sweep_json(sweep, out, options);
+  return out.str();
+}
+
+}  // namespace adacheck::harness

@@ -1,0 +1,34 @@
+// Machine-readable sweep reports.
+//
+// Emits one JSON document per sweep so CI can archive the perf
+// trajectory (runs per second, wall-clock) next to the measured cell
+// statistics.  The encoding is deterministic: keys are emitted in a
+// fixed order, doubles use shortest round-trip formatting, and the
+// cell section depends only on seeds and run counts — never on thread
+// count or timing — so two sweeps with the same config compare
+// byte-for-byte.  NaN and infinities (e.g. the paper's "NaN" energy
+// cells) are emitted as null.  Schema documented in README.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "harness/sweep.hpp"
+
+namespace adacheck::harness {
+
+struct JsonReportOptions {
+  /// Emit the "perf" section (wall-clock, runs/s).  Disable to get a
+  /// byte-stable document for determinism comparisons.
+  bool include_perf = true;
+};
+
+/// Writes the sweep as JSON (schema "adacheck-sweep-v1").
+void write_sweep_json(const SweepResult& sweep, std::ostream& os,
+                      const JsonReportOptions& options = {});
+
+/// Convenience: the same document as a string.
+std::string sweep_json(const SweepResult& sweep,
+                       const JsonReportOptions& options = {});
+
+}  // namespace adacheck::harness

@@ -1,0 +1,49 @@
+#include "harness/sweep.hpp"
+
+#include <chrono>
+
+namespace adacheck::harness {
+
+SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
+                      const sim::MonteCarloConfig& config) {
+  // Flatten: [spec][row][scheme] -> one job list, remembering where
+  // each spec's slice starts.
+  std::vector<sim::CellJob> jobs;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(specs.size());
+  for (const auto& spec : specs) {
+    offsets.push_back(jobs.size());
+    auto spec_jobs = experiment_jobs(spec, config);
+    jobs.insert(jobs.end(), std::make_move_iterator(spec_jobs.begin()),
+                std::make_move_iterator(spec_jobs.end()));
+  }
+
+  int threads_used = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stats = sim::run_cells(jobs, config.threads, &threads_used);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.config = config;
+  result.experiments.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    result.experiments.push_back(assemble_experiment(
+        specs[i],
+        stats.begin() + static_cast<std::ptrdiff_t>(offsets[i])));
+  }
+
+  result.perf.wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.perf.cells = jobs.size();
+  result.perf.total_runs =
+      static_cast<long long>(jobs.size()) * config.runs;
+  result.perf.runs_per_second =
+      result.perf.wall_seconds > 0.0
+          ? static_cast<double>(result.perf.total_runs) /
+                result.perf.wall_seconds
+          : 0.0;
+  result.perf.threads = threads_used;
+  return result;
+}
+
+}  // namespace adacheck::harness

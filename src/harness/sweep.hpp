@@ -1,0 +1,43 @@
+// Parallel experiment sweeps.
+//
+// run_sweep executes any number of experiment specs — a whole paper
+// table set, or a custom parameter grid — as ONE flat chunk queue on
+// the shared thread pool.  That is the difference from calling
+// run_experiment in a loop pre-pool: there is no barrier between
+// cells, so workers drain cheap and expensive cells alike with no
+// idle tail, and thread start-up is paid once per process instead of
+// once per cell.
+//
+// Results are bit-identical to sequential run_experiment calls with
+// the same config: cells are seeded by (row, scheme) via cell_seed()
+// and chunk merge order is thread-count independent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace adacheck::harness {
+
+/// Wall-clock and throughput metrics for one sweep execution.
+struct SweepPerf {
+  double wall_seconds = 0.0;
+  long long total_runs = 0;      ///< simulated runs across all cells
+  double runs_per_second = 0.0;  ///< total_runs / wall_seconds
+  int threads = 0;               ///< parallelism cap actually applied
+  std::size_t cells = 0;         ///< (row, scheme) cells executed
+};
+
+/// Every spec's measured cells plus the sweep's perf metrics.
+struct SweepResult {
+  std::vector<ExperimentResult> experiments;
+  sim::MonteCarloConfig config;  ///< per-cell budget/seed actually used
+  SweepPerf perf;
+};
+
+/// Runs all cells of all specs as one flat task queue.
+SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
+                      const sim::MonteCarloConfig& config = {});
+
+}  // namespace adacheck::harness

@@ -1,5 +1,6 @@
 #include "model/energy.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace adacheck::model {
@@ -8,18 +9,64 @@ void EnergyMeter::charge(const SpeedLevel& level, double cycles) {
   if (cycles < 0.0) throw std::invalid_argument("EnergyMeter: negative cycles");
   total_ += level.energy(cycles);
   total_cycles_ += cycles;
-  cycles_by_freq_[level.frequency] += cycles;
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    if (slots_[i].frequency == level.frequency) {
+      slots_[i].cycles += cycles;
+      return;
+    }
+  }
+  if (slot_count_ < kInlineLevels) {
+    slots_[slot_count_++] = {level.frequency, cycles};
+    return;
+  }
+  for (auto& entry : spill_) {
+    if (entry.frequency == level.frequency) {
+      entry.cycles += cycles;
+      return;
+    }
+  }
+  spill_.push_back({level.frequency, cycles});
 }
 
 double EnergyMeter::cycles_at(double frequency) const noexcept {
-  const auto it = cycles_by_freq_.find(frequency);
-  return it == cycles_by_freq_.end() ? 0.0 : it->second;
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    if (slots_[i].frequency == frequency) return slots_[i].cycles;
+  }
+  for (const auto& entry : spill_) {
+    if (entry.frequency == frequency) return entry.cycles;
+  }
+  return 0.0;
+}
+
+double EnergyMeter::cycles_above(double frequency) const noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    if (slots_[i].frequency > frequency) sum += slots_[i].cycles;
+  }
+  for (const auto& entry : spill_) {
+    if (entry.frequency > frequency) sum += entry.cycles;
+  }
+  return sum;
+}
+
+std::vector<std::pair<double, double>> EnergyMeter::breakdown() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(slot_count_ + spill_.size());
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    out.emplace_back(slots_[i].frequency, slots_[i].cycles);
+  }
+  for (const auto& entry : spill_) {
+    out.emplace_back(entry.frequency, entry.cycles);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void EnergyMeter::reset() noexcept {
   total_ = 0.0;
   total_cycles_ = 0.0;
-  cycles_by_freq_.clear();
+  slot_count_ = 0;
+  spill_.clear();
 }
 
 }  // namespace adacheck::model

@@ -6,9 +6,17 @@
 // a per-speed breakdown so benches can report how much work ran at the
 // high speed.  We account one processor of the DMR pair (both execute
 // the same cycles; a doubled figure is a constant factor).
+//
+// The meter sits on the Monte-Carlo hot path (one per simulated run),
+// so the per-frequency table lives in a fixed inline array — charging
+// never touches the heap for processors with up to kInlineLevels speed
+// levels; beyond that it spills to a vector.
 #pragma once
 
-#include <map>
+#include <array>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "model/speed.hpp"
 
@@ -23,17 +31,28 @@ class EnergyMeter {
   double total() const noexcept { return total_; }
   double cycles_at(double frequency) const noexcept;
   double total_cycles() const noexcept { return total_cycles_; }
-  /// Per-frequency cycle breakdown (frequency -> cycles executed).
-  const std::map<double, double>& breakdown() const noexcept {
-    return cycles_by_freq_;
-  }
+  /// Cycles executed strictly above `frequency`; allocation-free, for
+  /// hot-path aggregation of high-speed work.
+  double cycles_above(double frequency) const noexcept;
+  /// Per-frequency cycle breakdown, sorted ascending by frequency.
+  /// Builds a fresh vector — reporting paths only.
+  std::vector<std::pair<double, double>> breakdown() const;
 
   void reset() noexcept;
 
  private:
+  struct Entry {
+    double frequency = 0.0;
+    double cycles = 0.0;
+  };
+  /// Covers every realistic DVS table (the paper uses two levels).
+  static constexpr std::size_t kInlineLevels = 6;
+
   double total_ = 0.0;
   double total_cycles_ = 0.0;
-  std::map<double, double> cycles_by_freq_;
+  std::array<Entry, kInlineLevels> slots_{};
+  std::size_t slot_count_ = 0;
+  std::vector<Entry> spill_;  ///< only for > kInlineLevels frequencies
 };
 
 }  // namespace adacheck::model

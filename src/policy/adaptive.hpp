@@ -46,6 +46,8 @@ class AdaptiveCheckpointPolicy final : public sim::ICheckpointPolicy {
   explicit AdaptiveCheckpointPolicy(AdaptiveConfig config);
 
   std::string name() const override { return name_; }
+  /// All per-run state lives in the ExecContext; instances are reusable.
+  bool reset() override { return true; }
   sim::Decision initial(const sim::ExecContext& ctx) override;
   sim::Decision on_fault(const sim::ExecContext& ctx) override;
   std::optional<sim::Decision> on_commit(const sim::ExecContext& ctx) override;

@@ -19,6 +19,10 @@ class PoissonArrivalPolicy final : public sim::ICheckpointPolicy {
   explicit PoissonArrivalPolicy(std::size_t level = 0) : level_(level) {}
 
   std::string name() const override { return "Poisson"; }
+  bool reset() override {
+    plan_ = {};
+    return true;
+  }
   sim::Decision initial(const sim::ExecContext& ctx) override;
   sim::Decision on_fault(const sim::ExecContext& ctx) override;
 
@@ -34,6 +38,10 @@ class KFaultTolerantPolicy final : public sim::ICheckpointPolicy {
   explicit KFaultTolerantPolicy(std::size_t level = 0) : level_(level) {}
 
   std::string name() const override { return "k-f-t"; }
+  bool reset() override {
+    plan_ = {};
+    return true;
+  }
   sim::Decision initial(const sim::ExecContext& ctx) override;
   sim::Decision on_fault(const sim::ExecContext& ctx) override;
 

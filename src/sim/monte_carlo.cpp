@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
-#include <vector>
 
 #include "sim/validators.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace adacheck::sim {
 
@@ -25,16 +24,32 @@ void CellStats::merge(const CellStats& other) noexcept {
 
 namespace {
 
-CellStats run_range(const SimSetup& setup, const PolicyFactory& factory,
+/// Fixed chunk grain: partial merges happen per chunk in index order,
+/// so any change here changes rounding (not correctness).  256 runs
+/// keeps >= 39 chunks for the paper's 10,000-run cells — enough
+/// parallelism without drowning the queue.
+constexpr int kRunChunk = 256;
+
+/// One contiguous slice of one job's run indices.
+struct Chunk {
+  std::size_t job = 0;
+  int begin = 0;
+  int end = 0;
+};
+
+CellStats run_chunk(const SimSetup& setup, const PolicyFactory& factory,
                     const MonteCarloConfig& config, int begin, int end) {
   CellStats stats;
   EngineConfig engine_config;
   engine_config.record_trace = config.validate;
   const double base_freq = setup.processor.slowest().frequency;
+  std::unique_ptr<ICheckpointPolicy> policy;
   for (int i = begin; i < end; ++i) {
     const std::uint64_t seed =
         util::derive_seed(config.seed, static_cast<std::uint64_t>(i));
-    auto policy = factory();
+    // Reuse the chunk's policy instance when it can re-arm itself;
+    // otherwise pay the factory allocation per run.
+    if (!policy || !policy->reset()) policy = factory();
     const RunResult result =
         simulate_seeded(setup, *policy, seed, engine_config);
 
@@ -48,11 +63,7 @@ CellStats run_range(const SimSetup& setup, const PolicyFactory& factory,
     stats.faults.add(static_cast<double>(result.faults));
     stats.rollbacks.add(static_cast<double>(result.rollbacks));
     stats.corrections.add(static_cast<double>(result.corrections));
-    double high_cycles = 0.0;
-    for (const auto& [freq, cycles] : result.meter.breakdown()) {
-      if (freq > base_freq) high_cycles += cycles;
-    }
-    stats.high_speed_cycles.add(high_cycles);
+    stats.high_speed_cycles.add(result.meter.cycles_above(base_freq));
     if (result.outcome == RunOutcome::kAborted) ++stats.aborted_runs;
     if (config.validate && !validate_all(setup, result).empty()) {
       ++stats.validation_failures;
@@ -61,49 +72,68 @@ CellStats run_range(const SimSetup& setup, const PolicyFactory& factory,
   return stats;
 }
 
+void validate_job(const CellJob& job) {
+  job.setup.validate();
+  if (job.config.runs <= 0) {
+    throw std::invalid_argument("MonteCarloConfig: runs must be > 0");
+  }
+  if (!job.factory) {
+    throw std::invalid_argument("run_cell: null policy factory");
+  }
+}
+
 }  // namespace
+
+std::vector<CellStats> run_cells(const std::vector<CellJob>& jobs,
+                                 int threads, int* threads_used) {
+  for (const auto& job : jobs) validate_job(job);
+
+  std::vector<Chunk> chunks;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (int begin = 0; begin < jobs[j].config.runs; begin += kRunChunk) {
+      chunks.push_back(
+          {j, begin, std::min(jobs[j].config.runs, begin + kRunChunk)});
+    }
+  }
+
+  // Partial stats are indexed by chunk, so the final merge below walks
+  // them in run-index order no matter which worker produced them.
+  // Claiming chunks one at a time lets the flat queue self-balance
+  // across cells of very different cost.
+  std::vector<CellStats> partials(chunks.size());
+  const auto process = [&](int lo, int hi) {
+    for (int c = lo; c < hi; ++c) {
+      const auto& chunk = chunks[static_cast<std::size_t>(c)];
+      const auto& job = jobs[chunk.job];
+      partials[static_cast<std::size_t>(c)] = run_chunk(
+          job.setup, job.factory, job.config, chunk.begin, chunk.end);
+    }
+  };
+
+  int applied = 1;
+  if (threads == 1) {
+    // Fully serial in the calling thread — never touches (or even
+    // constructs) the shared pool.
+    process(0, static_cast<int>(chunks.size()));
+  } else {
+    applied = util::parallel_for(util::ThreadPool::shared(), 0,
+                                 static_cast<int>(chunks.size()),
+                                 /*grain=*/1, process, threads);
+  }
+  if (threads_used != nullptr) *threads_used = std::max(applied, 1);
+
+  std::vector<CellStats> results(jobs.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    results[chunks[c].job].merge(partials[c]);
+  }
+  return results;
+}
 
 CellStats run_cell(const SimSetup& setup, const PolicyFactory& factory,
                    const MonteCarloConfig& config) {
-  setup.validate();
-  if (config.runs <= 0) {
-    throw std::invalid_argument("MonteCarloConfig: runs must be > 0");
-  }
-  if (!factory) {
-    throw std::invalid_argument("run_cell: null policy factory");
-  }
-
-  int threads = config.threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  threads = std::min(threads, config.runs);
-
-  if (threads == 1) {
-    return run_range(setup, factory, config, 0, config.runs);
-  }
-
-  // Chunk by thread; per-run seeding keeps the aggregate independent of
-  // the partition.  Merge in chunk order for deterministic rounding.
-  std::vector<CellStats> partials(static_cast<std::size_t>(threads));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  const int chunk = (config.runs + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
-    const int begin = t * chunk;
-    const int end = std::min(config.runs, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&, t, begin, end] {
-      partials[static_cast<std::size_t>(t)] =
-          run_range(setup, factory, config, begin, end);
-    });
-  }
-  for (auto& th : pool) th.join();
-
-  CellStats total;
-  for (const auto& p : partials) total.merge(p);
-  return total;
+  std::vector<CellJob> jobs;
+  jobs.push_back({setup, factory, config});
+  return run_cells(jobs, config.threads)[0];
 }
 
 }  // namespace adacheck::sim

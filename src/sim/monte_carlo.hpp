@@ -3,26 +3,36 @@
 // Repeats a scenario `runs` times with independent fault streams and
 // aggregates the two quantities the paper reports — P (probability of
 // timely completion) and E (mean energy over successful runs) — plus
-// extended statistics.  Runs are seeded per-index from the master seed,
-// so results are bit-identical regardless of thread count.
+// extended statistics.  Runs are seeded per-index from the master seed
+// and aggregated in fixed-size chunks merged in index order, so
+// results are bit-identical regardless of thread count.
+//
+// Execution happens on the shared util::ThreadPool: one cell
+// (`run_cell`) chunks its runs onto the persistent workers, and a
+// whole batch of cells (`run_cells`) becomes a single flat task queue
+// — the backbone of harness::run_sweep.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "util/statistics.hpp"
 
 namespace adacheck::sim {
 
-/// Fresh policy instance per run (policies carry per-run mutable state).
+/// Builds a fresh policy instance.  The run loop keeps one instance
+/// per chunk alive and re-arms it between runs via
+/// ICheckpointPolicy::reset(); the factory is the fallback for
+/// policies that cannot reset (it is then invoked once per run).
 using PolicyFactory = std::function<std::unique_ptr<ICheckpointPolicy>()>;
 
 struct MonteCarloConfig {
   int runs = 10'000;          ///< paper: "repeated 10,000 times"
   std::uint64_t seed = 0x5EED5EED;
-  int threads = 0;            ///< 0 = hardware concurrency
+  int threads = 0;            ///< 0 = shared pool width; 1 = in-caller
   bool validate = false;      ///< run invariant validators on every run
 };
 
@@ -51,5 +61,25 @@ struct CellStats {
 /// assert the count is zero).
 CellStats run_cell(const SimSetup& setup, const PolicyFactory& factory,
                    const MonteCarloConfig& config = {});
+
+/// One independent cell of a batch.  `config.threads` is ignored here —
+/// run_cells parallelizes across the whole batch, not per cell.
+struct CellJob {
+  SimSetup setup;
+  PolicyFactory factory;
+  MonteCarloConfig config;
+};
+
+/// Runs every job as one flat chunk queue on the shared thread pool
+/// (`threads` caps the parallelism; 0 = pool width, 1 = fully serial
+/// in the calling thread).  Results are identical to calling run_cell
+/// per job — bit-identical for every thread count, since chunking and
+/// merge order depend only on each job's run count.  `threads_used`,
+/// when given, receives the parallelism actually applied — the cap
+/// clamped to the chunk count and to pool width + 1 (the waiting
+/// caller helps execute tasks) — what perf reports should record.
+std::vector<CellStats> run_cells(const std::vector<CellJob>& jobs,
+                                 int threads = 0,
+                                 int* threads_used = nullptr);
 
 }  // namespace adacheck::sim

@@ -66,6 +66,14 @@ class ICheckpointPolicy {
 
   virtual std::string name() const = 0;
 
+  /// Re-arms the policy for a fresh, independent run, as if newly
+  /// constructed.  Returns false when the policy cannot guarantee that;
+  /// the Monte-Carlo loop then falls back to constructing a new
+  /// instance per run from its PolicyFactory.  Overriding this keeps
+  /// the hot path allocation-free: one instance serves a whole chunk
+  /// of runs.
+  virtual bool reset() { return false; }
+
   /// Called once before execution begins.
   virtual Decision initial(const ExecContext& ctx) = 0;
 

@@ -1,0 +1,161 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace adacheck::util {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_concurrency();
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+int ThreadPool::default_concurrency() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::execute(Task task) noexcept {
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  task.group->finish(error);
+}
+
+bool ThreadPool::try_run_one(const TaskGroup* group) {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = group == nullptr
+                        ? queue_.begin()
+                        : std::find_if(queue_.begin(), queue_.end(),
+                                       [group](const Task& t) {
+                                         return t.group == group;
+                                       });
+    if (it == queue_.end()) return false;
+    task = std::move(*it);
+    queue_.erase(it);
+  }
+  execute(std::move(task));
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue before honoring shutdown so submitted groups
+      // always complete.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(std::move(task));
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  while (pool_.try_run_one(this)) {
+  }
+  wait_pending();
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  try {
+    pool_.enqueue({std::move(fn), this});
+  } catch (...) {
+    finish(std::current_exception());
+    throw;
+  }
+}
+
+void TaskGroup::wait() {
+  // Help: run our own queued tasks on this thread, then block for any
+  // still executing on workers.
+  while (pool_.try_run_one(this)) {
+  }
+  wait_pending();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::finish(std::exception_ptr error) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error && !error_) error_ = error;
+  if (--pending_ == 0) done_.notify_all();
+}
+
+void TaskGroup::wait_pending() noexcept {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int parallel_for(ThreadPool& pool, int begin, int end, int grain,
+                 const std::function<void(int, int)>& body,
+                 int max_parallelism) {
+  if (begin >= end) return 0;
+  if (grain < 1) grain = 1;
+  const int blocks = (end - begin + grain - 1) / grain;
+  // One claiming task per worker plus the helping waiter; the atomic
+  // cursor hands out blocks dynamically ("stealing" from slow peers).
+  int claimants = std::min(blocks, pool.size() + 1);
+  if (max_parallelism > 0) claimants = std::min(claimants, max_parallelism);
+  std::atomic<int> cursor{0};
+  TaskGroup group(pool);
+  for (int c = 0; c < claimants; ++c) {
+    group.run([&] {
+      for (;;) {
+        const int b = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) return;
+        const int lo = begin + b * grain;
+        body(lo, std::min(end, lo + grain));
+      }
+    });
+  }
+  group.wait();
+  return claimants;
+}
+
+}  // namespace adacheck::util

@@ -1,0 +1,121 @@
+// Shared worker-thread pool for the simulation subsystem.
+//
+// Monte-Carlo cells, experiment grids, and sweeps all decompose into
+// independent chunks of runs.  Before this pool existed every
+// `run_cell` call spawned and joined its own std::thread set; now one
+// process-wide set of persistent workers drains a single task queue,
+// so a whole table sweep is one flat queue instead of N sequential
+// cells each paying thread start-up.
+//
+// Concurrency model ("work-stealing-lite"):
+//  * ThreadPool owns the workers and a FIFO queue of tasks, each
+//    tagged with the TaskGroup that submitted it.
+//  * TaskGroup tracks completion of its own tasks.  `wait()` does not
+//    just block: the waiting thread first *helps*, executing queued
+//    tasks of its own group.  This keeps nested use safe — a task
+//    running on a worker may itself create a group, submit, and wait
+//    without deadlocking, even on a single-worker pool.
+//  * The first exception thrown by a group's task is captured and
+//    rethrown from `wait()`; remaining tasks still run to completion.
+//
+// Determinism: the pool never reorders results — callers index output
+// slots by task, so the merge order (and therefore floating-point
+// rounding) is independent of which worker ran what.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adacheck::util {
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  /// Starts `threads` persistent workers; 0 means default_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency clamped to >= 1.
+  static int default_concurrency() noexcept;
+
+  /// Process-wide pool shared by run_cell / run_cells / run_sweep.
+  static ThreadPool& shared();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void enqueue(Task task);
+  /// Pops and executes one queued task belonging to `group` (any task
+  /// when null).  Returns false when no matching task was queued.
+  bool try_run_one(const TaskGroup* group);
+  static void execute(Task task) noexcept;
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Completion tracker for one batch of tasks.  Not reusable across
+/// pools; a group may be reused for further batches after wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) noexcept : pool_(pool) {}
+  /// Blocks until all submitted tasks finished (exceptions swallowed —
+  /// call wait() explicitly to observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits one task to the pool under this group.
+  void run(std::function<void()> fn);
+
+  /// Helps execute this group's queued tasks, then blocks until every
+  /// submitted task completed.  Rethrows the first captured exception.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+  void finish(std::exception_ptr error) noexcept;
+  void wait_pending() noexcept;
+
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+/// Runs body(lo, hi) over [begin, end) in blocks of `grain`, claimed
+/// dynamically by an atomic cursor so fast workers take more blocks.
+/// Blocks may execute concurrently and in any order; `body` must be
+/// thread-safe.  Rethrows the first exception a block throws.
+/// `max_parallelism` caps concurrency (0 = pool width + the helping
+/// caller).  Returns the parallelism actually applied: the number of
+/// claimant tasks, min(blocks, cap, pool width + 1).
+int parallel_for(ThreadPool& pool, int begin, int end, int grain,
+                 const std::function<void(int, int)>& body,
+                 int max_parallelism = 0);
+
+}  // namespace adacheck::util

@@ -39,6 +39,31 @@ TEST(EnergyMeter, RejectsNegativeCycles) {
   EXPECT_THROW(m.charge({1.0, 1.0}, -1.0), std::invalid_argument);
 }
 
+TEST(EnergyMeter, SpillsBeyondInlineCapacity) {
+  // More distinct frequencies than the inline slot array holds (6):
+  // the spill path must keep per-frequency accounting exact.
+  EnergyMeter m;
+  const int levels = 10;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 1; i <= levels; ++i) {
+      m.charge({static_cast<double>(i), 1.0}, 10.0 * i);
+    }
+  }
+  for (int i = 1; i <= levels; ++i) {
+    EXPECT_DOUBLE_EQ(m.cycles_at(i), 20.0 * i) << "frequency " << i;
+  }
+  EXPECT_DOUBLE_EQ(m.total_cycles(), 2.0 * 10.0 * (levels * (levels + 1) / 2));
+  EXPECT_DOUBLE_EQ(m.cycles_above(8.0), 20.0 * (9 + 10));
+  const auto breakdown = m.breakdown();
+  ASSERT_EQ(breakdown.size(), static_cast<std::size_t>(levels));
+  for (int i = 1; i <= levels; ++i) {  // sorted ascending, no duplicates
+    EXPECT_DOUBLE_EQ(breakdown[static_cast<std::size_t>(i - 1)].first, i);
+  }
+  m.reset();
+  EXPECT_TRUE(m.breakdown().empty());
+  EXPECT_DOUBLE_EQ(m.cycles_at(7.0), 0.0);
+}
+
 TEST(EnergyMeter, ResetClearsEverything) {
   EnergyMeter m;
   m.charge({1.0, 2.0}, 10.0);

@@ -1,0 +1,222 @@
+// The sweep subsystem: flat-queue batching, policy reuse, and the
+// JSON perf report's determinism guarantees.
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "harness/json_report.hpp"
+#include "policy/factory.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/thread_pool.hpp"
+
+namespace adacheck::harness {
+namespace {
+
+using testutil::basic_setup;
+
+/// A small custom spec (not a paper table) exercising DVS + inner SCPs.
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.id = "sweeptest";
+  spec.title = "sweep test grid";
+  spec.costs = model::CheckpointCosts::paper_scp_flavor();
+  spec.deadline = 10'000.0;
+  spec.fault_tolerance = 5;
+  spec.speed_ratio = 2.0;
+  spec.util_level = 0;
+  spec.schemes = {"Poisson", "A_D_S"};
+  spec.rows = {{0.76, 1.4e-3, {}}, {0.80, 1.6e-3, {}}};
+  return spec;
+}
+
+void expect_same_stats(const sim::CellStats& a, const sim::CellStats& b) {
+  EXPECT_EQ(a.completion.trials(), b.completion.trials());
+  EXPECT_EQ(a.completion.successes(), b.completion.successes());
+  EXPECT_EQ(a.aborted_runs, b.aborted_runs);
+  const std::pair<const util::RunningStats*, const util::RunningStats*>
+      tracked[] = {
+          {&a.energy_success, &b.energy_success},
+          {&a.energy_all, &b.energy_all},
+          {&a.finish_time_success, &b.finish_time_success},
+          {&a.faults, &b.faults},
+          {&a.rollbacks, &b.rollbacks},
+          {&a.corrections, &b.corrections},
+          {&a.high_speed_cycles, &b.high_speed_cycles},
+      };
+  for (const auto& [lhs, rhs] : tracked) {
+    EXPECT_EQ(lhs->count(), rhs->count());
+    if (lhs->count() == 0) continue;
+    // Fixed-grain chunking makes aggregation bit-identical, not just
+    // close: chunk boundaries and merge order never depend on the
+    // executing threads.
+    EXPECT_DOUBLE_EQ(lhs->mean(), rhs->mean());
+    EXPECT_DOUBLE_EQ(lhs->variance(), rhs->variance());
+    EXPECT_DOUBLE_EQ(lhs->min(), rhs->min());
+    EXPECT_DOUBLE_EQ(lhs->max(), rhs->max());
+  }
+}
+
+TEST(Sweep, MatchesSequentialRunExperiment) {
+  const auto spec = small_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 300;
+  config.seed = 0xABCD;
+  const auto sequential = run_experiment(spec, config);
+  const auto sweep = run_sweep({spec}, config);
+  ASSERT_EQ(sweep.experiments.size(), 1u);
+  const auto& swept = sweep.experiments[0];
+  ASSERT_EQ(swept.cells.size(), sequential.cells.size());
+  for (std::size_t r = 0; r < sequential.cells.size(); ++r) {
+    for (std::size_t s = 0; s < sequential.cells[r].size(); ++s) {
+      expect_same_stats(sequential.cells[r][s], swept.cells[r][s]);
+    }
+  }
+}
+
+TEST(Sweep, PerfMetricsPopulated) {
+  sim::MonteCarloConfig config;
+  config.runs = 100;
+  const auto sweep = run_sweep({small_spec()}, config);
+  EXPECT_EQ(sweep.perf.cells, 4u);  // 2 rows x 2 schemes
+  EXPECT_EQ(sweep.perf.total_runs, 400);
+  EXPECT_GT(sweep.perf.wall_seconds, 0.0);
+  EXPECT_GT(sweep.perf.runs_per_second, 0.0);
+  EXPECT_GE(sweep.perf.threads, 1);
+}
+
+TEST(Sweep, PerfThreadsReportsAppliedParallelismNotTheCap) {
+  sim::MonteCarloConfig config;
+  config.runs = 100;     // 1 chunk per cell -> 4 chunks total
+  config.threads = 64;   // far above both the chunk count and the pool
+  const auto sweep = run_sweep({small_spec()}, config);
+  EXPECT_GE(sweep.perf.threads, 1);
+  EXPECT_LE(sweep.perf.threads, 4);  // clamped to the chunk count
+  EXPECT_LE(sweep.perf.threads, util::ThreadPool::shared().size() + 1);
+}
+
+TEST(Sweep, JsonByteIdenticalAcrossThreadCounts) {
+  const auto spec = small_spec();
+  sim::MonteCarloConfig serial;
+  serial.runs = 300;
+  serial.seed = 0x15DEAD;
+  serial.threads = 1;
+  sim::MonteCarloConfig parallel = serial;
+  parallel.threads = 4;
+
+  JsonReportOptions options;
+  options.include_perf = false;  // timing legitimately differs
+  const std::string a = sweep_json(run_sweep({spec}, serial), options);
+  const std::string b = sweep_json(run_sweep({spec}, parallel), options);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\": \"adacheck-sweep-v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"scheme\": \"A_D_S\""), std::string::npos);
+}
+
+TEST(Sweep, JsonPerfSectionPresentByDefault) {
+  sim::MonteCarloConfig config;
+  config.runs = 50;
+  const auto json = sweep_json(run_sweep({small_spec()}, config));
+  EXPECT_NE(json.find("\"perf\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs_per_second\""), std::string::npos);
+}
+
+TEST(Sweep, MultipleSpecsKeepTheirSlices) {
+  auto spec_a = small_spec();
+  auto spec_b = small_spec();
+  spec_b.id = "sweeptest-b";
+  spec_b.rows = {{0.92, 1.0e-4, {}}};
+  sim::MonteCarloConfig config;
+  config.runs = 100;
+  const auto sweep = run_sweep({spec_a, spec_b}, config);
+  ASSERT_EQ(sweep.experiments.size(), 2u);
+  EXPECT_EQ(sweep.experiments[0].cells.size(), 2u);
+  EXPECT_EQ(sweep.experiments[1].cells.size(), 1u);
+  // Same spec content -> same seeds -> spec_a's first row must match a
+  // standalone run.
+  const auto standalone = run_experiment(spec_a, config);
+  expect_same_stats(standalone.cells[0][0], sweep.experiments[0].cells[0][0]);
+}
+
+/// Wrapper hiding a policy's reset support, forcing the per-run
+/// factory fallback.
+class NoResetPolicy final : public sim::ICheckpointPolicy {
+ public:
+  explicit NoResetPolicy(std::unique_ptr<sim::ICheckpointPolicy> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name(); }
+  bool reset() override { return false; }
+  sim::Decision initial(const sim::ExecContext& ctx) override {
+    return inner_->initial(ctx);
+  }
+  sim::Decision on_fault(const sim::ExecContext& ctx) override {
+    return inner_->on_fault(ctx);
+  }
+  std::optional<sim::Decision> on_commit(const sim::ExecContext& ctx) override {
+    return inner_->on_commit(ctx);
+  }
+
+ private:
+  std::unique_ptr<sim::ICheckpointPolicy> inner_;
+};
+
+TEST(Sweep, PolicyReuseMatchesFreshConstruction) {
+  // reset()-reused policies must be indistinguishable from per-run
+  // fresh instances.
+  const auto setup = testutil::dvs_setup(7'800.0, 10'000.0, 5, 1.4e-3);
+  sim::MonteCarloConfig config;
+  config.runs = 500;
+  config.seed = 77;
+  const auto reused =
+      sim::run_cell(setup, policy::make_policy_factory("A_D_S"), config);
+  const auto fresh = sim::run_cell(
+      setup,
+      [] {
+        return std::make_unique<NoResetPolicy>(policy::make_policy("A_D_S"));
+      },
+      config);
+  expect_same_stats(reused, fresh);
+}
+
+TEST(Sweep, ResettablePolicyBuiltOncePerChunk) {
+  const auto setup = basic_setup(1'000.0, 10'000.0);
+  sim::MonteCarloConfig config;
+  config.runs = 600;  // 3 chunks of 256/256/88
+  config.threads = 1;
+  auto constructions = std::make_shared<std::atomic<int>>(0);
+  const auto stats = sim::run_cell(
+      setup,
+      [constructions] {
+        ++*constructions;
+        return policy::make_policy("Poisson");
+      },
+      config);
+  EXPECT_EQ(stats.completion.trials(), 600u);
+  EXPECT_EQ(constructions->load(), 3);
+}
+
+TEST(Sweep, NonResettablePolicyBuiltPerRun) {
+  const auto setup = basic_setup(1'000.0, 10'000.0);
+  const sim::Decision plan = testutil::plain_plan(setup, 100.0);
+  sim::MonteCarloConfig config;
+  config.runs = 100;
+  config.threads = 1;
+  auto constructions = std::make_shared<std::atomic<int>>(0);
+  const auto stats = sim::run_cell(
+      setup,
+      [constructions, plan] {
+        ++*constructions;
+        // ScriptedPolicy keeps per-run cursor state and does not
+        // override reset().
+        return std::make_unique<testutil::ScriptedPolicy>(plan);
+      },
+      config);
+  EXPECT_EQ(stats.completion.trials(), 100u);
+  EXPECT_EQ(constructions->load(), 100);
+}
+
+}  // namespace
+}  // namespace adacheck::harness

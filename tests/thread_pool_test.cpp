@@ -1,0 +1,123 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace adacheck::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 1'000; ++i) {
+    group.run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 1'000);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1);
+  EXPECT_GE(ThreadPool::default_concurrency(), 1);
+}
+
+TEST(ThreadPool, SharedPoolIsPersistent) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 10; ++i) {
+    group.run([&count, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The failure does not cancel siblings: every other task still ran.
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, GroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  group.run([&count] { ++count; });
+  group.wait();
+  group.run([&count] { ++count; });
+  group.run([&count] { ++count; });
+  group.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, NestedWaitDoesNotDeadlockOnSingleWorker) {
+  // A task running on the only worker submits and waits on its own
+  // sub-tasks; help-while-wait must execute them in place.
+  ThreadPool pool(1);
+  std::atomic<int> inner_count{0};
+  TaskGroup outer(pool);
+  outer.run([&] {
+    TaskGroup inner(pool);
+    for (int i = 0; i < 8; ++i) {
+      inner.run([&inner_count] { ++inner_count; });
+    }
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(inner_count.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) {
+      group.run([&count] { ++count; });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(237);
+  parallel_for(pool, 0, 237, 10, [&hits](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, 10, [&calls](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> sum{0};
+  parallel_for(pool, 3, 4, 100, [&sum](int lo, int hi) {
+    sum += hi - lo;
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100, 1,
+                   [](int lo, int) {
+                     if (lo == 42) throw std::logic_error("boom");
+                   }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace adacheck::util

@@ -10,7 +10,6 @@
 //                    [--validate] [--no-perf]
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,20 +17,6 @@
 #include "harness/paper_params.hpp"
 #include "harness/sweep.hpp"
 #include "util/cli.hpp"
-
-namespace {
-
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream in(s);
-  std::string item;
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace adacheck;
@@ -46,7 +31,7 @@ int main(int argc, char** argv) {
   std::vector<harness::ExperimentSpec> specs = harness::all_paper_tables();
   const std::string tables = args.get_string("tables", "");
   if (!tables.empty()) {
-    const auto wanted = split_csv(tables);
+    const auto wanted = util::split_csv(tables);
     std::vector<harness::ExperimentSpec> filtered;
     for (const auto& spec : specs) {
       for (const auto& id : wanted) {

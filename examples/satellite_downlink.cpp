@@ -3,17 +3,26 @@
 // power").
 //
 // A compression job must finish before each ground-station contact
-// window closes.  During a radiation event (e.g. a South Atlantic
-// Anomaly crossing) the fault rate spikes by an order of magnitude.
-// The example demonstrates the record/replay facility: every run is
-// traced; the worst run is re-executed deterministically from its
-// recorded fault trace, which is how an engineer would debug a missed
-// downlink after the fact.
+// window closes.  Radiation events (South Atlantic Anomaly crossings)
+// spike the fault rate by an order of magnitude for short stretches:
+// exactly the two-state Markov-modulated burst process of the
+// fault-environment subsystem.  The example contrasts a Poisson
+// process at the *matched average rate* with the bursty environment —
+// same long-run lambda, very different tail — and shows the
+// rate-tracking A_D_C-est scheme recovering part of the loss.
+//
+// It also demonstrates record/replay: every run is traced; the worst
+// bursty run is re-executed deterministically from its recorded fault
+// trace, which is how an engineer would debug a missed downlink after
+// the fact.
 #include <algorithm>
 #include <iostream>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "model/fault.hpp"
+#include "model/fault_env.hpp"
 #include "policy/factory.hpp"
 #include "sim/engine.hpp"
 #include "sim/validators.hpp"
@@ -36,30 +45,54 @@ model::FaultTrace extract_faults(const sim::RunResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::CliArgs args(argc, argv, {"runs", "lambda-quiet", "lambda-saa"});
+  const util::CliArgs args(argc, argv, {"runs", "lambda-quiet", "saa-mult",
+                                        "quiet-dwell", "saa-dwell"});
   const int runs = static_cast<int>(args.get_int("runs", 3'000));
-  const double lambda_quiet = args.get_double("lambda-quiet", 2.0e-4);
-  const double lambda_saa = args.get_double("lambda-saa", 2.4e-3);
+  const double lambda_quiet = args.get_double("lambda-quiet", 6.0e-4);
+  // SAA crossing: ~12x the quiet rate for ~250 time units out of every
+  // ~2550 (one crossing per orbit-ish period).
+  const double saa_mult = args.get_double("saa-mult", 12.0);
+  const double quiet_dwell = args.get_double("quiet-dwell", 2'300.0);
+  const double saa_dwell = args.get_double("saa-dwell", 250.0);
+
+  const auto orbit_env =
+      model::FaultEnvironment::bursty(saa_mult, quiet_dwell, saa_dwell);
+  const double lambda_avg = lambda_quiet * orbit_env.rate_multiplier();
 
   // Downlink prep: N = 9200 cycles at f1 against a 10000-unit window.
   sim::SimSetup setup{
       model::task_from_utilization(0.92, 1.0, 10'000.0, 3),
       model::CheckpointCosts::paper_ccp_flavor(),  // stores dominate: CCPs
       model::DvsProcessor::two_speed(2.0),
-      model::FaultModel{lambda_quiet, false}};
+      model::FaultModel{lambda_avg, false}};
 
-  std::cout << "=== Satellite downlink: U = 0.92, CCP-flavor costs ===\n\n";
+  std::cout << "=== Satellite downlink: U = 0.92, CCP-flavor costs ===\n"
+            << "orbit environment: " << saa_mult << "x bursts, "
+            << quiet_dwell << "/" << saa_dwell << " dwell, lambda_avg = "
+            << util::fmt_sci(lambda_avg, 2) << "\n\n";
 
-  util::TextTable table({"orbit segment", "lambda", "scheme", "P(timely)",
+  struct EnvCase {
+    const char* label;
+    model::FaultEnvironment env;
+    double rate;  ///< FaultModel rate making the averages match
+  };
+  // The bursty case uses the quiet rate: the environment's multiplier
+  // brings its long-run average up to lambda_avg, so both rows inject
+  // the same mean number of faults per window.
+  const std::vector<EnvCase> cases = {
+      {"poisson (avg)", model::FaultEnvironment::exponential(), lambda_avg},
+      {"SAA bursts", orbit_env, lambda_quiet},
+  };
+
+  util::TextTable table({"fault process", "scheme", "P(timely)",
                          "worst finish", "faults(max)"});
   std::optional<model::FaultTrace> worst_trace;
   double worst_finish = -1.0;
 
-  for (const auto& [segment, lambda] :
-       {std::pair<const char*, double>{"quiet orbit", lambda_quiet},
-        std::pair<const char*, double>{"SAA crossing", lambda_saa}}) {
-    setup.fault_model.rate = lambda;
-    for (const char* scheme : {"A_D", "A_D_C"}) {
+  for (const auto& env_case : cases) {
+    setup.fault_model.rate = env_case.rate;
+    setup.environment = env_case.env;
+    for (const char* scheme : {"A_D", "A_D_C", "A_D_C-est"}) {
       auto factory = policy::make_policy_factory(scheme);
       double worst = 0.0;
       int worst_faults = 0;
@@ -69,20 +102,22 @@ int main(int argc, char** argv) {
       for (int i = 0; i < runs; ++i) {
         auto policy = factory();
         const auto result = sim::simulate_seeded(
-            setup, *policy, util::derive_seed(0x5A7, static_cast<std::uint64_t>(i)),
-            config);
+            setup, *policy,
+            util::derive_seed(0x5A7, static_cast<std::uint64_t>(i)), config);
         completions += result.completed();
         if (result.finish_time > worst) {
           worst = result.finish_time;
           worst_faults = result.faults;
-          // Keep the globally worst A_D_C run for the replay demo.
-          if (std::string(scheme) == "A_D_C" && worst > worst_finish) {
+          // Keep the globally worst bursty A_D_C-est run for the
+          // replay demo.
+          if (std::string(scheme) == "A_D_C-est" &&
+              env_case.env.burst.enabled && worst > worst_finish) {
             worst_finish = worst;
             worst_trace = extract_faults(result);
           }
         }
       }
-      table.add_row({segment, util::fmt_sci(lambda, 1), scheme,
+      table.add_row({env_case.label, scheme,
                      util::fmt_prob(static_cast<double>(completions) / runs),
                      util::fmt_fixed(worst, 1),
                      std::to_string(worst_faults)});
@@ -91,13 +126,14 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
 
-  // Post-mortem: replay the worst A_D_C run deterministically.
+  // Post-mortem: replay the worst bursty run deterministically.
   if (worst_trace) {
-    std::cout << "\nPost-mortem replay of the worst A_D_C run ("
+    std::cout << "\nPost-mortem replay of the worst bursty A_D_C-est run ("
               << worst_trace->size() << " faults recorded):\n";
-    setup.fault_model.rate = lambda_saa;
+    setup.fault_model.rate = lambda_quiet;
+    setup.environment = orbit_env;
     model::ReplayFaultSource source(*worst_trace);
-    auto policy = policy::make_policy("A_D_C");
+    auto policy = policy::make_policy("A_D_C-est");
     sim::EngineConfig config;
     config.record_trace = true;
     const auto replay = sim::simulate(setup, *policy, source, config);

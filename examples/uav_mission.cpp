@@ -2,16 +2,20 @@
 // systems working on limited battery supply").
 //
 // A control job runs once per 50 ms frame for a 3-hour mission.  The
-// transient-fault rate depends on altitude (more atmospheric neutrons
-// higher up), so the mission is a sequence of phases with different
-// lambdas.  The example asks two operational questions:
+// transient-fault process depends on altitude: more atmospheric
+// neutrons higher up (higher rate), and at survey altitude the flux
+// arrives in correlated bursts (solar activity), which the plain
+// Poisson model understates.  Each phase therefore carries a fault
+// *environment*, not just a lambda.  The example asks two operational
+// questions:
 //   1. Which checkpointing scheme keeps the control deadline-miss rate
-//      below a 1e-3 budget in every phase?
+//      below a 1e-3 budget in every phase — including the bursty one?
 //   2. How many control frames does the battery fund under each scheme?
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "model/fault_env.hpp"
 #include "policy/factory.hpp"
 #include "sim/monte_carlo.hpp"
 #include "util/cli.hpp"
@@ -24,7 +28,9 @@ using namespace adacheck;
 struct MissionPhase {
   std::string name;
   double minutes;
-  double lambda;  // per-time-unit transient fault rate at this altitude
+  double lambda;  // per-time-unit quiet fault rate at this altitude
+  model::FaultEnvironment environment;
+  std::string environment_label;
 };
 
 }  // namespace
@@ -37,20 +43,26 @@ int main(int argc, char** argv) {
 
   // One control frame: 8200 cycles of worst-case work at f1 against a
   // 10000-unit frame deadline (U = 0.82), tolerate k = 5 faults/frame.
+  const auto poisson = model::FaultEnvironment::exponential();
+  // Survey altitude: solar-modulated neutron showers — 8x bursts a few
+  // frames long, with a fifth of the strikes hitting both replicas.
+  const auto showers = model::FaultEnvironment::bursty(8.0, 1'800.0, 300.0)
+                           .with_common_cause(0.2);
   const std::vector<MissionPhase> phases = {
-      {"takeoff  (0.5 km)", 20.0, 4.0e-4},
-      {"transit  (3 km)", 60.0, 9.0e-4},
-      {"survey   (6 km)", 80.0, 1.6e-3},
-      {"descent  (1 km)", 20.0, 5.0e-4},
+      {"takeoff  (0.5 km)", 20.0, 4.0e-4, poisson, "poisson"},
+      {"transit  (3 km)", 60.0, 9.0e-4, poisson, "poisson"},
+      {"survey   (6 km)", 80.0, 1.1e-3, showers, "8x bursts+cc"},
+      {"descent  (1 km)", 20.0, 5.0e-4, poisson, "poisson"},
   };
 
   std::cout << "=== UAV mission: 50 ms control frames, U = 0.82, k = 5 ===\n"
             << "miss budget per phase: P(miss) <= 1e-3; battery = "
             << battery << " energy units\n\n";
 
-  const std::vector<std::string> schemes = {"k-f-t", "A_D", "A_D_S"};
-  util::TextTable table({"phase", "lambda", "scheme", "P(timely)",
-                         "E/frame", "meets 1e-3?", "frames on battery"});
+  const std::vector<std::string> schemes = {"k-f-t", "A_D_S", "A_D_S-est"};
+  util::TextTable table({"phase", "environment", "lambda", "scheme",
+                         "P(timely)", "E/frame", "meets 1e-3?",
+                         "frames on battery"});
 
   struct Tally {
     double worst_p = 1.0;
@@ -63,7 +75,8 @@ int main(int argc, char** argv) {
         model::task_from_utilization(0.82, 1.0, 10'000.0, 5),
         model::CheckpointCosts::paper_scp_flavor(),
         model::DvsProcessor::two_speed(2.0),
-        model::FaultModel{phase.lambda, false}};
+        model::FaultModel{phase.lambda, false},
+        phase.environment};
     sim::MonteCarloConfig config;
     config.runs = runs;
     config.seed = 0xF17E + static_cast<std::uint64_t>(phase.minutes);
@@ -75,7 +88,8 @@ int main(int argc, char** argv) {
       const double energy = stats.energy_all.mean();
       const bool meets = (1.0 - p) <= 1e-3;
       const double frames = battery / energy;
-      table.add_row({phase.name, util::fmt_sci(phase.lambda, 1), schemes[s],
+      table.add_row({phase.name, phase.environment_label,
+                     util::fmt_sci(phase.lambda, 1), schemes[s],
                      util::fmt_prob(p), util::fmt_energy(energy),
                      meets ? "yes" : "NO",
                      util::fmt_energy(frames)});
@@ -97,7 +111,11 @@ int main(int argc, char** argv) {
               << "\n";
   }
   std::cout << "\nReading: the fixed k-f-t scheme is cheapest but blows the\n"
-               "miss budget at survey altitude; A_D_S holds the budget in\n"
-               "every phase at lower energy than A_D.\n";
+               "miss budget at every altitude; A_D_S holds it in every\n"
+               "phase including the bursty survey leg.  The rate-tracking\n"
+               "A_D_S-est matches it under bursts by shortening intervals\n"
+               "while a shower is in progress — the flip side is that long\n"
+               "quiet stretches relax its plan, trading a sliver of quiet-\n"
+               "phase margin for burst responsiveness.\n";
   return 0;
 }

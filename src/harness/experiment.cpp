@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "model/fault_env.hpp"
 #include "model/task.hpp"
 #include "policy/factory.hpp"
 #include "util/rng.hpp"
@@ -19,6 +20,9 @@ void ExperimentSpec::validate() const {
     throw std::invalid_argument("ExperimentSpec: speed_ratio <= 1");
   if (util_level > 1)
     throw std::invalid_argument("ExperimentSpec: util_level must be 0 or 1");
+  if (!model::is_known_environment(environment))
+    throw std::invalid_argument("ExperimentSpec: unknown environment \"" +
+                                environment + "\"");
   if (schemes.empty())
     throw std::invalid_argument("ExperimentSpec: no schemes");
   for (const auto& row : rows) {
@@ -40,8 +44,32 @@ sim::SimSetup make_setup(const ExperimentSpec& spec,
   sim::SimSetup setup{
       model::task_from_utilization(row.utilization, util_freq, spec.deadline,
                                    spec.fault_tolerance, spec.id),
-      spec.costs, std::move(processor), model::FaultModel{row.lambda, false}};
+      spec.costs, std::move(processor), model::FaultModel{row.lambda, false},
+      model::find_environment(spec.environment)};
   return setup;
+}
+
+std::vector<ExperimentSpec> with_environments(
+    const std::vector<ExperimentSpec>& specs,
+    const std::vector<std::string>& environments) {
+  if (environments.empty()) {
+    throw std::invalid_argument("with_environments: no environments");
+  }
+  std::vector<ExperimentSpec> expanded;
+  expanded.reserve(specs.size() * environments.size());
+  for (const auto& env : environments) {
+    if (!model::is_known_environment(env)) {
+      throw std::invalid_argument("with_environments: unknown environment \"" +
+                                  env + "\"");
+    }
+    for (const auto& spec : specs) {
+      ExperimentSpec copy = spec;
+      copy.environment = env;
+      copy.id += "@" + env;
+      expanded.push_back(std::move(copy));
+    }
+  }
+  return expanded;
 }
 
 std::uint64_t cell_seed(std::uint64_t master, std::size_t row,

@@ -38,6 +38,10 @@ struct ExperimentSpec {
   /// Speed level whose frequency converts U to N (paper: U = N/(f*D))
   /// and at which the fixed baselines run: 0 = f1, 1 = f2.
   std::size_t util_level = 0;
+  /// Fault-environment registry name applied to every cell (see
+  /// model/fault_env.hpp); the default "poisson" reproduces the paper
+  /// bit-for-bit.
+  std::string environment = "poisson";
   std::vector<std::string> schemes;  ///< policy names (see policy/factory.hpp)
   std::vector<ExperimentRow> rows;
 
@@ -54,6 +58,15 @@ struct ExperimentResult {
 /// Builds the SimSetup for one row of a spec (exposed for tests).
 sim::SimSetup make_setup(const ExperimentSpec& spec,
                          const ExperimentRow& row);
+
+/// The environment axis of a sweep: one copy of every spec per named
+/// environment, ids suffixed "@<environment>" (e.g. "table1a@bursty-
+/// orbit").  Cell seeds depend only on (row, scheme), so the same
+/// master seed gives *paired* fault-process draws across environments
+/// — cross-environment deltas are not seed noise.
+std::vector<ExperimentSpec> with_environments(
+    const std::vector<ExperimentSpec>& specs,
+    const std::vector<std::string>& environments);
 
 /// Seed for the (row, scheme) cell: decorrelates cells while keeping
 /// every cell reproducible.  Shared by run_experiment and run_sweep so

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <vector>
 
+#include "model/fault_env.hpp"
+
 namespace adacheck::harness {
 
 namespace {
@@ -140,13 +142,36 @@ void write_cell(JsonWriter& json, const std::string& scheme,
   json.end_object();
 }
 
+/// The fault environment of one experiment, fully expanded so report
+/// consumers need no registry lookup.  rate_multiplier is the
+/// documented effective-rate approximation: lambda_eff = lambda * it.
+void write_environment(JsonWriter& json, const std::string& name) {
+  const auto& env = model::find_environment(name);
+  json.begin_object();
+  json.kv("name", name);
+  json.kv("arrival", std::string(model::to_string(env.arrival)));
+  json.kv("shape", env.shape);
+  json.kv("common_cause_fraction", env.common_cause_fraction);
+  json.kv("rate_multiplier", env.rate_multiplier());
+  json.key("burst");
+  json.begin_object();
+  json.kv("enabled", env.burst.enabled);
+  if (env.burst.enabled) {
+    json.kv("rate_multiplier", env.burst.rate_multiplier);
+    json.kv("mean_quiet_dwell", env.burst.mean_quiet_dwell);
+    json.kv("mean_burst_dwell", env.burst.mean_burst_dwell);
+  }
+  json.end_object();
+  json.end_object();
+}
+
 }  // namespace
 
 void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options) {
   JsonWriter json(os);
   json.begin_object();
-  json.kv("schema", std::string("adacheck-sweep-v1"));
+  json.kv("schema", std::string("adacheck-sweep-v2"));
 
   // Only result-affecting parameters here — thread count is an
   // execution detail and lives in "perf", keeping the no-perf document
@@ -176,6 +201,8 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
     json.begin_object();
     json.kv("id", spec.id);
     json.kv("title", spec.title);
+    json.key("environment");
+    write_environment(json, spec.environment);
     json.key("schemes");
     json.begin_array();
     for (const auto& scheme : spec.schemes) json.value(scheme);

@@ -23,7 +23,8 @@ struct JsonReportOptions {
   bool include_perf = true;
 };
 
-/// Writes the sweep as JSON (schema "adacheck-sweep-v1").
+/// Writes the sweep as JSON (schema "adacheck-sweep-v2": v1 plus a
+/// per-experiment "environment" object describing the fault process).
 void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options = {});
 

@@ -1,8 +1,11 @@
 #include "model/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "model/fault_env.hpp"
 
 namespace adacheck::model {
 
@@ -20,8 +23,10 @@ void FaultTrace::record(double time, int processor) {
   if (!events_.empty() && time < events_.back().time) {
     throw std::invalid_argument("FaultTrace: out-of-order record");
   }
-  if (processor < 0 || processor > 2) {
-    throw std::invalid_argument("FaultTrace: processor must be 0, 1, or 2");
+  if (processor < kAllReplicas || processor >= kMaxProcessors) {
+    throw std::invalid_argument(
+        "FaultTrace: processor must be a replica index below 32, or -1 "
+        "for a common-cause strike");
   }
   events_.push_back({time, processor});
 }
@@ -63,6 +68,156 @@ double PoissonFaultSource::next_fault_after(double from_exposure,
   return next_time_;
 }
 
+namespace {
+
+/// Common-cause coin flip, else a uniform replica index — the shared
+/// strike-assignment rule of every stochastic environment source.
+int draw_struck_processor(util::Xoshiro256& rng, double common_cause,
+                          int processors) {
+  if (common_cause > 0.0 && rng.uniform01() < common_cause) {
+    return kAllReplicas;
+  }
+  return static_cast<int>(rng.below(static_cast<std::uint64_t>(processors)));
+}
+
+}  // namespace
+
+RenewalFaultSource::RenewalFaultSource(const FaultModel& model,
+                                       const FaultEnvironment& env,
+                                       util::Xoshiro256& rng)
+    : kind_(env.arrival), shape_(env.shape),
+      common_cause_(env.common_cause_fraction),
+      processors_(model.processors), rng_(rng), next_time_(0.0),
+      next_proc_(0) {
+  if (!model.valid()) throw std::invalid_argument("FaultModel: invalid");
+  env.validate();
+  if (env.burst.enabled) {
+    throw std::invalid_argument(
+        "RenewalFaultSource: bursty environments use MmppFaultSource");
+  }
+  // Pin the mean inter-arrival gap to 1/rate so every distribution
+  // family injects faults at the same long-run rate as the Poisson
+  // source; a rate of 0 disables arrivals entirely.
+  const double rate = model.pair_rate();
+  const double mean_gap = rate > 0.0 ? 1.0 / rate : 0.0;
+  switch (env.arrival) {
+    case ArrivalKind::kExponential:
+      scale_ = mean_gap;
+      break;
+    case ArrivalKind::kWeibull:
+      // mean = scale * Gamma(1 + 1/k)
+      scale_ = mean_gap / std::tgamma(1.0 + 1.0 / shape_);
+      break;
+    case ArrivalKind::kLogNormal:
+      // mean = exp(mu + sigma^2/2); scale_ stores mu.
+      scale_ = rate > 0.0 ? -std::log(rate) - 0.5 * shape_ * shape_ : 0.0;
+      break;
+    case ArrivalKind::kGamma:
+      // mean = shape * scale
+      scale_ = mean_gap / shape_;
+      break;
+  }
+  if (rate > 0.0) {
+    next_time_ = draw_gap();
+    next_proc_ = draw_processor();
+  } else {
+    next_time_ = std::numeric_limits<double>::infinity();
+  }
+}
+
+double RenewalFaultSource::draw_gap() {
+  switch (kind_) {
+    case ArrivalKind::kExponential:
+      return scale_ > 0.0 ? rng_.exponential(1.0 / scale_)
+                          : std::numeric_limits<double>::infinity();
+    case ArrivalKind::kWeibull:
+      return rng_.weibull(shape_, scale_);
+    case ArrivalKind::kLogNormal:
+      return rng_.lognormal(scale_, shape_);
+    case ArrivalKind::kGamma:
+      return rng_.gamma(shape_, scale_);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+int RenewalFaultSource::draw_processor() {
+  return draw_struck_processor(rng_, common_cause_, processors_);
+}
+
+void RenewalFaultSource::advance() {
+  next_time_ += draw_gap();
+  next_proc_ = draw_processor();
+}
+
+double RenewalFaultSource::next_fault_after(double from_exposure,
+                                            int& processor) {
+  // Unlike the Poisson source this process is NOT memoryless, but the
+  // engine only ever queries forward on the exposure clock (rollback
+  // re-execution is new exposure), so walking the renewal sequence is
+  // exact.
+  while (next_time_ < from_exposure) advance();
+  processor = next_proc_;
+  return next_time_;
+}
+
+MmppFaultSource::MmppFaultSource(const FaultModel& model,
+                                 const FaultEnvironment& env,
+                                 util::Xoshiro256& rng)
+    : quiet_rate_(model.pair_rate()),
+      burst_rate_(model.pair_rate() * env.burst.rate_multiplier),
+      mean_quiet_dwell_(env.burst.mean_quiet_dwell),
+      mean_burst_dwell_(env.burst.mean_burst_dwell),
+      common_cause_(env.common_cause_fraction),
+      processors_(model.processors), rng_(rng), cursor_(0.0),
+      next_time_(0.0), next_proc_(0) {
+  if (!model.valid()) throw std::invalid_argument("FaultModel: invalid");
+  env.validate();
+  if (!env.burst.enabled) {
+    throw std::invalid_argument(
+        "MmppFaultSource: environment has no burst process");
+  }
+  if (quiet_rate_ <= 0.0) {
+    // No arrivals in either state; skip the modulation walk entirely
+    // (it would otherwise flip states forever chasing an infinite gap).
+    next_time_ = std::numeric_limits<double>::infinity();
+    state_end_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  state_end_ = rng_.exponential(1.0 / mean_quiet_dwell_);
+  advance();
+}
+
+int MmppFaultSource::draw_processor() {
+  return draw_struck_processor(rng_, common_cause_, processors_);
+}
+
+void MmppFaultSource::advance() {
+  // Competing exponentials: within a state both the next arrival and
+  // the state flip are memoryless, so re-drawing the arrival gap after
+  // each flip is exact.
+  for (;;) {
+    const double rate = in_burst_ ? burst_rate_ : quiet_rate_;
+    const double gap = rng_.exponential(rate);
+    if (cursor_ + gap < state_end_) {
+      cursor_ += gap;
+      next_time_ = cursor_;
+      next_proc_ = draw_processor();
+      return;
+    }
+    cursor_ = state_end_;
+    in_burst_ = !in_burst_;
+    const double dwell = in_burst_ ? mean_burst_dwell_ : mean_quiet_dwell_;
+    state_end_ = cursor_ + rng_.exponential(1.0 / dwell);
+  }
+}
+
+double MmppFaultSource::next_fault_after(double from_exposure,
+                                         int& processor) {
+  while (next_time_ < from_exposure) advance();
+  processor = next_proc_;
+  return next_time_;
+}
+
 ReplayFaultSource::ReplayFaultSource(const FaultTrace& trace) : trace_(trace) {}
 
 double ReplayFaultSource::next_fault_after(double from_exposure,
@@ -77,6 +232,19 @@ double ReplayFaultSource::next_fault_after(double from_exposure,
   }
   processor = trace_.events()[cursor_].processor;
   return trace_.events()[cursor_].time;
+}
+
+std::unique_ptr<FaultSource> make_fault_source(const FaultModel& model,
+                                               const FaultEnvironment& env,
+                                               util::Xoshiro256& rng) {
+  env.validate();
+  if (env.plain_exponential()) {
+    return std::make_unique<PoissonFaultSource>(model, rng);
+  }
+  if (env.burst.enabled) {
+    return std::make_unique<MmppFaultSource>(model, env, rng);
+  }
+  return std::make_unique<RenewalFaultSource>(model, env, rng);
 }
 
 }  // namespace adacheck::model

@@ -1,0 +1,158 @@
+#include "model/fault_env.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace adacheck::model {
+
+const char* to_string(ArrivalKind kind) noexcept {
+  switch (kind) {
+    case ArrivalKind::kExponential: return "exponential";
+    case ArrivalKind::kWeibull: return "weibull";
+    case ArrivalKind::kLogNormal: return "lognormal";
+    case ArrivalKind::kGamma: return "gamma";
+  }
+  return "unknown";
+}
+
+bool FaultEnvironment::plain_exponential() const noexcept {
+  return arrival == ArrivalKind::kExponential && !burst.enabled &&
+         common_cause_fraction == 0.0;
+}
+
+bool FaultEnvironment::valid() const noexcept {
+  if (!(common_cause_fraction >= 0.0 && common_cause_fraction <= 1.0)) {
+    return false;
+  }
+  if (arrival != ArrivalKind::kExponential &&
+      !(shape > 0.0 && std::isfinite(shape))) {
+    return false;
+  }
+  if (burst.enabled) {
+    // Burst modulation shapes a Poisson process; composing it with a
+    // non-exponential renewal process has no well-defined rate
+    // semantics, so it is rejected rather than silently approximated.
+    if (arrival != ArrivalKind::kExponential) return false;
+    if (!(burst.rate_multiplier >= 1.0 &&
+          std::isfinite(burst.rate_multiplier))) {
+      return false;
+    }
+    if (!(burst.mean_quiet_dwell > 0.0) ||
+        !std::isfinite(burst.mean_quiet_dwell) ||
+        !(burst.mean_burst_dwell > 0.0) ||
+        !std::isfinite(burst.mean_burst_dwell)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FaultEnvironment::validate() const {
+  if (!valid()) {
+    throw std::invalid_argument(
+        "FaultEnvironment: invalid spec (shape must be positive, burst "
+        "requires exponential arrivals with positive dwells and "
+        "multiplier >= 1, common_cause_fraction in [0, 1])");
+  }
+}
+
+double FaultEnvironment::rate_multiplier() const noexcept {
+  if (!burst.enabled) return 1.0;
+  const double duty = burst.burst_duty();
+  return 1.0 + duty * (burst.rate_multiplier - 1.0);
+}
+
+FaultEnvironment FaultEnvironment::exponential() { return {}; }
+
+FaultEnvironment FaultEnvironment::weibull(double shape) {
+  FaultEnvironment env;
+  env.arrival = ArrivalKind::kWeibull;
+  env.shape = shape;
+  return env;
+}
+
+FaultEnvironment FaultEnvironment::log_normal(double sigma) {
+  FaultEnvironment env;
+  env.arrival = ArrivalKind::kLogNormal;
+  env.shape = sigma;
+  return env;
+}
+
+FaultEnvironment FaultEnvironment::gamma_arrivals(double shape) {
+  FaultEnvironment env;
+  env.arrival = ArrivalKind::kGamma;
+  env.shape = shape;
+  return env;
+}
+
+FaultEnvironment FaultEnvironment::bursty(double rate_multiplier,
+                                          double quiet_dwell,
+                                          double burst_dwell) {
+  FaultEnvironment env;
+  env.burst.enabled = true;
+  env.burst.rate_multiplier = rate_multiplier;
+  env.burst.mean_quiet_dwell = quiet_dwell;
+  env.burst.mean_burst_dwell = burst_dwell;
+  return env;
+}
+
+FaultEnvironment FaultEnvironment::with_common_cause(double fraction) const {
+  FaultEnvironment env = *this;
+  env.common_cause_fraction = fraction;
+  return env;
+}
+
+namespace {
+
+struct NamedEnvironment {
+  const char* name;
+  FaultEnvironment env;
+};
+
+const std::vector<NamedEnvironment>& registry() {
+  static const std::vector<NamedEnvironment> entries = [] {
+    std::vector<NamedEnvironment> v;
+    v.push_back({"poisson", FaultEnvironment::exponential()});
+    v.push_back({"weibull-infant", FaultEnvironment::weibull(0.7)});
+    v.push_back({"weibull-aging", FaultEnvironment::weibull(2.0)});
+    v.push_back({"lognormal-heavy", FaultEnvironment::log_normal(1.5)});
+    v.push_back({"gamma-regular", FaultEnvironment::gamma_arrivals(4.0)});
+    v.push_back({"bursty-orbit",
+                 FaultEnvironment::bursty(12.0, 2'300.0, 250.0)});
+    v.push_back({"bursty-storm",
+                 FaultEnvironment::bursty(40.0, 4'000.0, 120.0)});
+    v.push_back({"common-cause",
+                 FaultEnvironment::exponential().with_common_cause(0.25)});
+    v.push_back({"bursty-correlated",
+                 FaultEnvironment::bursty(12.0, 2'300.0, 250.0)
+                     .with_common_cause(0.3)});
+    return v;
+  }();
+  return entries;
+}
+
+}  // namespace
+
+const FaultEnvironment& find_environment(const std::string& name) {
+  for (const auto& entry : registry()) {
+    if (name == entry.name) return entry.env;
+  }
+  throw std::invalid_argument("unknown fault environment: " + name);
+}
+
+bool is_known_environment(const std::string& name) noexcept {
+  for (const auto& entry : registry()) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> known_environments() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& entry : registry()) names.emplace_back(entry.name);
+  return names;
+}
+
+}  // namespace adacheck::model

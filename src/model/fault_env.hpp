@@ -1,0 +1,114 @@
+// Fault-environment specification and registry.
+//
+// The paper injects faults as one homogeneous Poisson process; a
+// FaultEnvironment generalizes the *shape* of that process while
+// keeping the FaultModel's rate lambda as the quiet-state arrival
+// rate.  Three orthogonal axes:
+//
+//  * Inter-arrival distribution — exponential (the paper), Weibull
+//    (aging / infant mortality), log-normal (heavy tails), gamma
+//    (more regular than Poisson).  Non-exponential distributions are
+//    renewal processes scaled so the mean inter-arrival time stays
+//    1/lambda: the long-run arrival rate is identical across kinds,
+//    only the clustering changes.
+//  * Burst modulation — a two-state Markov-modulated Poisson process
+//    (quiet/burst) for radiation events: exponential dwell in each
+//    state, burst-state rate = rate_multiplier * lambda.  Burst mode
+//    requires exponential arrivals (the modulation is what shapes the
+//    process).
+//  * Common cause — a fraction of arrivals strikes ALL replicas at
+//    once (correlated upsets) instead of one replica uniformly.
+//
+// The exact renewal/interval results of the analytic layer hold only
+// for the plain exponential environment; for everything else the
+// documented approximation is the long-run *effective rate*
+// lambda_eff = lambda * rate_multiplier() (see README and
+// tests/fault_env_test.cpp for measured accuracy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adacheck::model {
+
+/// Inter-arrival distribution family of the fault process.
+enum class ArrivalKind {
+  kExponential,  ///< the paper's homogeneous Poisson process
+  kWeibull,      ///< shape < 1: infant mortality; > 1: aging
+  kLogNormal,    ///< heavy-tailed gaps (shape = sigma of log gap)
+  kGamma,        ///< shape > 1: more regular than Poisson
+};
+
+const char* to_string(ArrivalKind kind) noexcept;
+
+/// Two-state Markov-modulated burst process (quiet <-> burst).
+struct BurstSpec {
+  bool enabled = false;
+  /// Burst-state arrival rate as a multiple of the quiet rate (> 1).
+  double rate_multiplier = 1.0;
+  /// Expected dwell time in the quiet state (> 0 when enabled).
+  double mean_quiet_dwell = 0.0;
+  /// Expected dwell time in the burst state (> 0 when enabled).
+  double mean_burst_dwell = 0.0;
+
+  /// Fraction of time spent in the burst state at stationarity.
+  double burst_duty() const noexcept {
+    return mean_burst_dwell / (mean_quiet_dwell + mean_burst_dwell);
+  }
+};
+
+/// Describes how faults arrive; composes with FaultModel (which keeps
+/// the quiet-state rate lambda and the replica count).
+struct FaultEnvironment {
+  ArrivalKind arrival = ArrivalKind::kExponential;
+  /// Shape parameter of the inter-arrival distribution: Weibull shape,
+  /// log-normal sigma, gamma shape.  Ignored for exponential.
+  double shape = 1.0;
+  BurstSpec burst;
+  /// Probability in [0, 1] that an arrival strikes all replicas at
+  /// once (reported as processor = kAllReplicas) instead of one
+  /// replica uniformly.
+  double common_cause_fraction = 0.0;
+
+  /// True for the paper's environment: exponential arrivals, no burst
+  /// modulation, no common cause.  This is the configuration whose
+  /// fault stream is bit-identical to the pre-environment simulator.
+  bool plain_exponential() const noexcept;
+
+  bool valid() const noexcept;
+  void validate() const;  ///< throws std::invalid_argument if !valid()
+
+  /// Long-run arrival-rate multiplier relative to the quiet-state
+  /// lambda: 1 for renewal environments (the mean gap is pinned to
+  /// 1/lambda), (T_q + mult * T_b) / (T_q + T_b) under bursts.  The
+  /// analytic layer's effective-rate approximation is
+  /// lambda_eff = lambda * rate_multiplier().
+  double rate_multiplier() const noexcept;
+
+  /// Named constructors.
+  static FaultEnvironment exponential();
+  static FaultEnvironment weibull(double shape);
+  static FaultEnvironment log_normal(double sigma);
+  static FaultEnvironment gamma_arrivals(double shape);
+  static FaultEnvironment bursty(double rate_multiplier, double quiet_dwell,
+                                 double burst_dwell);
+  /// Adds a common-cause fraction to any environment (chainable).
+  FaultEnvironment with_common_cause(double fraction) const;
+};
+
+/// Registry of named environments usable from experiment specs, CLI
+/// flags, and JSON reports.  Names are stable identifiers:
+///   "poisson"            the paper's homogeneous Poisson process
+///   "weibull-infant"     Weibull shape 0.7 (clustered early arrivals)
+///   "weibull-aging"      Weibull shape 2.0 (hazard grows with the gap)
+///   "lognormal-heavy"    log-normal sigma 1.5 (heavy-tailed gaps)
+///   "gamma-regular"      gamma shape 4 (sub-Poisson variability)
+///   "bursty-orbit"       12x bursts, 2300/250 dwell (SAA crossings)
+///   "bursty-storm"       40x bursts, 4000/120 dwell (solar storms)
+///   "common-cause"       Poisson with 25% all-replica strikes
+///   "bursty-correlated"  bursty-orbit with 30% all-replica strikes
+const FaultEnvironment& find_environment(const std::string& name);
+bool is_known_environment(const std::string& name) noexcept;
+std::vector<std::string> known_environments();
+
+}  // namespace adacheck::model

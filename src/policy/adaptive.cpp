@@ -12,19 +12,21 @@ namespace adacheck::policy {
 
 namespace {
 std::string scheme_name(const AdaptiveConfig& c) {
+  std::string base = "adaptive";
   if (!c.use_dvs) {
     switch (c.inner) {
-      case sim::InnerKind::kNone: return "adapchp";
-      case sim::InnerKind::kScp: return "adapchp-SCP";
-      case sim::InnerKind::kCcp: return "adapchp-CCP";
+      case sim::InnerKind::kNone: base = "adapchp"; break;
+      case sim::InnerKind::kScp: base = "adapchp-SCP"; break;
+      case sim::InnerKind::kCcp: base = "adapchp-CCP"; break;
+    }
+  } else {
+    switch (c.inner) {
+      case sim::InnerKind::kNone: base = "A_D"; break;
+      case sim::InnerKind::kScp: base = "A_D_S"; break;
+      case sim::InnerKind::kCcp: base = "A_D_C"; break;
     }
   }
-  switch (c.inner) {
-    case sim::InnerKind::kNone: return "A_D";
-    case sim::InnerKind::kScp: return "A_D_S";
-    case sim::InnerKind::kCcp: return "A_D_C";
-  }
-  return "adaptive";
+  return c.estimate_rate ? base + "-est" : base;
 }
 }  // namespace
 
@@ -33,16 +35,40 @@ AdaptiveCheckpointPolicy::AdaptiveCheckpointPolicy(AdaptiveConfig config)
   if (config_.max_inner < 1) {
     throw std::invalid_argument("AdaptiveConfig: max_inner must be >= 1");
   }
+  if (config_.estimate_rate && !(config_.estimator_prior_strength > 0.0)) {
+    throw std::invalid_argument(
+        "AdaptiveConfig: estimator_prior_strength must be > 0");
+  }
+}
+
+double AdaptiveCheckpointPolicy::planning_lambda(
+    const sim::ExecContext& ctx) const {
+  // Observation window on the *exposure* clock — the clock lambda is
+  // defined on — so checkpoint/rollback overhead does not dilute the
+  // estimate.  (Detections still undercount bursts that land several
+  // faults in one attempt; the estimator is deliberately conservative.)
+  if (!config_.estimate_rate || ctx.exposure <= 0.0) return ctx.lambda;
+  const double detections = static_cast<double>(ctx.faults_detected);
+  if (ctx.lambda <= 0.0) {
+    // No prior to anchor on: pure maximum-likelihood detections/time.
+    return detections / ctx.exposure;
+  }
+  // Gamma(k0, k0/lambda0) prior on the rate, Poisson-count likelihood:
+  // the posterior mean interpolates from the nominal rate (exposure
+  // -> 0) to the observed inter-detection-gap rate (detections -> inf).
+  const double k0 = config_.estimator_prior_strength;
+  return (k0 + detections) / (k0 / ctx.lambda + ctx.exposure);
 }
 
 sim::Decision AdaptiveCheckpointPolicy::decide(
     const sim::ExecContext& ctx) const {
   const double c_cycles = ctx.costs->cscp();
+  const double lambda = planning_lambda(ctx);
   const auto& level =
       config_.use_dvs
           ? analytic::choose_speed(*ctx.processor, ctx.remaining_cycles,
                                    ctx.remaining_deadline(), c_cycles,
-                                   ctx.lambda)
+                                   lambda)
           : ctx.processor->level(config_.fixed_level);
 
   sim::Decision d;
@@ -61,17 +87,21 @@ sim::Decision AdaptiveCheckpointPolicy::decide(
   const double cost_time = c_cycles / f;
   const auto interval = analytic::adaptive_interval(
       remaining_deadline, remaining_work, cost_time, ctx.remaining_faults,
-      ctx.lambda);
+      lambda);
   const double itv = std::min(interval.interval, remaining_work);
   d.cscp_interval = itv;
   d.inner = config_.inner;
 
   // Sub-interval count from the renewal model matching the platform's
-  // redundancy: DMR uses the paper's R1/R2, TMR the vote-aware variants.
+  // redundancy: DMR uses the paper's R1/R2; any voting group (N >= 3)
+  // the vote-aware TMR variants — exact for 3 replicas, and the
+  // documented approximation for wider NMR groups (the engine votes
+  // there too, so the 2-of-3 renewal model is far closer than the
+  // every-fault-rolls-back DMR equations).
   const model::CheckpointCosts time_costs{ctx.costs->store / f,
                                           ctx.costs->compare / f,
                                           ctx.costs->rollback / f};
-  const bool tmr = ctx.redundancy == 3;
+  const bool tmr = ctx.redundancy >= 3;
   switch (config_.inner) {
     case sim::InnerKind::kNone:
       d.sub_interval = itv;
@@ -79,10 +109,10 @@ sim::Decision AdaptiveCheckpointPolicy::decide(
     case sim::InnerKind::kScp: {
       int m = 1;
       if (tmr) {
-        analytic::TmrRenewalParams params{itv, ctx.lambda, time_costs};
+        analytic::TmrRenewalParams params{itv, lambda, time_costs};
         m = analytic::num_scp_tmr(params);
       } else {
-        analytic::ScpRenewalParams params{itv, ctx.lambda, time_costs};
+        analytic::ScpRenewalParams params{itv, lambda, time_costs};
         m = analytic::num_scp(params);
       }
       m = std::min(m, config_.max_inner);
@@ -92,10 +122,10 @@ sim::Decision AdaptiveCheckpointPolicy::decide(
     case sim::InnerKind::kCcp: {
       int m = 1;
       if (tmr) {
-        analytic::TmrRenewalParams params{itv, ctx.lambda, time_costs};
+        analytic::TmrRenewalParams params{itv, lambda, time_costs};
         m = analytic::num_ccp_tmr(params);
       } else {
-        analytic::CcpRenewalParams params{itv, ctx.lambda, time_costs};
+        analytic::CcpRenewalParams params{itv, lambda, time_costs};
         m = analytic::num_ccp(params);
       }
       m = std::min(m, config_.max_inner);
@@ -163,6 +193,11 @@ AdaptiveConfig AdaptiveCheckpointPolicy::adapchp_dvs_ccp() {
   AdaptiveConfig c;
   c.inner = sim::InnerKind::kCcp;
   c.use_dvs = true;
+  return c;
+}
+
+AdaptiveConfig AdaptiveCheckpointPolicy::with_estimator(AdaptiveConfig c) {
+  c.estimate_rate = true;
   return c;
 }
 

@@ -39,6 +39,19 @@ struct AdaptiveConfig {
   /// Cap on the inner count so degenerate renewal minima cannot flood
   /// an interval with checkpoints (paper's optimum is small anyway).
   int max_inner = 4096;
+  /// Online inter-fault-gap rate tracking: instead of trusting the
+  /// environment's nominal lambda for the whole run, blend it with the
+  /// realized detection rate via a Gamma-posterior mean
+  ///   lambda_hat = (k0 + detections) / (k0 / lambda0 + exposure)
+  /// (k0 = estimator_prior_strength pseudo-faults at the nominal
+  /// rate; exposure is the vulnerable-time clock lambda is defined
+  /// on).  Early in a run lambda_hat ~ lambda0; as observed gaps
+  /// accumulate the estimate follows the realized rate, which is what
+  /// lets the adaptive rule track bursty / non-Poisson environments.
+  /// Off by default: the paper's schemes (and their bit-identical
+  /// statistics) trust the nominal rate.
+  bool estimate_rate = false;
+  double estimator_prior_strength = 4.0;  ///< k0, in pseudo-faults
 };
 
 class AdaptiveCheckpointPolicy final : public sim::ICheckpointPolicy {
@@ -60,6 +73,13 @@ class AdaptiveCheckpointPolicy final : public sim::ICheckpointPolicy {
   static AdaptiveConfig adapchp_ccp();      ///< §2.2, fixed speed
   static AdaptiveConfig adapchp_dvs_scp();  ///< A_D_S (Fig. 6)
   static AdaptiveConfig adapchp_dvs_ccp();  ///< A_D_C (Fig. 7)
+  /// Rate-tracking variant of any config ("-est" scheme-name suffix).
+  static AdaptiveConfig with_estimator(AdaptiveConfig config);
+
+  /// The rate the policy plans with: ctx.lambda, or the Gamma-posterior
+  /// blend of nominal rate and observed detections when estimate_rate
+  /// is set (exposed for tests).
+  double planning_lambda(const sim::ExecContext& ctx) const;
 
  private:
   sim::Decision decide(const sim::ExecContext& ctx) const;

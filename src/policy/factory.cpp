@@ -37,6 +37,24 @@ std::unique_ptr<sim::ICheckpointPolicy> make_policy(
     config.fixed_level = baseline_level;
     return std::make_unique<AdaptiveCheckpointPolicy>(config);
   }
+  // Rate-tracking variants for non-Poisson fault environments: the
+  // adaptive rule re-estimates lambda from observed inter-fault gaps
+  // instead of trusting the nominal rate for the whole run.
+  if (name == "A_D-est") {
+    return std::make_unique<AdaptiveCheckpointPolicy>(
+        AdaptiveCheckpointPolicy::with_estimator(
+            AdaptiveCheckpointPolicy::adt_dvs()));
+  }
+  if (name == "A_D_S-est") {
+    return std::make_unique<AdaptiveCheckpointPolicy>(
+        AdaptiveCheckpointPolicy::with_estimator(
+            AdaptiveCheckpointPolicy::adapchp_dvs_scp()));
+  }
+  if (name == "A_D_C-est") {
+    return std::make_unique<AdaptiveCheckpointPolicy>(
+        AdaptiveCheckpointPolicy::with_estimator(
+            AdaptiveCheckpointPolicy::adapchp_dvs_ccp()));
+  }
   throw std::invalid_argument("unknown policy: " + name);
 }
 
@@ -46,8 +64,9 @@ sim::PolicyFactory make_policy_factory(const std::string& name,
 }
 
 std::vector<std::string> known_policies() {
-  return {"Poisson", "k-f-t",       "A_D",        "A_D_S",
-          "A_D_C",   "adapchp-SCP", "adapchp-CCP"};
+  return {"Poisson",     "k-f-t",       "A_D",     "A_D_S",
+          "A_D_C",       "adapchp-SCP", "adapchp-CCP",
+          "A_D-est",     "A_D_S-est",   "A_D_C-est"};
 }
 
 }  // namespace adacheck::policy

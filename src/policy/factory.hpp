@@ -18,6 +18,10 @@ namespace adacheck::policy {
 ///   "A_D_C"        adapchp_dvs_CCP (Fig. 7)
 ///   "adapchp-SCP"  non-DVS adaptive with SCPs (Fig. 3)
 ///   "adapchp-CCP"  non-DVS adaptive with CCPs (§2.2)
+///   "A_D-est", "A_D_S-est", "A_D_C-est"
+///                  rate-tracking variants: the adaptive rule blends
+///                  the nominal lambda with the observed inter-fault
+///                  gap rate (for non-Poisson fault environments)
 /// Throws std::invalid_argument for unknown names.
 std::unique_ptr<sim::ICheckpointPolicy> make_policy(
     const std::string& name, std::size_t baseline_level = 0);

@@ -48,7 +48,8 @@ struct EngineState {
   }
 
   /// Collects faults on the exposure window [exposure, exposure+span)
-  /// and returns the bitmask of replicas struck.
+  /// and returns the bitmask of replicas struck.  A common-cause
+  /// arrival (processor == model::kAllReplicas) strikes every replica.
   unsigned collect_faults(double span) {
     unsigned mask = 0;
     const double window_end = exposure + span;
@@ -63,7 +64,11 @@ struct EngineState {
         result->trace.push(TraceEventKind::kFault, now + (t - exposure), t,
                            processor);
       }
-      mask |= 1u << processor;
+      // ~0u >> (32 - n) rather than (1u << n) - 1: n may be the full
+      // mask width (kMaxProcessors == 32), where the left shift is UB.
+      mask |= processor == model::kAllReplicas
+                  ? ~0u >> (32 - redundancy())
+                  : 1u << processor;
       cursor = std::nextafter(t, kInf);
     }
     exposure = window_end;
@@ -99,22 +104,27 @@ struct EngineState {
 
 /// Corruption bookkeeping for one interval attempt: which replicas have
 /// faulted since the last consistency point, in which sub-interval the
-/// first fault landed, and in which sub-interval a *second distinct
-/// replica* was first struck (the TMR rollback boundary — SCPs up to
-/// there still hold a 2-of-3 majority).
+/// first fault landed, and in which sub-interval the healthy majority
+/// was first lost (the voting rollback boundary — SCPs up to there
+/// still hold a recoverable majority).  For N replicas the majority is
+/// lost once ceil(N/2) distinct replicas are corrupted (2-of-3 for the
+/// paper's TMR).
 struct AttemptCorruption {
   unsigned mask = 0;
-  int first_sub = 0;   ///< 0 = clean
-  int second_sub = 0;  ///< 0 = at most one replica corrupted
+  int majority_count = 2;  ///< corrupted-replica count that kills majority
+  int first_sub = 0;       ///< 0 = clean
+  int majority_sub = 0;    ///< 0 = majority still holds
 
   void note(unsigned new_mask, int sub) {
     if (new_mask == 0) return;
     if (first_sub == 0) first_sub = sub;
     const unsigned merged = mask | new_mask;
-    if (second_sub == 0 && popcount(merged) >= 2) second_sub = sub;
+    if (majority_sub == 0 && popcount(merged) >= majority_count) {
+      majority_sub = sub;
+    }
     mask = merged;
   }
-  void clear() { *this = AttemptCorruption{}; }
+  void clear() { *this = AttemptCorruption{.majority_count = majority_count}; }
   bool corrupted() const noexcept { return mask != 0; }
 };
 
@@ -130,16 +140,18 @@ enum class AttemptOutcome {
 /// DMR (2 replicas): any comparison that sees corruption triggers a
 /// rollback — to the last good SCP (SCP mode) or the interval start
 /// (CCP/None mode).
-/// TMR (3 replicas): a comparison seeing exactly one corrupted replica
-/// majority-votes it back to health (cost t_r, no work lost); two or
-/// more corrupted replicas leave no majority and force a rollback, to
-/// the last SCP that still has a 2-of-3 majority (SCP mode) or to the
-/// interval start (CCP/None mode).
+/// NMR (N >= 3 replicas, the paper's TMR generalized): a comparison
+/// seeing a corrupted strict minority majority-votes it back to health
+/// (cost t_r, no work lost); once a majority cannot be formed the
+/// comparison forces a rollback, to the last SCP that still has a
+/// healthy majority (SCP mode) or to the interval start (CCP/None
+/// mode).
 AttemptOutcome execute_interval(EngineState& st, const Decision& decision) {
   const auto& level = decision.speed;
   const auto& costs = st.setup->costs;
   const double f = level.frequency;
-  const bool tmr = st.redundancy() == 3;
+  const int n_rep = st.redundancy();
+  const bool voting = n_rep >= 3;
 
   // Clamp the plan to the remaining work.  Interval lengths are wall
   // clock at the current speed; work is cycles.
@@ -159,11 +171,15 @@ AttemptOutcome execute_interval(EngineState& st, const Decision& decision) {
   // Corruption carried over from a trailing overhead fault of the
   // previous interval poisons the attempt from its start.
   AttemptCorruption corrupt;
+  // ceil(N/2) corrupted replicas leave no healthy strict majority.
+  corrupt.majority_count = (n_rep + 1) / 2;
   corrupt.note(st.carry_mask, 1);
   st.carry_mask = 0;
 
-  // A comparison seeing exactly one corrupted replica can vote it back.
-  const auto votable = [&] { return tmr && popcount(corrupt.mask) == 1; };
+  // A comparison seeing a corrupted strict minority can vote it back.
+  const auto votable = [&] {
+    return voting && popcount(corrupt.mask) * 2 < n_rep;
+  };
   const auto vote_correct = [&](unsigned op_mask, int next_sub) {
     ++st.result->corrections;
     --st.remaining_faults;
@@ -203,7 +219,7 @@ AttemptOutcome execute_interval(EngineState& st, const Decision& decision) {
           st.trace(TraceEventKind::kCheckpoint, costs.compare, 1);
           if (corrupt.corrupted()) {
             if (votable()) {
-              // TMR: the two healthy replicas repair the deviant one;
+              // NMR: the healthy majority repairs the deviant minority;
               // execution continues with no work lost.  A fault during
               // the compare/repair corrupts the *following* window.
               vote_correct(op_mask, i + 1);
@@ -244,7 +260,7 @@ AttemptOutcome execute_interval(EngineState& st, const Decision& decision) {
   st.trace(TraceEventKind::kCheckpoint, costs.cscp(), 2);
 
   if (corrupt.corrupted() && votable()) {
-    // TMR: repair the single deviant replica and commit the interval.
+    // NMR: repair the deviant minority and commit the interval.
     vote_correct(cscp_mask, 1);
     st.carry_mask = corrupt.mask;
     ++st.result->checkpoints_cscp;
@@ -261,11 +277,11 @@ AttemptOutcome execute_interval(EngineState& st, const Decision& decision) {
     const unsigned rollback_mask = st.run_overhead(level, costs.rollback);
     if (decision.inner == InnerKind::kScp) {
       // Roll back to the most recent recoverable SCP: DMR needs stored
-      // states that are identical (before the first fault); TMR only a
-      // 2-of-3 majority (before the second distinct-replica fault).
-      // That prefix is recovery-consistent, so it is committed.
-      const int boundary = tmr && corrupt.second_sub > 0
-                               ? corrupt.second_sub
+      // states that are identical (before the first fault); NMR only a
+      // healthy majority (before majority loss).  That prefix is
+      // recovery-consistent, so it is committed.
+      const int boundary = voting && corrupt.majority_sub > 0
+                               ? corrupt.majority_sub
                                : corrupt.first_sub;
       const double committed_subs = static_cast<double>(boundary - 1);
       const double committed_cycles = committed_subs * itv_sub * f;
@@ -312,8 +328,9 @@ void SimSetup::validate() const {
   costs.validate();
   if (!fault_model.valid()) {
     throw std::invalid_argument(
-        "SimSetup: fault model needs rate >= 0 and 2 or 3 processors");
+        "SimSetup: fault model needs rate >= 0 and 2..32 processors");
   }
+  environment.validate();
 }
 
 RunResult simulate(const SimSetup& setup, ICheckpointPolicy& policy,
@@ -333,12 +350,16 @@ RunResult simulate(const SimSetup& setup, ICheckpointPolicy& policy,
   ctx.task = &setup.task;
   ctx.costs = &setup.costs;
   ctx.processor = &setup.processor;
-  ctx.lambda = setup.fault_model.rate;
+  // Policies see the environment's long-run effective rate: exact for
+  // exponential arrivals (multiplier 1 leaves the rate bit-identical),
+  // the documented approximation otherwise.
+  ctx.lambda = setup.fault_model.rate * setup.environment.rate_multiplier();
   ctx.redundancy = setup.fault_model.processors;
 
   auto refresh_ctx = [&] {
     ctx.remaining_cycles = st.remaining_cycles();
     ctx.now = st.now;
+    ctx.exposure = st.exposure;
     ctx.remaining_faults = st.remaining_faults;
     ctx.faults_detected = result.detections + result.corrections;
   };
@@ -405,8 +426,19 @@ RunResult simulate(const SimSetup& setup, ICheckpointPolicy& policy,
 
 RunResult simulate_seeded(const SimSetup& setup, ICheckpointPolicy& policy,
                           std::uint64_t seed, const EngineConfig& config) {
+  // Stack-constructed sources keep the per-run hot path allocation-free
+  // (the same three-way dispatch as model::make_fault_source).
   util::Xoshiro256 rng(seed);
-  model::PoissonFaultSource source(setup.fault_model, rng);
+  const auto& env = setup.environment;
+  if (env.plain_exponential()) {
+    model::PoissonFaultSource source(setup.fault_model, rng);
+    return simulate(setup, policy, source, config);
+  }
+  if (env.burst.enabled) {
+    model::MmppFaultSource source(setup.fault_model, env, rng);
+    return simulate(setup, policy, source, config);
+  }
+  model::RenewalFaultSource source(setup.fault_model, env, rng);
   return simulate(setup, policy, source, config);
 }
 

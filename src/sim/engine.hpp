@@ -1,11 +1,13 @@
 // DMR execution engine.
 //
-// Simulates one job of a task on a duplex (two-processor) system under
-// a checkpointing policy: computation segments, SCP/CCP/CSCP
-// operations, Poisson (or replayed) transient faults, comparison-based
-// detection, rollback recovery, DVS speed changes, and V^2-per-cycle
-// energy accounting.  The engine owns the *mechanics* — policies only
-// pick speeds and interval lengths (see sim/policy.hpp).
+// Simulates one job of a task on a replicated (DMR/TMR/NMR) system
+// under a checkpointing policy: computation segments, SCP/CCP/CSCP
+// operations, transient faults from a pluggable environment (Poisson,
+// renewal, Markov-modulated bursts, common cause — or replayed),
+// comparison-based detection, rollback recovery, DVS speed changes,
+// and V^2-per-cycle energy accounting.  The engine owns the
+// *mechanics* — policies only pick speeds and interval lengths (see
+// sim/policy.hpp).
 //
 // Semantics implemented (DESIGN.md §3):
 //  * Faults strike either processor during computation (optionally also
@@ -26,8 +28,11 @@
 //    policy aborts (Fig. 6 line 6).
 #pragma once
 
+#include <utility>
+
 #include "model/checkpoint.hpp"
 #include "model/fault.hpp"
+#include "model/fault_env.hpp"
 #include "model/speed.hpp"
 #include "model/task.hpp"
 #include "sim/policy.hpp"
@@ -41,6 +46,18 @@ struct SimSetup {
   model::CheckpointCosts costs;       ///< cycle units
   model::DvsProcessor processor;
   model::FaultModel fault_model;
+  /// How faults arrive (distribution shape, bursts, common cause).
+  /// The default is the paper's homogeneous Poisson process, which is
+  /// bit-identical to the pre-environment simulator.
+  model::FaultEnvironment environment;
+
+  SimSetup() = default;
+  SimSetup(model::TaskSpec task_, model::CheckpointCosts costs_,
+           model::DvsProcessor processor_, model::FaultModel fault_model_,
+           model::FaultEnvironment environment_ = {})
+      : task(std::move(task_)), costs(costs_),
+        processor(std::move(processor_)), fault_model(fault_model_),
+        environment(environment_) {}
 
   void validate() const;
 };
@@ -61,7 +78,9 @@ RunResult simulate(const SimSetup& setup, ICheckpointPolicy& policy,
                    model::FaultSource& fault_source,
                    const EngineConfig& config = {});
 
-/// Convenience overload: stochastic faults from a fresh RNG seed.
+/// Convenience overload: stochastic faults from a fresh RNG seed,
+/// drawn by the source matching setup.environment (Poisson, renewal,
+/// or Markov-modulated burst — see model::make_fault_source).
 RunResult simulate_seeded(const SimSetup& setup, ICheckpointPolicy& policy,
                           std::uint64_t seed, const EngineConfig& config = {});
 

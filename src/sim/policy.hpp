@@ -47,12 +47,21 @@ struct ExecContext {
   const model::TaskSpec* task = nullptr;
   const model::CheckpointCosts* costs = nullptr;  ///< cycle units
   const model::DvsProcessor* processor = nullptr;
-  double lambda = 0.0;           ///< system-level fault rate (per time).
+  /// System-level fault rate (per exposure time): the environment's
+  /// long-run effective rate — exact for exponential arrivals, the
+  /// documented approximation for renewal/bursty environments
+  /// (policies wanting to track the realized rate online can blend in
+  /// faults_detected / exposure, see
+  /// policy::AdaptiveConfig::estimate_rate).
+  double lambda = 0.0;
   double remaining_cycles = 0.0; ///< R_c: committed work still to do.
   double now = 0.0;              ///< elapsed wall-clock time.
+  /// Cumulative vulnerable time: the clock lambda is defined on
+  /// (computation only, unless faults_during_overhead).
+  double exposure = 0.0;
   int remaining_faults = 0;      ///< R_f: fault budget left.
   int faults_detected = 0;       ///< detections + corrections so far.
-  int redundancy = 2;            ///< replicas: 2 (DMR) or 3 (TMR).
+  int redundancy = 2;            ///< replicas: 2 (DMR), 3 (TMR), N (NMR).
 
   /// R_d: time left before the deadline.
   double remaining_deadline() const noexcept {

@@ -49,6 +49,55 @@ double Xoshiro256::exponential(double rate) noexcept {
   return -std::log1p(-uniform01()) / rate;
 }
 
+double Xoshiro256::normal01() noexcept {
+  // Box-Muller on (0, 1] x [0, 1): 1 - uniform01() keeps the log away
+  // from zero without rejection, preserving the two-draws-per-variate
+  // contract that keeps fault streams reproducible.
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal01();
+}
+
+double Xoshiro256::weibull(double shape, double scale) noexcept {
+  // Inverse CDF: scale * (-log(1-U))^(1/shape); -log1p(-U) reuses the
+  // exponential trick to avoid log(0).
+  return scale * std::pow(-std::log1p(-uniform01()), 1.0 / shape);
+}
+
+double Xoshiro256::lognormal(double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal01());
+}
+
+double Xoshiro256::gamma(double shape, double scale) noexcept {
+  // Marsaglia & Tsang (2000).  Shapes below 1 are boosted to shape+1
+  // and corrected by U^(1/shape) (their Note 2).
+  if (shape < 1.0) {
+    const double boosted = gamma(shape + 1.0, scale);
+    return boosted * std::pow(uniform01(), 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal01();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - uniform01();  // (0, 1]: log(u) stays finite
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v * scale;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
 std::uint64_t Xoshiro256::below(std::uint64_t n) noexcept {
   // Lemire's multiply-shift rejection method: unbiased and branch-light.
   std::uint64_t x = (*this)();

@@ -54,6 +54,26 @@ class Xoshiro256 {
   /// rate <= 0 yields +infinity (the event never happens).
   double exponential(double rate) noexcept;
 
+  /// Standard normal variate via Box-Muller (cosine branch).  Consumes
+  /// exactly two uniforms per call, so streams stay reproducible
+  /// without cached-spare state.
+  double normal01() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Weibull variate with shape k > 0 and scale > 0 (mean
+  /// scale * Gamma(1 + 1/k)) by CDF inversion.  Consumes one uniform.
+  double weibull(double shape, double scale) noexcept;
+
+  /// Log-normal variate: exp(N(mu, sigma^2)).  Consumes two uniforms.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Gamma variate with shape k > 0 and scale > 0 (mean k * scale) by
+  /// Marsaglia-Tsang squeeze; rejection makes the uniform consumption
+  /// data-dependent (still fully determined by the seed).
+  double gamma(double shape, double scale) noexcept;
+
   /// Uniform integer in [0, n).  n must be > 0.
   std::uint64_t below(std::uint64_t n) noexcept;
 

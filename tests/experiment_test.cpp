@@ -86,5 +86,59 @@ TEST(Experiment, PaperSpecsAllValidate) {
   }
 }
 
+TEST(Experiment, UnknownEnvironmentIsRejected) {
+  auto spec = tiny_spec();
+  spec.environment = "not-an-environment";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Experiment, MakeSetupResolvesTheEnvironment) {
+  auto spec = tiny_spec();
+  EXPECT_TRUE(make_setup(spec, spec.rows[0]).environment.plain_exponential());
+  spec.environment = "bursty-orbit";
+  const auto setup = make_setup(spec, spec.rows[0]);
+  EXPECT_TRUE(setup.environment.burst.enabled);
+  EXPECT_DOUBLE_EQ(setup.environment.burst.rate_multiplier, 12.0);
+}
+
+TEST(Experiment, WithEnvironmentsExpandsTheAxis) {
+  const auto expanded = with_environments(
+      {tiny_spec()}, {"poisson", "bursty-orbit", "common-cause"});
+  ASSERT_EQ(expanded.size(), 3u);
+  EXPECT_EQ(expanded[0].id, "tiny@poisson");
+  EXPECT_EQ(expanded[0].environment, "poisson");
+  EXPECT_EQ(expanded[1].id, "tiny@bursty-orbit");
+  EXPECT_EQ(expanded[1].environment, "bursty-orbit");
+  EXPECT_EQ(expanded[2].id, "tiny@common-cause");
+  for (const auto& spec : expanded) EXPECT_NO_THROW(spec.validate());
+  EXPECT_THROW(with_environments({tiny_spec()}, {}), std::invalid_argument);
+  EXPECT_THROW(with_environments({tiny_spec()}, {"nope"}),
+               std::invalid_argument);
+}
+
+TEST(Experiment, EnvironmentChangesResultsButKeepsPoissonBitIdentical) {
+  // Same spec, same seeds: the poisson-environment sweep must equal
+  // the default-environment sweep bit-for-bit, while a bursty
+  // environment must actually change the injected fault process.
+  const auto spec = tiny_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 200;
+  config.seed = 0xE2E;
+  const auto base = run_experiment(spec, config);
+
+  auto poisson_spec = spec;
+  poisson_spec.environment = "poisson";
+  const auto poisson = run_experiment(poisson_spec, config);
+  EXPECT_DOUBLE_EQ(base.cells[0][1].energy_all.mean(),
+                   poisson.cells[0][1].energy_all.mean());
+  EXPECT_EQ(base.cells[0][1].completion.successes(),
+            poisson.cells[0][1].completion.successes());
+
+  auto bursty_spec = spec;
+  bursty_spec.environment = "bursty-storm";
+  const auto bursty = run_experiment(bursty_spec, config);
+  EXPECT_NE(base.cells[0][1].faults.mean(), bursty.cells[0][1].faults.mean());
+}
+
 }  // namespace
 }  // namespace adacheck::harness

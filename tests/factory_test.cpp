@@ -46,7 +46,23 @@ TEST(Factory, FactoryClosureMakesFreshInstances) {
 
 TEST(Factory, KnownPolicyListIsComplete) {
   const auto names = known_policies();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(Factory, EstimatorVariantsEnableRateTracking) {
+  for (const char* name : {"A_D-est", "A_D_S-est", "A_D_C-est"}) {
+    const auto policy = make_policy(name);
+    EXPECT_EQ(policy->name(), name);
+    const auto* impl =
+        dynamic_cast<const AdaptiveCheckpointPolicy*>(policy.get());
+    ASSERT_NE(impl, nullptr) << name;
+    EXPECT_TRUE(impl->config().estimate_rate);
+  }
+  // The base schemes keep trusting the nominal rate.
+  const auto base = make_policy("A_D_S");
+  const auto* impl = dynamic_cast<const AdaptiveCheckpointPolicy*>(base.get());
+  ASSERT_NE(impl, nullptr);
+  EXPECT_FALSE(impl->config().estimate_rate);
 }
 
 }  // namespace

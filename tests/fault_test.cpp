@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "model/fault_env.hpp"
 #include "util/rng.hpp"
 
 namespace adacheck::model {
@@ -18,14 +19,30 @@ TEST(FaultModel, PairRateIsSystemRate) {
   EXPECT_FALSE((FaultModel{-1.0, false}).valid());
 }
 
+TEST(FaultModel, AcceptsAnyReplicaCountFromTwo) {
+  // Regression for the {2,3}-only restriction: fault environments must
+  // compose with future N-modular redundancy, so any N >= 2 (up to the
+  // 32-bit mask width) is a valid replica group.
+  for (int n : {2, 3, 4, 5, 8, 16, 32}) {
+    EXPECT_TRUE((FaultModel{1e-3, false, n}).valid()) << n;
+  }
+  EXPECT_FALSE((FaultModel{1e-3, false, 1}).valid());
+  EXPECT_FALSE((FaultModel{1e-3, false, 0}).valid());
+  EXPECT_FALSE((FaultModel{1e-3, false, -2}).valid());
+  EXPECT_FALSE((FaultModel{1e-3, false, 33}).valid());
+}
+
 TEST(FaultTrace, RecordKeepsOrderAndRejectsBadInput) {
   FaultTrace trace;
   trace.record(1.0, 0);
   trace.record(2.5, 1);
   EXPECT_EQ(trace.size(), 2u);
   EXPECT_THROW(trace.record(2.0, 0), std::invalid_argument);   // regression
-  EXPECT_THROW(trace.record(3.0, 5), std::invalid_argument);   // bad replica
-  EXPECT_NO_THROW(trace.record(3.0, 2));  // TMR third replica is valid
+  EXPECT_THROW(trace.record(3.0, 32), std::invalid_argument);  // mask width
+  EXPECT_THROW(trace.record(3.0, -2), std::invalid_argument);  // bad replica
+  EXPECT_NO_THROW(trace.record(3.0, 2));   // TMR third replica is valid
+  EXPECT_NO_THROW(trace.record(3.5, 7));   // NMR replicas are valid
+  EXPECT_NO_THROW(trace.record(4.0, kAllReplicas));  // common-cause strike
 }
 
 TEST(FaultTrace, ConstructorValidatesSorting) {

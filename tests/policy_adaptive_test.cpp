@@ -23,6 +23,9 @@ sim::ExecContext make_context(const sim::SimSetup& setup,
   ctx.lambda = setup.fault_model.rate;
   ctx.remaining_cycles = remaining_cycles;
   ctx.now = now;
+  // These fixtures treat elapsed time as fully vulnerable (the rate
+  // estimator observes the exposure clock).
+  ctx.exposure = now;
   ctx.remaining_faults = remaining_faults;
   return ctx;
 }
@@ -203,6 +206,79 @@ TEST(AdaptivePolicy, IntervalNeverExceedsRemainingWork) {
     ASSERT_FALSE(d.abort);
     EXPECT_LE(d.cscp_interval, rc / d.speed.frequency + 1e-9) << rc;
   }
+}
+
+TEST(AdaptivePolicy, EstimatorNamesCarryTheSuffix) {
+  AdaptiveCheckpointPolicy policy(AdaptiveCheckpointPolicy::with_estimator(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp()));
+  EXPECT_EQ(policy.name(), "A_D_S-est");
+  EXPECT_TRUE(policy.config().estimate_rate);
+}
+
+TEST(AdaptivePolicy, EstimatorStartsAtTheNominalRate) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(AdaptiveCheckpointPolicy::with_estimator(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp()));
+  // Before any time elapses there is nothing to observe: the planning
+  // rate is exactly the nominal (environment-effective) lambda.
+  const auto ctx = make_context(setup, 7'600.0, 0.0, 5);
+  EXPECT_DOUBLE_EQ(policy.planning_lambda(ctx), 1.4e-3);
+}
+
+TEST(AdaptivePolicy, EstimatorTracksObservedGaps) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 1.4e-3);
+  AdaptiveCheckpointPolicy policy(AdaptiveCheckpointPolicy::with_estimator(
+      AdaptiveCheckpointPolicy::adapchp_dvs_scp()));
+
+  // Faults arriving much faster than nominal pull the estimate up ...
+  auto stormy = make_context(setup, 5'000.0, 2'000.0, 5);
+  stormy.faults_detected = 20;  // observed rate 1e-2 >> 1.4e-3
+  const double up = policy.planning_lambda(stormy);
+  EXPECT_GT(up, 1.4e-3);
+  EXPECT_LT(up, 1e-2);  // the prior tempers the jump
+
+  // ... and a long quiet stretch pulls it down.
+  auto quiet = make_context(setup, 5'000.0, 8'000.0, 5);
+  quiet.faults_detected = 0;
+  EXPECT_LT(policy.planning_lambda(quiet), 1.4e-3);
+
+  // More observations move the posterior monotonically toward the
+  // observed rate (without overshooting it).
+  auto heavier = stormy;
+  heavier.now = 4'000.0;
+  heavier.faults_detected = 40;
+  const double closer = policy.planning_lambda(heavier);
+  EXPECT_GT(closer, up);
+  EXPECT_LT(closer, 1e-2);
+}
+
+TEST(AdaptivePolicy, EstimatorShrinksIntervalsUnderObservedStorms) {
+  // The whole point of tracking: given the same nominal lambda, a
+  // policy that has seen a storm plans denser checkpoints than one
+  // planning blind.  An exhausted fault budget and a distant deadline
+  // pin Fig. 4 to the I1 branch, whose interval sqrt(2C/lambda) is
+  // strictly decreasing in the planning rate.
+  const auto setup = testutil::dvs_setup(7'600.0, 400'000.0, 30, 2.0e-4);
+  AdaptiveCheckpointPolicy blind(AdaptiveCheckpointPolicy::adapchp_dvs_scp());
+  AdaptiveCheckpointPolicy tracking(
+      AdaptiveCheckpointPolicy::with_estimator(
+          AdaptiveCheckpointPolicy::adapchp_dvs_scp()));
+  auto ctx = make_context(setup, 6'000.0, 3'000.0, 0);
+  ctx.faults_detected = 12;  // a storm: 4e-3 observed vs 2e-4 nominal
+  const auto blind_plan = blind.on_fault(ctx);
+  const auto tracking_plan = tracking.on_fault(ctx);
+  ASSERT_FALSE(blind_plan.abort);
+  ASSERT_FALSE(tracking_plan.abort);
+  EXPECT_LT(tracking_plan.cscp_interval, blind_plan.cscp_interval);
+}
+
+TEST(AdaptivePolicy, EstimatorWithZeroNominalRateUsesPureObservation) {
+  const auto setup = testutil::dvs_setup(7'600.0, 10'000.0, 5, 0.0);
+  AdaptiveCheckpointPolicy policy(AdaptiveCheckpointPolicy::with_estimator(
+      AdaptiveCheckpointPolicy::adt_dvs()));
+  auto ctx = make_context(setup, 5'000.0, 2'000.0, 5);
+  ctx.faults_detected = 4;
+  EXPECT_DOUBLE_EQ(policy.planning_lambda(ctx), 4.0 / 2'000.0);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <functional>
 #include <set>
+#include <vector>
 
 namespace adacheck::util {
 namespace {
@@ -96,6 +98,150 @@ TEST(DeriveSeed, DistinctStreamsDistinctSeeds) {
 TEST(DeriveSeed, StableMapping) {
   EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
   EXPECT_NE(derive_seed(1, 2), derive_seed(2, 1));
+}
+
+/// Sample mean and unbiased variance of n draws.
+std::pair<double, double> sample_moments(const std::function<double()>& draw,
+                                         int n) {
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = draw();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  return {mean, (sum2 - n * mean * mean) / (n - 1)};
+}
+
+/// One-sample Kolmogorov-Smirnov statistic D_n against the CDF.
+double ks_statistic(std::vector<double> samples,
+                    const std::function<double(double)>& cdf) {
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    d = std::max(d, std::abs(f - static_cast<double>(i) / n));
+    d = std::max(d, std::abs(static_cast<double>(i + 1) / n - f));
+  }
+  return d;
+}
+
+/// 1% critical value of the KS statistic for large n.  Fixed seeds
+/// make the draws deterministic, so a passing statistic stays passing.
+double ks_critical_1pct(int n) { return 1.63 / std::sqrt(n); }
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(21);
+  const auto [mean, var] =
+      sample_moments([&] { return rng.normal(3.0, 2.0); }, 200'000);
+  EXPECT_NEAR(mean, 3.0, 0.02);
+  EXPECT_NEAR(var, 4.0, 0.08);
+}
+
+TEST(Xoshiro256, WeibullMomentsMatch) {
+  // mean = scale * Gamma(1 + 1/k); var = scale^2 * (Gamma(1 + 2/k) -
+  // Gamma(1 + 1/k)^2).
+  Xoshiro256 rng(22);
+  const double shape = 2.0, scale = 3.0;
+  const auto [mean, var] =
+      sample_moments([&] { return rng.weibull(shape, scale); }, 200'000);
+  const double g1 = std::tgamma(1.0 + 1.0 / shape);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape);
+  EXPECT_NEAR(mean, scale * g1, 0.02);
+  EXPECT_NEAR(var, scale * scale * (g2 - g1 * g1), 0.05);
+}
+
+TEST(Xoshiro256, LogNormalMomentsMatch) {
+  // mean = exp(mu + sigma^2 / 2); var = (exp(sigma^2) - 1) * mean^2.
+  Xoshiro256 rng(23);
+  const double mu = 0.5, sigma = 0.4;
+  const auto [mean, var] =
+      sample_moments([&] { return rng.lognormal(mu, sigma); }, 200'000);
+  const double expected_mean = std::exp(mu + 0.5 * sigma * sigma);
+  const double expected_var =
+      (std::exp(sigma * sigma) - 1.0) * expected_mean * expected_mean;
+  EXPECT_NEAR(mean, expected_mean, 0.02);
+  EXPECT_NEAR(var, expected_var, 0.05);
+}
+
+TEST(Xoshiro256, GammaMomentsMatchAboveAndBelowShapeOne) {
+  // mean = k * scale; var = k * scale^2 — including the boosted path
+  // for shapes below 1.
+  for (const double shape : {0.5, 4.5}) {
+    Xoshiro256 rng(24);
+    const double scale = 2.0;
+    const auto [mean, var] =
+        sample_moments([&] { return rng.gamma(shape, scale); }, 200'000);
+    EXPECT_NEAR(mean, shape * scale, 0.05) << "shape=" << shape;
+    EXPECT_NEAR(var, shape * scale * scale, 0.2) << "shape=" << shape;
+  }
+}
+
+TEST(Xoshiro256, ExponentialPassesKolmogorovSmirnov) {
+  Xoshiro256 rng(31);
+  const double rate = 0.5;
+  std::vector<double> samples(4'000);
+  for (auto& x : samples) x = rng.exponential(rate);
+  const double d = ks_statistic(
+      std::move(samples), [&](double x) { return -std::expm1(-rate * x); });
+  EXPECT_LT(d, ks_critical_1pct(4'000));
+}
+
+TEST(Xoshiro256, WeibullPassesKolmogorovSmirnov) {
+  for (const double shape : {0.7, 2.0}) {
+    Xoshiro256 rng(32);
+    const double scale = 10.0;
+    std::vector<double> samples(4'000);
+    for (auto& x : samples) x = rng.weibull(shape, scale);
+    const double d = ks_statistic(std::move(samples), [&](double x) {
+      return -std::expm1(-std::pow(x / scale, shape));
+    });
+    EXPECT_LT(d, ks_critical_1pct(4'000)) << "shape=" << shape;
+  }
+}
+
+TEST(Xoshiro256, LogNormalPassesKolmogorovSmirnov) {
+  Xoshiro256 rng(33);
+  const double mu = -1.0, sigma = 1.5;
+  std::vector<double> samples(4'000);
+  for (auto& x : samples) x = rng.lognormal(mu, sigma);
+  const double d = ks_statistic(std::move(samples), [&](double x) {
+    return 0.5 * std::erfc(-(std::log(x) - mu) / (sigma * std::sqrt(2.0)));
+  });
+  EXPECT_LT(d, ks_critical_1pct(4'000));
+}
+
+TEST(Xoshiro256, GammaIntegerShapePassesKolmogorovSmirnov) {
+  // Integer shape k has the closed-form Erlang CDF
+  // 1 - exp(-x/s) * sum_{i<k} (x/s)^i / i!.
+  Xoshiro256 rng(34);
+  const int k = 4;
+  const double scale = 2.0;
+  std::vector<double> samples(4'000);
+  for (auto& x : samples) {
+    x = rng.gamma(static_cast<double>(k), scale);
+  }
+  const double d = ks_statistic(std::move(samples), [&](double x) {
+    const double y = x / scale;
+    double term = 1.0, sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+      sum += term;
+      term *= y / (i + 1);
+    }
+    return 1.0 - std::exp(-y) * sum;
+  });
+  EXPECT_LT(d, ks_critical_1pct(4'000));
+}
+
+TEST(Xoshiro256, SamplersAreDeterministicPerSeed) {
+  Xoshiro256 a(55), b(55);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.normal01(), b.normal01());
+    EXPECT_EQ(a.weibull(1.7, 3.0), b.weibull(1.7, 3.0));
+    EXPECT_EQ(a.lognormal(0.2, 0.9), b.lognormal(0.2, 0.9));
+    EXPECT_EQ(a.gamma(0.8, 2.0), b.gamma(0.8, 2.0));
+  }
 }
 
 TEST(PoissonArrivals, EmptyForZeroRateOrHorizon) {

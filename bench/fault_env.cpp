@@ -24,6 +24,7 @@
 #include "harness/sweep.hpp"
 #include "model/fault_env.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
   config.runs = static_cast<int>(args.get_int("runs", 2'000));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5EED5EED));
   config.threads = static_cast<int>(args.get_int("threads", 0));
+  util::ThreadPool::set_shared_size(config.threads);
 
   std::vector<std::string> envs = model::known_environments();
   const std::string wanted = args.get_string("envs", "");

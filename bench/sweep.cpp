@@ -17,6 +17,7 @@
 #include "harness/paper_params.hpp"
 #include "harness/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace adacheck;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5EED5EED));
   config.threads = static_cast<int>(args.get_int("threads", 0));
   config.validate = args.get_bool("validate", false);
+  util::ThreadPool::set_shared_size(config.threads);
 
   std::vector<harness::ExperimentSpec> specs = harness::all_paper_tables();
   const std::string tables = args.get_string("tables", "");

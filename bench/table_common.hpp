@@ -15,6 +15,7 @@
 #include "harness/report.hpp"
 #include "sim/monte_carlo.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace adacheck::benchtool {
 
@@ -27,6 +28,9 @@ inline int run_tables(int argc, char** argv,
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5EED5EED));
   config.threads = static_cast<int>(args.get_int("threads", 0));
   config.validate = args.get_bool("validate", false);
+  // Pin the shared pool's worker count too (statistics are identical
+  // at any thread count; this only trades wall-clock for cores).
+  util::ThreadPool::set_shared_size(config.threads);
 
   std::ofstream csv_file;
   const std::string csv_path = args.get_string("csv", "");

@@ -15,6 +15,7 @@
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace adacheck;
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   config.runs = static_cast<int>(args.get_int("runs", 2'000));
   config.threads = static_cast<int>(args.get_int("threads", 0));
   config.seed = 0x5EED'06D1;
+  util::ThreadPool::set_shared_size(config.threads);
 
   const auto sweep = harness::run_sweep({spec}, config);
   const auto& result = sweep.experiments.front();

@@ -1,0 +1,79 @@
+#include "scenario/binder.hpp"
+
+#include <utility>
+
+#include "harness/paper_params.hpp"
+
+namespace adacheck::scenario {
+
+namespace {
+
+harness::ExperimentSpec resolve_table(const std::string& name) {
+  // Same source of truth as known_tables(): the builders' spec.id.
+  for (auto& spec : harness::all_paper_tables()) {
+    if (spec.id == name) return std::move(spec);
+  }
+  // Unreachable after parse_scenario validated against known_tables().
+  throw ScenarioError("experiments", "unknown table \"" + name + "\"");
+}
+
+harness::ExperimentSpec build_inline(const ScenarioExperiment& exp) {
+  harness::ExperimentSpec spec;
+  spec.id = exp.id;
+  spec.title = exp.title;
+  spec.costs = exp.costs;
+  spec.deadline = exp.deadline;
+  spec.fault_tolerance = exp.fault_tolerance;
+  spec.speed_ratio = exp.speed_ratio;
+  spec.voltage.kappa = exp.voltage_kappa;
+  spec.util_level = exp.util_level;
+  spec.schemes = exp.schemes;
+  if (!exp.rows.empty()) {
+    for (const auto& row : exp.rows) {
+      spec.rows.push_back({row.utilization, row.lambda, {}});
+    }
+  } else {
+    for (const double utilization : exp.grid_utilization) {
+      for (const double lambda : exp.grid_lambda) {
+        spec.rows.push_back({utilization, lambda, {}});
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<harness::ExperimentSpec> bind_experiments(
+    const ScenarioSpec& scenario) {
+  std::vector<harness::ExperimentSpec> specs;
+  for (const auto& exp : scenario.experiments) {
+    harness::ExperimentSpec spec =
+        exp.table.empty() ? build_inline(exp) : resolve_table(exp.table);
+    if (exp.environments.empty()) {
+      spec.environment = exp.environment;
+      specs.push_back(std::move(spec));
+    } else {
+      auto expanded = harness::with_environments({spec}, exp.environments);
+      specs.insert(specs.end(), std::make_move_iterator(expanded.begin()),
+                   std::make_move_iterator(expanded.end()));
+    }
+  }
+  return specs;
+}
+
+sim::MonteCarloConfig monte_carlo_config(const ScenarioSpec& scenario) {
+  sim::MonteCarloConfig config;
+  config.runs = scenario.config.runs;
+  config.seed = scenario.config.seed;
+  config.validate = scenario.config.validate;
+  config.threads = scenario.config.threads;
+  return config;
+}
+
+harness::SweepResult run_scenario(const ScenarioSpec& scenario) {
+  return harness::run_sweep(bind_experiments(scenario),
+                            monte_carlo_config(scenario));
+}
+
+}  // namespace adacheck::scenario

@@ -1,0 +1,28 @@
+// Lowers a validated ScenarioSpec onto the harness: paper-table
+// references resolve to the harness/paper_params builders (so a
+// scenario-driven table run is byte-identical in its cell section to
+// the programmatic sweep), inline grids expand row-major (utilization
+// outer, lambda inner), and environment axes cross via
+// harness::with_environments ("id@env" naming).
+#pragma once
+
+#include "harness/sweep.hpp"
+#include "scenario/spec.hpp"
+
+namespace adacheck::scenario {
+
+/// The harness experiment specs a scenario describes, in document
+/// order (environment axes expand in place).
+std::vector<harness::ExperimentSpec> bind_experiments(
+    const ScenarioSpec& spec);
+
+/// The sim::MonteCarloConfig encoded by the scenario's config block.
+sim::MonteCarloConfig monte_carlo_config(const ScenarioSpec& spec);
+
+/// bind_experiments + harness::run_sweep under the scenario's config.
+/// config.threads caps the parallelism (the adacheck driver
+/// additionally sizes the shared pool; statistics do not depend on
+/// either).
+harness::SweepResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace adacheck::scenario

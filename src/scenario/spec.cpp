@@ -1,0 +1,439 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "harness/paper_params.hpp"
+#include "model/fault_env.hpp"
+#include "policy/factory.hpp"
+#include "util/text.hpp"
+
+namespace adacheck::scenario {
+
+namespace {
+
+using util::json::Value;
+
+[[noreturn]] void fail(const std::string& path, const std::string& message) {
+  throw ScenarioError(path, message);
+}
+
+std::string member_path(const std::string& path, std::string_view key) {
+  return path.empty() ? std::string(key) : path + "." + std::string(key);
+}
+
+std::string index_path(const std::string& path, std::size_t index) {
+  return path + "[" + std::to_string(index) + "]";
+}
+
+std::string kind_name(const Value& v) {
+  return util::json::to_string(v.kind());
+}
+
+// --- kind-checked accessors with path-qualified errors -------------------
+
+const Value& require(const Value& object, const std::string& path,
+                     std::string_view key) {
+  const Value* member = object.find(key);
+  if (member == nullptr) {
+    fail(path, "missing required key \"" + std::string(key) + "\"");
+  }
+  return *member;
+}
+
+double as_number(const Value& v, const std::string& path) {
+  if (!v.is_number()) fail(path, "expected number, got " + kind_name(v));
+  return v.as_number();
+}
+
+std::int64_t as_int(const Value& v, const std::string& path) {
+  if (!v.is_number()) fail(path, "expected number, got " + kind_name(v));
+  try {
+    return v.as_int();
+  } catch (const util::json::TypeError&) {
+    fail(path, "expected an integer (exactly representable, |n| <= 2^53)");
+  }
+}
+
+bool as_bool(const Value& v, const std::string& path) {
+  if (!v.is_bool()) fail(path, "expected boolean, got " + kind_name(v));
+  return v.as_bool();
+}
+
+const std::string& as_string(const Value& v, const std::string& path) {
+  if (!v.is_string()) fail(path, "expected string, got " + kind_name(v));
+  return v.as_string();
+}
+
+const util::json::Array& as_array(const Value& v, const std::string& path) {
+  if (!v.is_array()) fail(path, "expected array, got " + kind_name(v));
+  return v.as_array();
+}
+
+void require_object(const Value& v, const std::string& path) {
+  if (!v.is_object()) fail(path, "expected object, got " + kind_name(v));
+}
+
+// --- schema checks -------------------------------------------------------
+
+/// Rejects keys outside `allowed`, suggesting the closest allowed key.
+void check_keys(const Value& object, const std::string& path,
+                const std::vector<std::string>& allowed) {
+  for (const auto& [key, ignored] : object.as_object()) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    std::string message = "unknown key \"" + key + "\"";
+    const std::string suggestion = util::closest_match(key, allowed);
+    if (!suggestion.empty()) {
+      message += ", did you mean \"" + suggestion + "\"?";
+    } else {
+      message += " (known keys: " + util::join(allowed, ", ") + ")";
+    }
+    fail(path, message);
+  }
+}
+
+/// Registry-name check with a "did you mean" suggestion.
+void check_name(const std::string& name,
+                const std::vector<std::string>& known,
+                const std::string& path) {
+  if (std::find(known.begin(), known.end(), name) != known.end()) return;
+  std::string message = "unknown name \"" + name + "\"";
+  const std::string suggestion = util::closest_match(name, known);
+  if (!suggestion.empty()) {
+    message += ", did you mean \"" + suggestion + "\"?";
+  } else {
+    message += " (known: " + util::join(known, ", ") + ")";
+  }
+  fail(path, message);
+}
+
+double positive_number(const Value& v, const std::string& path) {
+  const double value = as_number(v, path);
+  if (value <= 0.0) fail(path, "must be > 0");
+  return value;
+}
+
+// --- section parsers -----------------------------------------------------
+
+ScenarioConfig parse_config(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path, {"runs", "seed", "validate", "threads"});
+  ScenarioConfig config;
+  if (const Value* runs = v.find("runs")) {
+    const auto value = as_int(*runs, member_path(path, "runs"));
+    if (value < 1) fail(member_path(path, "runs"), "must be >= 1");
+    if (value > 1'000'000'000) {
+      fail(member_path(path, "runs"), "must be <= 1e9");
+    }
+    config.runs = static_cast<int>(value);
+  }
+  if (const Value* seed = v.find("seed")) {
+    const auto value = as_int(*seed, member_path(path, "seed"));
+    if (value < 0) fail(member_path(path, "seed"), "must be >= 0");
+    config.seed = static_cast<std::uint64_t>(value);
+  }
+  if (const Value* validate = v.find("validate")) {
+    config.validate = as_bool(*validate, member_path(path, "validate"));
+  }
+  if (const Value* threads = v.find("threads")) {
+    const auto value = as_int(*threads, member_path(path, "threads"));
+    if (value < 0 || value > 4096) {
+      fail(member_path(path, "threads"), "must be in [0, 4096]");
+    }
+    config.threads = static_cast<int>(value);
+  }
+  return config;
+}
+
+model::CheckpointCosts parse_costs(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path, {"store", "compare", "rollback"});
+  model::CheckpointCosts costs;
+  costs.store = v.find("store")
+                    ? as_number(*v.find("store"), member_path(path, "store"))
+                    : 0.0;
+  costs.compare =
+      v.find("compare")
+          ? as_number(*v.find("compare"), member_path(path, "compare"))
+          : 0.0;
+  costs.rollback =
+      v.find("rollback")
+          ? as_number(*v.find("rollback"), member_path(path, "rollback"))
+          : 0.0;
+  if (costs.store < 0.0) fail(member_path(path, "store"), "must be >= 0");
+  if (costs.compare < 0.0) fail(member_path(path, "compare"), "must be >= 0");
+  if (costs.rollback < 0.0) {
+    fail(member_path(path, "rollback"), "must be >= 0");
+  }
+  if (costs.store + costs.compare <= 0.0) {
+    fail(path, "store + compare must be > 0 (a free checkpoint would "
+               "make infinitely many optimal)");
+  }
+  return costs;
+}
+
+std::vector<ScenarioRow> parse_rows(const Value& v, const std::string& path) {
+  std::vector<ScenarioRow> rows;
+  const auto& array = as_array(v, path);
+  if (array.empty()) fail(path, "must not be empty");
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const std::string row_path = index_path(path, i);
+    require_object(array[i], row_path);
+    check_keys(array[i], row_path, {"utilization", "lambda"});
+    ScenarioRow row;
+    row.utilization =
+        positive_number(require(array[i], row_path, "utilization"),
+                        member_path(row_path, "utilization"));
+    row.lambda = as_number(require(array[i], row_path, "lambda"),
+                           member_path(row_path, "lambda"));
+    if (row.lambda < 0.0) {
+      fail(member_path(row_path, "lambda"), "must be >= 0");
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<double> parse_axis(const Value& v, const std::string& path,
+                               bool strictly_positive) {
+  std::vector<double> values;
+  const auto& array = as_array(v, path);
+  if (array.empty()) fail(path, "must not be empty");
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const double value = as_number(array[i], index_path(path, i));
+    if (strictly_positive && value <= 0.0) {
+      fail(index_path(path, i), "must be > 0");
+    }
+    if (!strictly_positive && value < 0.0) {
+      fail(index_path(path, i), "must be >= 0");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+void parse_environment_keys(const Value& v, const std::string& path,
+                            ScenarioExperiment& exp) {
+  const Value* environment = v.find("environment");
+  const Value* environments = v.find("environments");
+  if (environment != nullptr && environments != nullptr) {
+    fail(path, "give at most one of \"environment\" (in place) or "
+               "\"environments\" (axis, ids become \"id@env\")");
+  }
+  if (environment != nullptr) {
+    const std::string env_path = member_path(path, "environment");
+    exp.environment = as_string(*environment, env_path);
+    check_name(exp.environment, model::known_environments(), env_path);
+  }
+  if (environments != nullptr) {
+    const std::string axis_path = member_path(path, "environments");
+    const auto& array = as_array(*environments, axis_path);
+    if (array.empty()) fail(axis_path, "must not be empty");
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      const std::string item_path = index_path(axis_path, i);
+      const std::string& name = as_string(array[i], item_path);
+      check_name(name, model::known_environments(), item_path);
+      if (std::find(exp.environments.begin(), exp.environments.end(), name) !=
+          exp.environments.end()) {
+        fail(item_path, "duplicate environment \"" + name + "\"");
+      }
+      exp.environments.push_back(name);
+    }
+  }
+}
+
+ScenarioExperiment parse_experiment(const Value& v, const std::string& path) {
+  require_object(v, path);
+  ScenarioExperiment exp;
+
+  if (const Value* table = v.find("table")) {
+    // A paper-table reference admits only the environment axis on top;
+    // grid knobs belong to inline experiments.
+    check_keys(v, path, {"table", "environment", "environments"});
+    exp.table = as_string(*table, member_path(path, "table"));
+    check_name(exp.table, known_tables(), member_path(path, "table"));
+    parse_environment_keys(v, path, exp);
+    return exp;
+  }
+
+  check_keys(v, path,
+             {"id", "title", "costs", "deadline", "fault_tolerance",
+              "speed_ratio", "voltage_kappa", "util_level", "schemes",
+              "rows", "grid", "environment", "environments"});
+
+  exp.id = as_string(require(v, path, "id"), member_path(path, "id"));
+  if (exp.id.empty()) fail(member_path(path, "id"), "must not be empty");
+  exp.title = v.find("title")
+                  ? as_string(*v.find("title"), member_path(path, "title"))
+                  : exp.id;
+  if (const Value* costs = v.find("costs")) {
+    exp.costs = parse_costs(*costs, member_path(path, "costs"));
+  }
+  if (const Value* deadline = v.find("deadline")) {
+    exp.deadline =
+        positive_number(*deadline, member_path(path, "deadline"));
+  }
+  if (const Value* k = v.find("fault_tolerance")) {
+    const auto value = as_int(*k, member_path(path, "fault_tolerance"));
+    if (value < 0) fail(member_path(path, "fault_tolerance"), "must be >= 0");
+    exp.fault_tolerance = static_cast<int>(value);
+  }
+  if (const Value* ratio = v.find("speed_ratio")) {
+    exp.speed_ratio = as_number(*ratio, member_path(path, "speed_ratio"));
+    if (exp.speed_ratio <= 1.0) {
+      fail(member_path(path, "speed_ratio"), "must be > 1 (f2/f1)");
+    }
+  }
+  if (const Value* kappa = v.find("voltage_kappa")) {
+    exp.voltage_kappa =
+        positive_number(*kappa, member_path(path, "voltage_kappa"));
+  }
+  if (const Value* level = v.find("util_level")) {
+    const auto value = as_int(*level, member_path(path, "util_level"));
+    if (value != 0 && value != 1) {
+      fail(member_path(path, "util_level"),
+           "must be 0 (f1) or 1 (f2): the speed level that converts "
+           "utilization to cycles");
+    }
+    exp.util_level = static_cast<std::size_t>(value);
+  }
+
+  const std::string schemes_path = member_path(path, "schemes");
+  const auto& schemes = as_array(require(v, path, "schemes"), schemes_path);
+  if (schemes.empty()) fail(schemes_path, "must not be empty");
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const std::string item_path = index_path(schemes_path, i);
+    const std::string& name = as_string(schemes[i], item_path);
+    check_name(name, policy::known_policies(), item_path);
+    if (std::find(exp.schemes.begin(), exp.schemes.end(), name) !=
+        exp.schemes.end()) {
+      fail(item_path, "duplicate scheme \"" + name + "\"");
+    }
+    exp.schemes.push_back(name);
+  }
+
+  const Value* rows = v.find("rows");
+  const Value* grid = v.find("grid");
+  if ((rows == nullptr) == (grid == nullptr)) {
+    fail(path, "give exactly one of \"rows\" (explicit points) or "
+               "\"grid\" (utilization x lambda cross product)");
+  }
+  if (rows != nullptr) {
+    exp.rows = parse_rows(*rows, member_path(path, "rows"));
+  } else {
+    const std::string grid_path = member_path(path, "grid");
+    require_object(*grid, grid_path);
+    check_keys(*grid, grid_path, {"utilization", "lambda"});
+    exp.grid_utilization =
+        parse_axis(require(*grid, grid_path, "utilization"),
+                   member_path(grid_path, "utilization"),
+                   /*strictly_positive=*/true);
+    exp.grid_lambda = parse_axis(require(*grid, grid_path, "lambda"),
+                                 member_path(grid_path, "lambda"),
+                                 /*strictly_positive=*/false);
+  }
+
+  parse_environment_keys(v, path, exp);
+  return exp;
+}
+
+/// The experiment ids a ScenarioExperiment expands to; must match the
+/// binder's naming (environment axes suffix "@env").
+std::vector<std::string> expanded_ids(const ScenarioExperiment& exp) {
+  const std::string base = exp.table.empty() ? exp.id : exp.table;
+  if (exp.environments.empty()) return {base};
+  std::vector<std::string> ids;
+  ids.reserve(exp.environments.size());
+  for (const auto& env : exp.environments) ids.push_back(base + "@" + env);
+  return ids;
+}
+
+}  // namespace
+
+ScenarioError::ScenarioError(const std::string& path,
+                             const std::string& message)
+    : std::runtime_error(path.empty() ? message : path + ": " + message),
+      path_(path) {}
+
+std::vector<std::string> known_tables() {
+  // Derived from the paper-table builders (each sets spec.id to its
+  // registry name) so new tables need no registration here.
+  std::vector<std::string> names;
+  for (const auto& spec : harness::all_paper_tables()) {
+    names.push_back(spec.id);
+  }
+  return names;
+}
+
+ScenarioSpec parse_scenario(const util::json::Value& root) {
+  const std::string top;  // the document root has no path prefix
+  require_object(root, top);
+  check_keys(root, top,
+             {"schema", "name", "title", "config", "output", "experiments"});
+
+  const std::string& schema = as_string(require(root, top, "schema"), "schema");
+  if (schema != "adacheck-scenario-v1") {
+    fail("schema", "unsupported schema \"" + schema +
+                       "\"; expected \"adacheck-scenario-v1\"");
+  }
+
+  ScenarioSpec spec;
+  spec.name = as_string(require(root, top, "name"), "name");
+  if (spec.name.empty()) fail("name", "must not be empty");
+  spec.title =
+      root.find("title") ? as_string(*root.find("title"), "title") : spec.name;
+  if (const Value* config = root.find("config")) {
+    spec.config = parse_config(*config, "config");
+  }
+  if (const Value* output = root.find("output")) {
+    spec.output = as_string(*output, "output");
+  }
+
+  const auto& experiments =
+      as_array(require(root, top, "experiments"), "experiments");
+  if (experiments.empty()) fail("experiments", "must not be empty");
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    spec.experiments.push_back(
+        parse_experiment(experiments[i], index_path("experiments", i)));
+  }
+
+  // Expanded ids must be unique: the sweep report keys cells by them.
+  std::vector<std::string> seen;
+  for (const auto& exp : spec.experiments) {
+    for (auto& id : expanded_ids(exp)) {
+      if (std::find(seen.begin(), seen.end(), id) != seen.end()) {
+        fail("experiments", "duplicate experiment id \"" + id +
+                                "\" (use an environment axis or distinct "
+                                "ids)");
+      }
+      seen.push_back(std::move(id));
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec parse_scenario_text(std::string_view text) {
+  return parse_scenario(util::json::parse(text));
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(path + ": cannot open scenario file");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_scenario_text(buffer.str());
+  } catch (const util::json::ParseError& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  } catch (const ScenarioError& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace adacheck::scenario

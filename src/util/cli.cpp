@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/text.hpp"
+
 namespace adacheck::util {
 
 namespace {
@@ -13,6 +15,14 @@ bool is_flag(const std::string& arg) {
 
 CliArgs::CliArgs(int argc, const char* const* argv,
                  std::vector<std::string> allowed) {
+  // Split the "name!" boolean-switch markers out of the allowed list.
+  std::vector<std::string> boolean_switches;
+  for (auto& entry : allowed) {
+    if (!entry.empty() && entry.back() == '!') {
+      entry.pop_back();
+      boolean_switches.push_back(entry);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!is_flag(arg)) {
@@ -27,8 +37,12 @@ CliArgs::CliArgs(int argc, const char* const* argv,
       value = arg.substr(eq + 1);
     } else {
       name = arg;
-      // --name value form: consume the next token unless it is a flag.
-      if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      // --name value form: consume the next token unless it is a flag
+      // or the name is a declared boolean switch.
+      const bool declared_switch =
+          std::find(boolean_switches.begin(), boolean_switches.end(), name) !=
+          boolean_switches.end();
+      if (!declared_switch && i + 1 < argc && !is_flag(argv[i + 1])) {
         value = argv[++i];
       } else {
         value = "true";  // boolean switch
@@ -36,10 +50,22 @@ CliArgs::CliArgs(int argc, const char* const* argv,
     }
     if (!allowed.empty() &&
         std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
-      throw std::invalid_argument("unknown flag: --" + name);
+      std::string message = "unknown flag --" + name;
+      const std::string suggestion = closest_match(name, allowed);
+      if (!suggestion.empty()) {
+        message += " (did you mean --" + suggestion + "?)";
+      }
+      message += "; allowed flags: --" + join(allowed, ", --");
+      throw std::invalid_argument(message);
     }
     flags_[name] = std::move(value);
   }
+}
+
+std::string CliArgs::subcommand(int argc, const char* const* argv) {
+  if (argc < 2) return "";
+  const std::string first = argv[1];
+  return is_flag(first) ? "" : first;
 }
 
 bool CliArgs::has(const std::string& name) const {

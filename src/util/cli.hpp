@@ -1,8 +1,16 @@
-// Tiny command-line flag parser shared by bench binaries and examples.
+// Tiny command-line flag parser shared by bench binaries, examples,
+// and the adacheck driver.
 //
 // Supports --name=value and --name value forms plus boolean switches
 // (--fast).  Unknown flags are an error so typos in experiment sweeps
-// fail loudly instead of silently running the default configuration.
+// fail loudly instead of silently running the default configuration;
+// the error lists the allowed flags (with a "did you mean" suggestion
+// when one is close).
+//
+// Subcommands: multi-verb tools (adacheck run/validate/list) peek the
+// verb with CliArgs::subcommand(argc, argv) first, then construct a
+// CliArgs with that verb's allowed-flag set; the verb stays in
+// positional()[0].
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,11 @@ class CliArgs {
  public:
   /// Parses argv.  Throws std::invalid_argument on malformed input or,
   /// when `allowed` is non-empty, on flags outside the allowed set.
+  /// An allowed entry ending in '!' (e.g. "dry-run!") declares a
+  /// boolean switch: --dry-run never consumes the following token, so
+  /// `run --dry-run file.json` keeps file.json positional.  Use it for
+  /// switches in tools that take positionals (explicit
+  /// --dry-run=false still works).
   CliArgs(int argc, const char* const* argv,
           std::vector<std::string> allowed = {});
 
@@ -33,6 +46,11 @@ class CliArgs {
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
+
+  /// The subcommand: argv[1] when it exists and is not a flag, ""
+  /// otherwise.  A peek — it does not consume anything; when parsed,
+  /// the verb is positional()[0].
+  static std::string subcommand(int argc, const char* const* argv);
 
  private:
   std::map<std::string, std::string> flags_;

@@ -1,0 +1,436 @@
+#include "util/json.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace adacheck::util::json {
+
+namespace {
+
+std::string position_suffix(int line, int column) {
+  return " at line " + std::to_string(line) + ", column " +
+         std::to_string(column);
+}
+
+}  // namespace
+
+const char* to_string(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "boolean";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : std::runtime_error(message + position_suffix(line, column)),
+      line_(line),
+      column_(column) {}
+
+TypeError::TypeError(const std::string& message, int line, int column)
+    : std::runtime_error(message + position_suffix(line, column)),
+      line_(line),
+      column_(column) {}
+
+Kind Value::kind() const noexcept {
+  return static_cast<Kind>(data_.index());
+}
+
+namespace {
+
+[[noreturn]] void type_mismatch(const Value& v, Kind wanted) {
+  throw TypeError(std::string("expected ") + to_string(wanted) + ", got " +
+                      to_string(v.kind()),
+                  v.line(), v.column());
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) type_mismatch(*this, Kind::kBool);
+  return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) type_mismatch(*this, Kind::kNumber);
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  const double v = as_number();
+  // 2^53: the largest range where every integer has an exact double.
+  constexpr double kMax = 9007199254740992.0;
+  if (std::floor(v) != v || v < -kMax || v > kMax) {
+    throw TypeError("expected integer, got non-integral number", line_,
+                    column_);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) type_mismatch(*this, Kind::kString);
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) type_mismatch(*this, Kind::kArray);
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) type_mismatch(*this, Kind::kObject);
+  return std::get<Object>(data_);
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [name, value] : as_object()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent parser over the raw text; tracks the 1-based
+/// position of every character it consumes.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_whitespace();
+    Value root = parse_value(0);
+    skip_whitespace();
+    if (!at_end()) fail("trailing content after the JSON document");
+    return root;
+  }
+
+ private:
+  // Deep enough for any real scenario/report; shallow enough that
+  // recursion cannot overflow the stack before we error out.
+  static constexpr int kMaxDepth = 200;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      take();
+    }
+  }
+
+  void expect(char wanted, const char* context) {
+    if (at_end()) {
+      fail(std::string("unexpected end of input ") + context);
+    }
+    if (peek() != wanted) {
+      fail(std::string("expected '") + wanted + "' " + context);
+    }
+    take();
+  }
+
+  /// Stamps the value with the position where its first character sat.
+  template <class T>
+  Value make(T&& data, int line, int column) {
+    Value v;
+    v.data_ = std::forward<T>(data);
+    v.line_ = line;
+    v.column_ = column;
+    return v;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (at_end()) fail("unexpected end of input, expected a value");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        const int line = line_, column = column_;
+        return make(parse_string(), line, column);
+      }
+      case 't': return parse_literal("true", true);
+      case 'f': return parse_literal("false", false);
+      case 'n': return parse_literal("null", nullptr);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        if (text_.substr(pos_, 3) == "NaN" ||
+            text_.substr(pos_, 8) == "Infinity" ||
+            text_.substr(pos_, 9) == "-Infinity") {
+          fail("JSON has no NaN/Infinity literals (the report writer "
+               "emits null for non-finite values)");
+        }
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  template <class T>
+  Value parse_literal(std::string_view word, T value) {
+    const int line = line_, column = column_;
+    for (const char expected : word) {
+      if (at_end() || peek() != expected) {
+        throw ParseError(
+            "invalid literal, expected \"" + std::string(word) + "\"", line,
+            column);
+      }
+      take();
+    }
+    return make(value, line, column);
+  }
+
+  Value parse_number() {
+    const int line = line_, column = column_;
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') take();
+    if (at_end() || peek() < '0' || peek() > '9') {
+      fail("invalid number: expected a digit");
+    }
+    if (peek() == '0') {
+      take();
+      if (!at_end() && peek() >= '0' && peek() <= '9') {
+        fail("invalid number: leading zeros are not allowed");
+      }
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!at_end() && peek() == '.') {
+      take();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("invalid number: expected a digit after '.'");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      take();
+      if (!at_end() && (peek() == '+' || peek() == '-')) take();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("invalid number: expected a digit in the exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') take();
+    }
+    // from_chars, not strtod: the conversion must stay locale-blind (a
+    // comma-decimal LC_NUMERIC would silently truncate "1.4e-3").
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double parsed = 0.0;
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), parsed);
+    if (result.ec == std::errc::result_out_of_range) {
+      // Overflow to +-inf is an error (the document cannot
+      // round-trip); underflow toward zero is accepted as zero.  The
+      // scanner already fixed the grammar, so the magnitude decides.
+      errno = 0;
+      const double approx = std::strtod(std::string(token).c_str(), nullptr);
+      if (std::isinf(approx)) {
+        throw ParseError("number out of range", line, column);
+      }
+      parsed = 0.0;
+    }
+    return make(parsed, line, column);
+  }
+
+  std::string parse_string() {
+    take();  // opening quote
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      if (peek() == '"') {
+        take();
+        return out;
+      }
+      if (static_cast<unsigned char>(peek()) < 0x20) {
+        fail("unescaped control character in string (use \\n, \\t, "
+             "\\u00XX, ...)");
+      }
+      if (peek() != '\\') {
+        out.push_back(take());
+        continue;
+      }
+      // Report escape errors at the backslash that starts the sequence.
+      const int escape_line = line_, escape_column = column_;
+      take();  // backslash
+      if (at_end()) fail("unterminated string");
+      const char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          const unsigned first = parse_hex4(escape_line, escape_column);
+          unsigned code_point = first;
+          if (first >= 0xD800 && first <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (at_end() || peek() != '\\') {
+              throw ParseError("unpaired surrogate in \\u escape",
+                               escape_line, escape_column);
+            }
+            take();
+            if (at_end() || take() != 'u') {
+              throw ParseError("unpaired surrogate in \\u escape",
+                               escape_line, escape_column);
+            }
+            const unsigned second = parse_hex4(escape_line, escape_column);
+            if (second < 0xDC00 || second > 0xDFFF) {
+              throw ParseError("unpaired surrogate in \\u escape",
+                               escape_line, escape_column);
+            }
+            code_point =
+                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+          } else if (first >= 0xDC00 && first <= 0xDFFF) {
+            throw ParseError("unpaired surrogate in \\u escape", escape_line,
+                             escape_column);
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default:
+          throw ParseError(std::string("invalid escape sequence '\\") + e +
+                               "'",
+                           escape_line, escape_column);
+      }
+    }
+  }
+
+  unsigned parse_hex4(int escape_line, int escape_column) {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) {
+        throw ParseError("truncated \\u escape", escape_line, escape_column);
+      }
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        throw ParseError("invalid hex digit in \\u escape", escape_line,
+                         escape_column);
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parse_array(int depth) {
+    const int line = line_, column = column_;
+    take();  // '['
+    Array items;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      take();
+      return make(std::move(items), line, column);
+    }
+    for (;;) {
+      skip_whitespace();
+      if (!at_end() && (peek() == ']' || peek() == ',')) {
+        fail("expected a value (trailing commas are not allowed)");
+      }
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside array");
+      if (peek() == ']') {
+        take();
+        return make(std::move(items), line, column);
+      }
+      if (peek() != ',') fail("expected ',' or ']' in array");
+      take();
+    }
+  }
+
+  Value parse_object(int depth) {
+    const int line = line_, column = column_;
+    take();  // '{'
+    Object members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      take();
+      return make(std::move(members), line, column);
+    }
+    for (;;) {
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside object");
+      if (peek() == '}' || peek() == ',') {
+        fail("expected a key string (trailing commas are not allowed)");
+      }
+      if (peek() != '"') fail("object keys must be strings");
+      const int key_line = line_, key_column = column_;
+      std::string key = parse_string();
+      for (const auto& [existing, ignored] : members) {
+        if (existing == key) {
+          throw ParseError("duplicate key \"" + key + "\"", key_line,
+                           key_column);
+        }
+      }
+      skip_whitespace();
+      expect(':', "after object key");
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside object");
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside object");
+      if (peek() == '}') {
+        take();
+        return make(std::move(members), line, column);
+      }
+      if (peek() != ',') fail("expected ',' or '}' in object");
+      take();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+Value parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace adacheck::util::json

@@ -1,0 +1,115 @@
+// Strict JSON parser — the inverse of the harness/json_report writer.
+//
+// Parses one RFC 8259 document into a Value tree.  Strictness is the
+// point: scenario files and archived sweep reports are configuration,
+// and a silently-misread configuration is worse than a loud error.
+// Therefore no comments, no trailing commas, no NaN/Infinity literals
+// (the report writer emits null for non-finite doubles), duplicate
+// object keys are rejected, and every failure carries the 1-based
+// line/column where parsing stopped.
+//
+// Values remember their own source position, so downstream schema
+// validation (src/scenario) can point at the offending field even when
+// the document itself was syntactically fine.
+//
+// Numbers are stored as double: integers are exact up to 2^53, which
+// covers every count the sweep schema emits; as_int() checks that the
+// stored value really is an integer in range.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace adacheck::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Object members in document order (duplicate keys are a parse error,
+/// so the vector doubles as a map with stable iteration).
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// Human-readable kind name ("null", "boolean", "number", ...).
+const char* to_string(Kind kind) noexcept;
+
+/// Syntax error: what() includes the position, and line()/column()
+/// expose it for tooling.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Accessor mismatch (as_number() on a string, find() on an array):
+/// carries the value's source position so callers can still point at
+/// the document.
+class TypeError : public std::runtime_error {
+ public:
+  TypeError(const std::string& message, int line, int column);
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+class Value {
+ public:
+  Value() = default;  ///< null
+
+  Kind kind() const noexcept;
+  /// 1-based source position of the value's first character (0 when
+  /// the value was default-constructed rather than parsed).
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+  bool is_null() const noexcept { return kind() == Kind::kNull; }
+  bool is_bool() const noexcept { return kind() == Kind::kBool; }
+  bool is_number() const noexcept { return kind() == Kind::kNumber; }
+  bool is_string() const noexcept { return kind() == Kind::kString; }
+  bool is_array() const noexcept { return kind() == Kind::kArray; }
+  bool is_object() const noexcept { return kind() == Kind::kObject; }
+
+  /// The as_*() accessors throw TypeError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// The number as an integer; TypeError when the value is not a
+  /// number, not integral, or outside the exactly-representable
+  /// +-2^53 range.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when the key is absent.  TypeError
+  /// on non-objects.
+  const Value* find(std::string_view key) const;
+
+ private:
+  friend class Parser;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data_;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace content
+/// is an error.  Throws ParseError.
+Value parse(std::string_view text);
+
+}  // namespace adacheck::util::json

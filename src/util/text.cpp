@@ -1,0 +1,50 @@
+#include "util/text.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace adacheck::util {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Two-row dynamic program; rows indexed by positions in b.
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> curr(b.size() + 1);
+  std::iota(prev.begin(), prev.end(), std::size_t{0});
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates) {
+  const std::size_t budget = 1 + name.size() / 4;
+  std::string best;
+  std::size_t best_distance = budget + 1;
+  for (const auto& candidate : candidates) {
+    const std::size_t distance = edit_distance(name, candidate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace adacheck::util

@@ -1,0 +1,26 @@
+// Small string helpers for error messages: "did you mean" suggestions
+// against a candidate list (CLI flags, registry names, schema keys)
+// and list joining.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adacheck::util {
+
+/// Levenshtein edit distance (insertions, deletions, substitutions).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name` when the distance is small enough
+/// to plausibly be a typo (<= 1 + |name|/4); empty string when nothing
+/// qualifies.  Ties go to the earlier candidate.
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates);
+
+/// Joins items with a separator ("a, b, c").
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+}  // namespace adacheck::util

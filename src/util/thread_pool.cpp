@@ -2,10 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace adacheck::util {
+
+namespace {
+
+/// Guards the shared-pool size request; a function-local static so the
+/// mutex exists before any static-initialization-order shenanigans.
+std::mutex& shared_size_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+int g_shared_size_request = 0;  // 0 = default
+bool g_shared_pool_built = false;
+
+int resolve_shared_size() {
+  std::lock_guard<std::mutex> lock(shared_size_mutex());
+  g_shared_pool_built = true;
+  if (g_shared_size_request > 0) return g_shared_size_request;
+  const int from_env =
+      ThreadPool::parse_thread_override(std::getenv("ADACHECK_THREADS"));
+  if (from_env > 0) return from_env;
+  return ThreadPool::default_concurrency();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_concurrency();
@@ -30,8 +56,35 @@ int ThreadPool::default_concurrency() noexcept {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool(resolve_shared_size());
   return pool;
+}
+
+void ThreadPool::set_shared_size(int threads) {
+  if (threads <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(shared_size_mutex());
+    if (!g_shared_pool_built) {
+      g_shared_size_request = threads;
+      return;
+    }
+  }
+  if (shared().size() != threads) {
+    throw std::logic_error(
+        "ThreadPool::set_shared_size(" + std::to_string(threads) +
+        "): shared pool already running " + std::to_string(shared().size()) +
+        " workers; request the size before the first simulation");
+  }
+}
+
+int ThreadPool::parse_thread_override(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return 0;
+  if (errno == ERANGE || value <= 0 || value > 4096) return 0;
+  return static_cast<int>(value);
 }
 
 void ThreadPool::enqueue(Task task) {

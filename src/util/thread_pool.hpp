@@ -52,7 +52,25 @@ class ThreadPool {
   static int default_concurrency() noexcept;
 
   /// Process-wide pool shared by run_cell / run_cells / run_sweep.
+  /// Its first use fixes the worker count: a set_shared_size() request
+  /// if one was made, else the ADACHECK_THREADS environment variable,
+  /// else default_concurrency().  Statistics never depend on the
+  /// choice — chunking and merge order are thread-count independent —
+  /// so resizing only trades wall-clock for cores.
   static ThreadPool& shared();
+
+  /// Requests the shared() pool's worker count before its first use
+  /// (the --threads plumbing of benches, examples, and the adacheck
+  /// driver).  threads <= 0 means "keep the default" and is always
+  /// accepted.  Once shared() exists its size is fixed: re-requesting
+  /// the current size is a no-op, any other size throws
+  /// std::logic_error.
+  static void set_shared_size(int threads);
+
+  /// Parses a thread-count override ("6" -> 6).  Returns 0 — meaning
+  /// "use the default" — for null, empty, non-numeric, or
+  /// non-positive text.  Used for ADACHECK_THREADS; exposed for tests.
+  static int parse_thread_override(const char* text) noexcept;
 
  private:
   friend class TaskGroup;

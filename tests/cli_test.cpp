@@ -48,6 +48,58 @@ TEST(CliArgs, AllowedListRejectsUnknown) {
   EXPECT_NO_THROW(parse({"--runs=1"}, {"runs"}));
 }
 
+TEST(CliArgs, UnknownFlagErrorListsAllowedFlagsAndSuggests) {
+  try {
+    parse({"--thread=4"}, {"runs", "seed", "threads"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown flag --thread"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean --threads?"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("allowed flags: --runs, --seed, --threads"),
+              std::string::npos)
+        << what;
+  }
+  try {
+    parse({"--zzz"}, {"runs"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // Nothing close: no suggestion, but the allowed list still prints.
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("allowed flags: --runs"), std::string::npos) << what;
+  }
+}
+
+TEST(CliArgs, DeclaredBooleanSwitchNeverConsumesThePositional) {
+  // "dry-run!" declares a switch: the following token stays positional.
+  const auto args =
+      parse({"run", "--dry-run", "file.json"}, {"dry-run!", "runs"});
+  EXPECT_TRUE(args.get_bool("dry-run", false));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[1], "file.json");
+  // Explicit =value still works, and undeclared flags keep consuming.
+  EXPECT_FALSE(parse({"--dry-run=false"}, {"dry-run!"})
+                   .get_bool("dry-run", true));
+  EXPECT_EQ(parse({"--runs", "5"}, {"dry-run!", "runs"}).get_int("runs", 0),
+            5);
+}
+
+TEST(CliArgs, SubcommandPeeksTheFirstPositional) {
+  const char* run[] = {"adacheck", "run", "scenario.json", "--runs=5"};
+  EXPECT_EQ(CliArgs::subcommand(4, run), "run");
+  const char* flag_first[] = {"adacheck", "--help"};
+  EXPECT_EQ(CliArgs::subcommand(2, flag_first), "");
+  const char* bare[] = {"adacheck"};
+  EXPECT_EQ(CliArgs::subcommand(1, bare), "");
+  // The verb is not consumed: it stays positional()[0].
+  const CliArgs args(4, run, {"runs"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "run");
+  EXPECT_EQ(args.positional()[1], "scenario.json");
+}
+
 TEST(CliArgs, MalformedNumbersThrow) {
   const auto args = parse({"--runs=abc", "--x=1.2.3"});
   EXPECT_THROW(args.get_int("runs", 0), std::invalid_argument);

@@ -1,0 +1,269 @@
+// The strict JSON parser (util/json): value-tree construction,
+// line/column error reporting, and the round-trip pin against the
+// harness/json_report writer — parse(sweep_json(...)) must preserve
+// every key and value of the adacheck-sweep-v2 schema.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "harness/json_report.hpp"
+#include "harness/sweep.hpp"
+
+namespace adacheck::util::json {
+namespace {
+
+// --- basic values --------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse(" 0 ").as_int(), 0);
+  EXPECT_DOUBLE_EQ(parse("-0").as_number(), 0.0);
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value doc = parse(R"({"a": [1, 2, {"b": null}], "c": {}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.as_object().size(), 2u);
+  const Value* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[1].as_int(), 2);
+  EXPECT_TRUE(a->as_array()[2].find("b")->is_null());
+  EXPECT_TRUE(doc.find("c")->as_object().empty());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectPreservesDocumentOrder) {
+  const Value doc = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xC3\xA9");
+  // Surrogate pair -> one 4-byte UTF-8 code point.
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, ValuesRememberTheirPosition) {
+  const Value doc = parse("{\n  \"a\": [true]\n}");
+  EXPECT_EQ(doc.line(), 1);
+  EXPECT_EQ(doc.column(), 1);
+  const Value& a = *doc.find("a");
+  EXPECT_EQ(a.line(), 2);
+  EXPECT_EQ(a.column(), 8);
+  EXPECT_EQ(a.as_array()[0].line(), 2);
+  EXPECT_EQ(a.as_array()[0].column(), 9);
+}
+
+TEST(Json, TypeErrorsNameBothKinds) {
+  const Value doc = parse(R"({"a": "text"})");
+  try {
+    doc.find("a")->as_number();
+    FAIL() << "expected TypeError";
+  } catch (const TypeError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected number, got string"),
+              std::string::npos);
+  }
+  EXPECT_THROW(parse("[1]").as_object(), TypeError);
+  EXPECT_THROW(parse("1.5").as_int(), TypeError);
+  EXPECT_THROW(parse("1e300").as_int(), TypeError);  // beyond 2^53
+}
+
+// --- malformed input: every error carries line/column --------------------
+
+void expect_parse_error(std::string_view text, int line, int column,
+                        std::string_view message_piece) {
+  try {
+    parse(text);
+    FAIL() << "expected ParseError for: " << text;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), line) << text << " -> " << e.what();
+    EXPECT_EQ(e.column(), column) << text << " -> " << e.what();
+    EXPECT_NE(std::string(e.what()).find(message_piece), std::string::npos)
+        << e.what();
+    // The position must be in the message itself, not just accessors.
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+TEST(JsonErrors, TruncatedDocuments) {
+  expect_parse_error("", 1, 1, "unexpected end of input");
+  expect_parse_error("{\"a\": 1", 1, 8, "inside object");
+  expect_parse_error("[1, 2", 1, 6, "inside array");
+  expect_parse_error("\"abc", 1, 5, "unterminated string");
+  expect_parse_error("{\"a\":", 1, 6, "unexpected end of input");
+  expect_parse_error("tru", 1, 1, "invalid literal");
+}
+
+TEST(JsonErrors, DuplicateKeysRejectedAtTheSecondKey) {
+  expect_parse_error("{\n  \"a\": 1,\n  \"a\": 2\n}", 3, 3,
+                     "duplicate key \"a\"");
+}
+
+TEST(JsonErrors, BadEscapes) {
+  expect_parse_error(R"(["a\qb"])", 1, 4, "invalid escape sequence '\\q'");
+  expect_parse_error(R"("\u00g1")", 1, 2, "invalid hex digit");
+  expect_parse_error(R"("\ud83d x")", 1, 2, "unpaired surrogate");
+  expect_parse_error(R"("\ude00")", 1, 2, "unpaired surrogate");
+}
+
+TEST(JsonErrors, NanAndInfinityLiteralsRejected) {
+  expect_parse_error("{\"e\": NaN}", 1, 7, "NaN");
+  expect_parse_error("[Infinity]", 1, 2, "Infinity");
+  expect_parse_error("1e999", 1, 1, "out of range");
+}
+
+TEST(JsonErrors, StructuralMistakes) {
+  expect_parse_error("[1, ]", 1, 5, "trailing commas");
+  expect_parse_error("{\"a\": 1,}", 1, 9, "trailing commas");
+  expect_parse_error("{} {}", 1, 4, "trailing content");
+  expect_parse_error("[01]", 1, 3, "leading zeros");
+  expect_parse_error("[1.]", 1, 4, "digit after '.'");
+  expect_parse_error("[1e]", 1, 4, "exponent");
+  expect_parse_error("{1: 2}", 1, 2, "keys must be strings");
+  expect_parse_error("\"a\nb\"", 1, 3, "control character");
+  const std::string deep(300, '[');
+  expect_parse_error(deep, 1, 202, "nesting too deep");
+}
+
+// --- round-trip against the sweep-report writer --------------------------
+
+harness::ExperimentSpec roundtrip_spec() {
+  harness::ExperimentSpec spec;
+  spec.id = "jsontest";
+  spec.title = "json round-trip grid";
+  spec.costs = model::CheckpointCosts::paper_scp_flavor();
+  spec.deadline = 10'000.0;
+  spec.fault_tolerance = 5;
+  spec.speed_ratio = 2.0;
+  spec.util_level = 0;
+  spec.schemes = {"Poisson", "A_D_S"};
+  // The U = 1.2 row is infeasible at f1: the Poisson baseline never
+  // succeeds there, so its E is NaN and must round-trip as null.
+  spec.rows = {{0.76, 1.4e-3, {}}, {1.2, 1.0e-4, {}}};
+  return spec;
+}
+
+void expect_cell_preserved(const Value& cell, const std::string& scheme,
+                           const sim::CellStats& stats) {
+  const char* const keys[] = {
+      "scheme", "trials", "successes", "p", "p_lo", "p_hi", "e", "e_ci95",
+      "e_all", "finish_time", "faults", "rollbacks", "corrections",
+      "high_speed_cycles", "aborted_runs", "validation_failures"};
+  EXPECT_EQ(cell.as_object().size(), std::size(keys));
+  for (const char* key : keys) {
+    EXPECT_NE(cell.find(key), nullptr) << "missing cell key " << key;
+  }
+  EXPECT_EQ(cell.find("scheme")->as_string(), scheme);
+  EXPECT_EQ(cell.find("trials")->as_int(),
+            static_cast<std::int64_t>(stats.completion.trials()));
+  EXPECT_EQ(cell.find("successes")->as_int(),
+            static_cast<std::int64_t>(stats.completion.successes()));
+  // Shortest-round-trip double formatting means equality is exact.
+  EXPECT_EQ(cell.find("p")->as_number(), stats.probability());
+  EXPECT_EQ(cell.find("p_lo")->as_number(), stats.completion.wilson_lo());
+  EXPECT_EQ(cell.find("p_hi")->as_number(), stats.completion.wilson_hi());
+  if (std::isfinite(stats.energy())) {
+    EXPECT_EQ(cell.find("e")->as_number(), stats.energy());
+  } else {
+    EXPECT_TRUE(cell.find("e")->is_null());
+  }
+  EXPECT_EQ(cell.find("e_all")->as_number(), stats.energy_all.mean());
+  EXPECT_EQ(cell.find("faults")->as_number(), stats.faults.mean());
+  EXPECT_EQ(cell.find("rollbacks")->as_number(), stats.rollbacks.mean());
+  EXPECT_EQ(cell.find("aborted_runs")->as_int(),
+            static_cast<std::int64_t>(stats.aborted_runs));
+}
+
+TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
+  const auto spec = roundtrip_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 60;
+  config.seed = 0x1234;
+  const auto sweep = harness::run_sweep({spec}, config);
+
+  for (const bool include_perf : {false, true}) {
+    const std::string text = harness::sweep_json(sweep, {include_perf});
+    const Value doc = parse(text);
+
+    EXPECT_EQ(doc.as_object().size(), include_perf ? 4u : 3u);
+    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v2");
+
+    const Value& cfg = *doc.find("config");
+    EXPECT_EQ(cfg.as_object().size(), 3u);
+    EXPECT_EQ(cfg.find("runs")->as_int(), 60);
+    EXPECT_EQ(cfg.find("seed")->as_int(), 0x1234);
+    EXPECT_FALSE(cfg.find("validate")->as_bool());
+
+    if (include_perf) {
+      const Value& perf = *doc.find("perf");
+      EXPECT_EQ(perf.find("total_runs")->as_int(), 60 * 4);
+      EXPECT_EQ(perf.find("cells")->as_int(), 4);
+    } else {
+      EXPECT_EQ(doc.find("perf"), nullptr);
+    }
+
+    const auto& experiments = doc.find("experiments")->as_array();
+    ASSERT_EQ(experiments.size(), 1u);
+    const Value& experiment = experiments[0];
+    EXPECT_EQ(experiment.find("id")->as_string(), spec.id);
+    EXPECT_EQ(experiment.find("title")->as_string(), spec.title);
+
+    const Value& environment = *experiment.find("environment");
+    EXPECT_EQ(environment.find("name")->as_string(), "poisson");
+    EXPECT_EQ(environment.find("arrival")->as_string(), "exponential");
+    EXPECT_EQ(environment.find("rate_multiplier")->as_number(), 1.0);
+    EXPECT_FALSE(environment.find("burst")->find("enabled")->as_bool());
+
+    const auto& schemes = experiment.find("schemes")->as_array();
+    ASSERT_EQ(schemes.size(), spec.schemes.size());
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      EXPECT_EQ(schemes[s].as_string(), spec.schemes[s]);
+    }
+
+    const auto& rows = experiment.find("rows")->as_array();
+    ASSERT_EQ(rows.size(), spec.rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      EXPECT_EQ(rows[r].find("utilization")->as_number(),
+                spec.rows[r].utilization);
+      EXPECT_EQ(rows[r].find("lambda")->as_number(), spec.rows[r].lambda);
+      const auto& cells = rows[r].find("cells")->as_array();
+      ASSERT_EQ(cells.size(), spec.schemes.size());
+      for (std::size_t s = 0; s < cells.size(); ++s) {
+        expect_cell_preserved(cells[s], spec.schemes[s],
+                              sweep.experiments[0].cells[r][s]);
+      }
+    }
+  }
+}
+
+TEST(JsonRoundTrip, InfeasibleCellEnergyIsNull) {
+  const auto spec = roundtrip_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 40;
+  const auto sweep = harness::run_sweep({spec}, config);
+  // Row 1 ("U" = 1.2), scheme 0 (fixed Poisson baseline at f1): no run
+  // can meet the deadline, so E over successes is NaN -> null.
+  ASSERT_EQ(sweep.experiments[0].cells[1][0].completion.successes(), 0u);
+  const Value doc = parse(harness::sweep_json(sweep, {false}));
+  const Value& row = doc.find("experiments")->as_array()[0]
+                         .find("rows")->as_array()[1];
+  EXPECT_TRUE(row.find("cells")->as_array()[0].find("e")->is_null());
+}
+
+}  // namespace
+}  // namespace adacheck::util::json

@@ -1,0 +1,320 @@
+// The scenario subsystem: schema parsing, path-qualified validation
+// errors with "did you mean" suggestions, binder lowering onto
+// harness::ExperimentSpec, and the acceptance pin — a scenario-driven
+// sweep is byte-identical in its cell section to the programmatic
+// equivalent at any thread count.
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "harness/json_report.hpp"
+#include "harness/paper_params.hpp"
+#include "harness/sweep.hpp"
+#include "scenario/binder.hpp"
+
+namespace adacheck::scenario {
+namespace {
+
+constexpr const char* kMinimal = R"json({
+  "schema": "adacheck-scenario-v1",
+  "name": "mini",
+  "experiments": [
+    {"id": "grid", "fault_tolerance": 5,
+     "schemes": ["Poisson", "A_D_S"],
+     "grid": {"utilization": [0.76, 0.8], "lambda": [1.4e-3, 1.6e-3]}}
+  ]
+})json";
+
+TEST(ScenarioParse, DefaultsApplied) {
+  const auto scenario = parse_scenario_text(kMinimal);
+  EXPECT_EQ(scenario.name, "mini");
+  EXPECT_EQ(scenario.title, "mini");
+  EXPECT_EQ(scenario.config.runs, 10'000);
+  EXPECT_EQ(scenario.config.seed, 0x5EED5EEDu);
+  EXPECT_FALSE(scenario.config.validate);
+  EXPECT_EQ(scenario.config.threads, 0);
+  EXPECT_TRUE(scenario.output.empty());
+  ASSERT_EQ(scenario.experiments.size(), 1u);
+  const auto& exp = scenario.experiments[0];
+  EXPECT_EQ(exp.title, "grid");
+  EXPECT_DOUBLE_EQ(exp.costs.store, 2.0);
+  EXPECT_DOUBLE_EQ(exp.costs.compare, 20.0);
+  EXPECT_DOUBLE_EQ(exp.deadline, 10'000.0);
+  EXPECT_DOUBLE_EQ(exp.speed_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(exp.voltage_kappa, 4.0);
+  EXPECT_EQ(exp.util_level, 0u);
+  EXPECT_EQ(exp.environment, "poisson");
+  EXPECT_TRUE(exp.environments.empty());
+}
+
+TEST(ScenarioParse, GridExpandsRowMajor) {
+  const auto specs = bind_experiments(parse_scenario_text(kMinimal));
+  ASSERT_EQ(specs.size(), 1u);
+  const auto& rows = specs[0].rows;
+  ASSERT_EQ(rows.size(), 4u);  // utilization outer, lambda inner
+  EXPECT_DOUBLE_EQ(rows[0].utilization, 0.76);
+  EXPECT_DOUBLE_EQ(rows[0].lambda, 1.4e-3);
+  EXPECT_DOUBLE_EQ(rows[1].utilization, 0.76);
+  EXPECT_DOUBLE_EQ(rows[1].lambda, 1.6e-3);
+  EXPECT_DOUBLE_EQ(rows[2].utilization, 0.8);
+  EXPECT_DOUBLE_EQ(rows[2].lambda, 1.4e-3);
+  EXPECT_DOUBLE_EQ(rows[3].utilization, 0.8);
+  EXPECT_DOUBLE_EQ(rows[3].lambda, 1.6e-3);
+  EXPECT_EQ(specs[0].schemes,
+            (std::vector<std::string>{"Poisson", "A_D_S"}));
+}
+
+TEST(ScenarioParse, ExplicitRowsPreserved) {
+  const auto scenario = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "rows",
+    "experiments": [
+      {"id": "r", "fault_tolerance": 1, "schemes": ["A_D"],
+       "rows": [{"utilization": 0.92, "lambda": 1e-4},
+                {"utilization": 0.95, "lambda": 2e-4}]}
+    ]})json");
+  const auto specs = bind_experiments(scenario);
+  ASSERT_EQ(specs[0].rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(specs[0].rows[1].utilization, 0.95);
+  EXPECT_DOUBLE_EQ(specs[0].rows[1].lambda, 2e-4);
+}
+
+TEST(ScenarioBind, TableReferenceMatchesPaperParams) {
+  const auto scenario = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "t",
+    "experiments": [{"table": "table1a"}]})json");
+  const auto specs = bind_experiments(scenario);
+  const auto reference = harness::table1a();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].id, reference.id);
+  EXPECT_EQ(specs[0].title, reference.title);
+  EXPECT_EQ(specs[0].schemes, reference.schemes);
+  EXPECT_EQ(specs[0].rows.size(), reference.rows.size());
+  EXPECT_EQ(specs[0].environment, "poisson");
+}
+
+TEST(ScenarioBind, EnvironmentAxisUsesWithEnvironmentsNaming) {
+  const auto scenario = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "axis",
+    "experiments": [
+      {"table": "table1a",
+       "environments": ["poisson", "bursty-orbit"]}
+    ]})json");
+  const auto specs = bind_experiments(scenario);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].id, "table1a@poisson");
+  EXPECT_EQ(specs[0].environment, "poisson");
+  EXPECT_EQ(specs[1].id, "table1a@bursty-orbit");
+  EXPECT_EQ(specs[1].environment, "bursty-orbit");
+}
+
+TEST(ScenarioBind, MonteCarloConfigCarriesTheKnobs) {
+  const auto scenario = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "cfg",
+    "config": {"runs": 123, "seed": 77, "validate": true, "threads": 2},
+    "experiments": [{"table": "table1a"}]})json");
+  const auto config = monte_carlo_config(scenario);
+  EXPECT_EQ(config.runs, 123);
+  EXPECT_EQ(config.seed, 77u);
+  EXPECT_TRUE(config.validate);
+  EXPECT_EQ(config.threads, 2);
+}
+
+// --- the acceptance pin --------------------------------------------------
+
+TEST(ScenarioRun, ByteIdenticalToProgrammaticTableSweep) {
+  auto scenario = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "table1",
+    "config": {"runs": 120},
+    "experiments": [{"table": "table1a"}, {"table": "table1b"}]})json");
+
+  sim::MonteCarloConfig config;
+  config.runs = 120;
+  const auto programmatic =
+      harness::run_sweep({harness::table1a(), harness::table1b()}, config);
+
+  const harness::JsonReportOptions no_perf{/*include_perf=*/false};
+  EXPECT_EQ(harness::sweep_json(run_scenario(scenario), no_perf),
+            harness::sweep_json(programmatic, no_perf));
+}
+
+TEST(ScenarioRun, ByteIdenticalAcrossThreadCounts) {
+  auto scenario = parse_scenario_text(kMinimal);
+  scenario.config.runs = 300;
+  scenario.config.threads = 1;
+  const harness::JsonReportOptions no_perf{/*include_perf=*/false};
+  const std::string serial =
+      harness::sweep_json(run_scenario(scenario), no_perf);
+  scenario.config.threads = 4;
+  const std::string parallel =
+      harness::sweep_json(run_scenario(scenario), no_perf);
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- path-qualified validation errors ------------------------------------
+
+void expect_scenario_error(std::string_view text,
+                           const std::string& expected_path,
+                           std::string_view message_piece) {
+  try {
+    parse_scenario_text(text);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.path(), expected_path) << e.what();
+    EXPECT_NE(std::string(e.what()).find(message_piece), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioErrors, UnknownEnvironmentSuggestsTheClosestName) {
+  try {
+    parse_scenario_text(R"json({
+      "schema": "adacheck-scenario-v1", "name": "x",
+      "experiments": [
+        {"id": "a", "schemes": ["A_D"], "environment": "bursty-orbitt",
+         "grid": {"utilization": [0.8], "lambda": [1e-3]}}
+      ]})json");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_STREQ(e.what(),
+                 "experiments[0].environment: unknown name "
+                 "\"bursty-orbitt\", did you mean \"bursty-orbit\"?");
+  }
+}
+
+TEST(ScenarioErrors, UnknownSchemeAndTableAndKey) {
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [
+      {"id": "a", "schemes": ["A_D", "Poison"],
+       "grid": {"utilization": [0.8], "lambda": [1e-3]}}
+    ]})json",
+                        "experiments[0].schemes[1]",
+                        "did you mean \"Poisson\"?");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [{"table": "table5a"}]})json",
+                        "experiments[0].table", "unknown name \"table5a\"");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [
+      {"id": "a", "scheems": ["A_D"],
+       "grid": {"utilization": [0.8], "lambda": [1e-3]}}
+    ]})json",
+                        "experiments[0]",
+                        "unknown key \"scheems\", did you mean \"schemes\"?");
+}
+
+TEST(ScenarioErrors, TypeAndRangeViolations) {
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "config": {"runs": "many"},
+    "experiments": [{"table": "table1a"}]})json",
+                        "config.runs", "expected number, got string");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "config": {"seed": -1},
+    "experiments": [{"table": "table1a"}]})json",
+                        "config.seed", "must be >= 0");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [
+      {"id": "a", "schemes": ["A_D"], "util_level": 2,
+       "grid": {"utilization": [0.8], "lambda": [1e-3]}}
+    ]})json",
+                        "experiments[0].util_level", "must be 0 (f1) or 1");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [
+      {"id": "a", "schemes": ["A_D"],
+       "grid": {"utilization": [], "lambda": [1e-3]}}
+    ]})json",
+                        "experiments[0].grid.utilization",
+                        "must not be empty");
+}
+
+TEST(ScenarioErrors, StructuralViolations) {
+  expect_scenario_error(R"json({"name": "x", "experiments": []})json", "",
+                        "missing required key \"schema\"");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-sweep-v2", "name": "x",
+    "experiments": [{"table": "table1a"}]})json",
+                        "schema", "unsupported schema");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [
+      {"id": "a", "schemes": ["A_D"],
+       "rows": [{"utilization": 0.8, "lambda": 1e-3}],
+       "grid": {"utilization": [0.8], "lambda": [1e-3]}}
+    ]})json",
+                        "experiments[0]", "exactly one of \"rows\"");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [
+      {"id": "a", "schemes": ["A_D"], "environment": "poisson",
+       "environments": ["poisson"],
+       "grid": {"utilization": [0.8], "lambda": [1e-3]}}
+    ]})json",
+                        "experiments[0]", "at most one of \"environment\"");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [{"table": "table1a"}, {"table": "table1a"}]})json",
+                        "experiments", "duplicate experiment id");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [
+      {"table": "table1a", "deadline": 5000}
+    ]})json",
+                        "experiments[0]", "unknown key \"deadline\"");
+}
+
+TEST(ScenarioErrors, SyntaxErrorsPropagateWithPosition) {
+  try {
+    parse_scenario_text("{\"schema\": \"adacheck-scenario-v1\",");
+    FAIL() << "expected ParseError";
+  } catch (const util::json::ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+// --- shipped scenario files ----------------------------------------------
+
+TEST(ScenarioFiles, EveryShippedScenarioValidatesAndBinds) {
+  const std::filesystem::path dir = ADACHECK_SCENARIO_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++count;
+    SCOPED_TRACE(entry.path().string());
+    const auto scenario = load_scenario_file(entry.path().string());
+    const auto specs = bind_experiments(scenario);
+    EXPECT_FALSE(specs.empty());
+    std::size_t cells = 0;
+    for (const auto& spec : specs) {
+      EXPECT_NO_THROW(spec.validate());
+      cells += spec.rows.size() * spec.schemes.size();
+    }
+    EXPECT_GT(cells, 0u);
+    EXPECT_FALSE(scenario.output.empty())
+        << "shipped scenarios should name their report file";
+  }
+  EXPECT_GE(count, 9u);  // tables 1-4, paper_tables, environments,
+                         // satellite, uav, smoke
+}
+
+TEST(ScenarioFiles, MissingFileErrorNamesThePath) {
+  try {
+    load_scenario_file("/nonexistent/nope.json");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/nope.json"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace adacheck::scenario

@@ -31,6 +31,31 @@ TEST(ThreadPool, SharedPoolIsPersistent) {
   EXPECT_GE(ThreadPool::shared().size(), 1);
 }
 
+TEST(ThreadPool, SharedSizeIsFixedAfterFirstUse) {
+  const int current = ThreadPool::shared().size();  // force construction
+  // Re-requesting the current size (or the default) is a no-op...
+  EXPECT_NO_THROW(ThreadPool::set_shared_size(current));
+  EXPECT_NO_THROW(ThreadPool::set_shared_size(0));
+  EXPECT_NO_THROW(ThreadPool::set_shared_size(-3));
+  // ...but an actual resize after the pool exists must fail loudly.
+  EXPECT_THROW(ThreadPool::set_shared_size(current + 1), std::logic_error);
+  EXPECT_EQ(ThreadPool::shared().size(), current);
+}
+
+TEST(ThreadPool, ParsesThreadOverrides) {
+  // The ADACHECK_THREADS parsing rule: positive integers win, anything
+  // else means "use the default" (0).
+  EXPECT_EQ(ThreadPool::parse_thread_override("6"), 6);
+  EXPECT_EQ(ThreadPool::parse_thread_override("1"), 1);
+  EXPECT_EQ(ThreadPool::parse_thread_override(nullptr), 0);
+  EXPECT_EQ(ThreadPool::parse_thread_override(""), 0);
+  EXPECT_EQ(ThreadPool::parse_thread_override("0"), 0);
+  EXPECT_EQ(ThreadPool::parse_thread_override("-2"), 0);
+  EXPECT_EQ(ThreadPool::parse_thread_override("four"), 0);
+  EXPECT_EQ(ThreadPool::parse_thread_override("4x"), 0);
+  EXPECT_EQ(ThreadPool::parse_thread_override("999999999999"), 0);
+}
+
 TEST(ThreadPool, PropagatesFirstException) {
   ThreadPool pool(2);
   std::atomic<int> count{0};

@@ -1,0 +1,212 @@
+// adacheck — the unified scenario driver.
+//
+// One binary fronting the whole simulation service: scenarios are
+// declarative JSON files (schema adacheck-scenario-v1, see
+// src/scenario/spec.hpp and README.md "Scenarios"), and every workload
+// — paper tables, environment sweeps, the satellite/UAV examples — is
+// a file under scenarios/ instead of a hand-compiled binary.
+//
+// Subcommands:
+//   run       execute a scenario, write the adacheck-sweep-v2 report
+//   validate  parse + validate scenario files, run nothing
+//   list      show the registries scenarios can reference
+//
+// The cell section of a `run` report is byte-identical to the
+// equivalent programmatic sweep at any --threads value (compare with
+// --no-perf; the perf section legitimately differs).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/json_report.hpp"
+#include "model/fault_env.hpp"
+#include "policy/factory.hpp"
+#include "scenario/binder.hpp"
+#include "scenario/spec.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace adacheck;
+
+int usage(std::ostream& os, int code) {
+  os << "adacheck — declarative scenario driver "
+        "(conf_date_LiCY06 reproduction)\n"
+        "\n"
+        "usage:\n"
+        "  adacheck run <scenario.json> [--runs=N] [--seed=S] "
+        "[--threads=T]\n"
+        "               [--out=PATH] [--validate] [--no-perf] [--dry-run]\n"
+        "  adacheck validate <scenario.json> [more.json ...]\n"
+        "  adacheck list [policies|environments|tables]\n"
+        "\n"
+        "run flags override the scenario's config block; --out=- writes\n"
+        "the report to stdout; --dry-run binds and prints the plan\n"
+        "without simulating.  ADACHECK_THREADS sizes the worker pool\n"
+        "when --threads is not given.  Statistics are bit-identical\n"
+        "across thread counts.\n";
+  return code;
+}
+
+std::size_t cell_count(const std::vector<harness::ExperimentSpec>& specs) {
+  std::size_t cells = 0;
+  for (const auto& spec : specs) {
+    cells += spec.rows.size() * spec.schemes.size();
+  }
+  return cells;
+}
+
+int cmd_run(int argc, char** argv) {
+  const util::CliArgs args(argc, argv,
+                           {"runs", "seed", "threads", "out", "validate!",
+                            "no-perf!", "dry-run!"});
+  if (args.positional().size() != 2) {
+    std::cerr << "run expects exactly one scenario file\n";
+    return 2;
+  }
+  auto scenario = scenario::load_scenario_file(args.positional()[1]);
+
+  // Flags override the scenario's config block, under the same range
+  // rules the schema enforces.
+  scenario.config.runs =
+      static_cast<int>(args.get_int("runs", scenario.config.runs));
+  if (scenario.config.runs < 1) {
+    std::cerr << "--runs must be >= 1\n";
+    return 2;
+  }
+  const std::int64_t seed =
+      args.get_int("seed", static_cast<std::int64_t>(scenario.config.seed));
+  if (seed < 0) {
+    std::cerr << "--seed must be >= 0\n";
+    return 2;
+  }
+  scenario.config.seed = static_cast<std::uint64_t>(seed);
+  const std::int64_t threads =
+      args.get_int("threads", scenario.config.threads);
+  if (threads < 0 || threads > 4096) {
+    std::cerr << "--threads must be in [0, 4096]\n";
+    return 2;
+  }
+  scenario.config.threads = static_cast<int>(threads);
+  scenario.config.validate =
+      args.get_bool("validate", scenario.config.validate);
+
+  std::string out_path = args.get_string("out", scenario.output);
+  if (out_path.empty()) out_path = scenario.name + "_sweep.json";
+  // With --out=- the report owns stdout; status moves to stderr so the
+  // emitted JSON stays clean (and byte-comparable).
+  std::ostream& status = out_path == "-" ? std::cerr : std::cout;
+
+  const auto specs = scenario::bind_experiments(scenario);
+  status << "scenario \"" << scenario.name << "\": " << specs.size()
+         << " experiments, " << cell_count(specs) << " cells x "
+         << scenario.config.runs << " runs\n";
+
+  if (args.get_bool("dry-run", false)) {
+    for (const auto& spec : specs) {
+      status << "  " << spec.id << ": " << spec.rows.size() << " rows x "
+             << spec.schemes.size() << " schemes, environment "
+             << spec.environment << "\n";
+    }
+    status << "dry run: scenario validated and bound, nothing executed\n";
+    return 0;
+  }
+
+  util::ThreadPool::set_shared_size(scenario.config.threads);
+  const auto sweep = scenario::run_scenario(scenario);
+
+  harness::JsonReportOptions options;
+  options.include_perf = !args.get_bool("no-perf", false);
+  if (out_path == "-") {
+    harness::write_sweep_json(sweep, std::cout, options);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open output file: " << out_path << "\n";
+      return 1;
+    }
+    harness::write_sweep_json(sweep, out, options);
+  }
+
+  status << "wall: " << sweep.perf.wall_seconds << " s on "
+         << sweep.perf.threads << " threads, " << sweep.perf.runs_per_second
+         << " runs/s\n";
+  if (out_path != "-") status << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  const util::CliArgs args(argc, argv, {"help"});
+  const auto& files = args.positional();  // [0] is the verb
+  if (files.size() < 2) {
+    std::cerr << "validate expects at least one scenario file\n";
+    return 2;
+  }
+  int failures = 0;
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    try {
+      const auto scenario = scenario::load_scenario_file(files[i]);
+      const auto specs = scenario::bind_experiments(scenario);
+      std::cout << files[i] << ": ok (" << specs.size() << " experiments, "
+                << cell_count(specs) << " cells)\n";
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+void print_section(const std::string& heading,
+                   const std::vector<std::string>& names) {
+  std::cout << heading << ":\n";
+  for (const auto& name : names) std::cout << "  " << name << "\n";
+}
+
+int cmd_list(int argc, char** argv) {
+  const util::CliArgs args(argc, argv, {"help"});
+  const std::string what =
+      args.positional().size() > 1 ? args.positional()[1] : "";
+  if (what.empty() || what == "policies") {
+    print_section("policies (scheme factory names)",
+                  policy::known_policies());
+  }
+  if (what.empty() || what == "environments") {
+    print_section("fault environments (registry names)",
+                  model::known_environments());
+  }
+  if (what.empty() || what == "tables") {
+    print_section("paper tables", scenario::known_tables());
+  }
+  if (!what.empty() && what != "policies" && what != "environments" &&
+      what != "tables") {
+    std::cerr << "unknown list \"" << what
+              << "\"; choose policies, environments, or tables\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string verb = util::CliArgs::subcommand(argc, argv);
+  try {
+    if (verb == "run") return cmd_run(argc, argv);
+    if (verb == "validate") return cmd_validate(argc, argv);
+    if (verb == "list") return cmd_list(argc, argv);
+    if (verb == "help" ||
+        util::CliArgs(argc, argv, {"help"}).get_bool("help", false)) {
+      return usage(std::cout, 0);
+    }
+    std::cerr << (verb.empty() ? std::string("missing subcommand")
+                               : "unknown subcommand \"" + verb + "\"")
+              << "\n\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "adacheck: " << e.what() << "\n";
+    return 1;
+  }
+}

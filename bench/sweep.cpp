@@ -5,24 +5,60 @@
 // every cell's statistics plus wall-clock and runs-per-second, the
 // numbers CI archives to track the perf trajectory.
 //
+// Observer-overhead guard: the main sweep is the null-observer path;
+// a second identical sweep runs under a no-op observer, and the perf
+// section gains an advisory "observer_overhead" object comparing the
+// two (and the null path against the committed --baseline report).
+// Advisory means exactly that — machines, thread counts, and run
+// budgets differ between measurements, so a low ratio warns on stderr
+// but never fails the process.
+//
 // Usage: bench_sweep [--runs=N] [--seed=S] [--threads=T]
 //                    [--out=BENCH_sweep.json] [--tables=table1a,table2b]
+//                    [--baseline=BENCH_sweep.json] [--no-observer-check]
 //                    [--validate] [--no-perf]
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/json_report.hpp"
 #include "harness/paper_params.hpp"
 #include "harness/sweep.hpp"
+#include "sim/observer.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
+
+namespace {
+
+/// perf.runs_per_second of a committed adacheck-sweep report; 0 when
+/// the file is missing, unparsable, or has no perf section.
+double baseline_runs_per_second(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0.0;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const auto doc = adacheck::util::json::parse(buffer.str());
+    const auto* perf = doc.find("perf");
+    if (perf == nullptr) return 0.0;
+    const auto* rate = perf->find("runs_per_second");
+    return rate != nullptr && rate->is_number() ? rate->as_number() : 0.0;
+  } catch (const std::exception&) {
+    return 0.0;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace adacheck;
-  const util::CliArgs args(argc, argv, {"runs", "seed", "threads", "out",
-                                        "tables", "validate", "no-perf"});
+  const util::CliArgs args(argc, argv,
+                           {"runs", "seed", "threads", "out", "tables",
+                            "baseline", "no-observer-check", "validate",
+                            "no-perf"});
   sim::MonteCarloConfig config;
   config.runs = static_cast<int>(args.get_int("runs", 10'000));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5EED5EED));
@@ -50,11 +86,45 @@ int main(int argc, char** argv) {
     specs = std::move(filtered);
   }
 
+  const std::string out_path = args.get_string("out", "BENCH_sweep.json");
+  // Read the committed baseline BEFORE the sweep possibly overwrites
+  // the same path.
+  const std::string baseline_path =
+      args.get_string("baseline", "BENCH_sweep.json");
+  harness::PerfBaseline baseline;
+  baseline.path = baseline_path;
+  baseline.runs_per_second = baseline_runs_per_second(baseline_path);
+
+  // The measured sweep IS the null-observer path.
   const auto sweep = harness::run_sweep(specs, config);
+  baseline.null_runs_per_second = sweep.perf.runs_per_second;
 
   harness::JsonReportOptions options;
   options.include_perf = !args.get_bool("no-perf", false);
-  const std::string out_path = args.get_string("out", "BENCH_sweep.json");
+
+  // The rerun only feeds the perf section, so skip it whenever that
+  // section is suppressed — --no-perf must not double the bench time.
+  if (options.include_perf && !args.get_bool("no-observer-check", false)) {
+    // Same sweep under a no-op observer: any throughput gap is the
+    // cost of the observer plumbing itself (per-cell tracking atomics
+    // and serialized callbacks), amortized over every run.
+    sim::ISweepObserver noop;
+    harness::SweepOptions observed;
+    observed.observer = &noop;
+    const auto rerun = harness::run_sweep(specs, config, observed);
+    baseline.observer_runs_per_second = rerun.perf.runs_per_second;
+    options.baseline = &baseline;
+
+    const double ratio =
+        baseline.null_runs_per_second > 0.0
+            ? baseline.observer_runs_per_second / baseline.null_runs_per_second
+            : 0.0;
+    if (ratio < harness::PerfBaseline::kMinObserverRatio) {
+      std::cerr << "advisory: observer path at " << ratio
+                << "x of null-path throughput (tolerance "
+                << harness::PerfBaseline::kMinObserverRatio << "x)\n";
+    }
+  }
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open output file: " << out_path << "\n";

@@ -97,24 +97,37 @@ std::vector<sim::CellJob> experiment_jobs(
 }
 
 ExperimentResult assemble_experiment(
-    const ExperimentSpec& spec,
-    std::vector<sim::CellStats>::const_iterator first) {
+    const ExperimentSpec& spec, const std::vector<sim::CellResult>& results,
+    std::size_t offset) {
   ExperimentResult result;
   result.spec = spec;
   result.cells.reserve(spec.rows.size());
-  const auto width = static_cast<std::ptrdiff_t>(spec.schemes.size());
+  result.metrics.reserve(spec.rows.size());
+  const std::size_t width = spec.schemes.size();
   for (std::size_t r = 0; r < spec.rows.size(); ++r) {
-    result.cells.emplace_back(first, first + width);
-    first += width;
+    auto& cells = result.cells.emplace_back();
+    auto& metrics = result.metrics.emplace_back();
+    cells.reserve(width);
+    metrics.reserve(width);
+    for (std::size_t s = 0; s < width; ++s) {
+      const auto& cell = results[offset + r * width + s];
+      cells.push_back(cell.stats);
+      metrics.push_back(cell.metrics);
+    }
   }
   return result;
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                const sim::MonteCarloConfig& config) {
-  const auto stats = sim::run_cells(experiment_jobs(spec, config),
-                                    config.threads);
-  return assemble_experiment(spec, stats.begin());
+                                const sim::MonteCarloConfig& config,
+                                const SweepOptions& options) {
+  sim::RunCellsOptions run_options;
+  run_options.threads = config.threads;
+  run_options.observer = options.observer;
+  run_options.cancel = options.cancel;
+  const auto results =
+      sim::run_cells_ex(experiment_jobs(spec, config), run_options);
+  return assemble_experiment(spec, results);
 }
 
 }  // namespace adacheck::harness

@@ -48,11 +48,24 @@ struct ExperimentSpec {
   void validate() const;
 };
 
+/// Observer/cancellation hooks threaded from the harness entry points
+/// down to sim::run_cells_ex; both null = the zero-cost null path.
+/// Cell indices reported to the observer are flat row-major positions
+/// ((row * schemes + scheme), spec-major across a sweep) — the same
+/// order as sweep_cell_refs (harness/stream_report.hpp).
+struct SweepOptions {
+  sim::ISweepObserver* observer = nullptr;
+  sim::CancellationToken* cancel = nullptr;
+};
+
 /// Measured statistics for every (row, scheme) cell, same shape as
 /// spec.rows x spec.schemes.
 struct ExperimentResult {
   ExperimentSpec spec;
   std::vector<std::vector<sim::CellStats>> cells;  ///< [row][scheme]
+  /// Extra metric-recorder values per cell, same shape as `cells`;
+  /// every entry is empty when the config named no MetricSuite.
+  std::vector<std::vector<sim::MetricValues>> metrics;
 };
 
 /// Builds the SimSetup for one row of a spec (exposed for tests).
@@ -79,17 +92,18 @@ std::uint64_t cell_seed(std::uint64_t master, std::size_t row,
 std::vector<sim::CellJob> experiment_jobs(const ExperimentSpec& spec,
                                           const sim::MonteCarloConfig& config);
 
-/// Reassembles a row-major flat stats slice (as produced by running
-/// experiment_jobs) into the spec's [row][scheme] cell grid.  `first`
-/// must point at the spec's first cell of a range holding at least
-/// rows x schemes entries.
+/// Reassembles a row-major flat cell-result slice (as produced by
+/// running experiment_jobs) into the spec's [row][scheme] cell and
+/// metrics grids.  `results` must hold at least offset + rows x
+/// schemes entries.
 ExperimentResult assemble_experiment(
-    const ExperimentSpec& spec,
-    std::vector<sim::CellStats>::const_iterator first);
+    const ExperimentSpec& spec, const std::vector<sim::CellResult>& results,
+    std::size_t offset = 0);
 
 /// Runs every cell of the experiment as one flat task queue on the
 /// shared thread pool (config.threads caps the parallelism).
 ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                const sim::MonteCarloConfig& config = {});
+                                const sim::MonteCarloConfig& config = {},
+                                const SweepOptions& options = {});
 
 }  // namespace adacheck::harness

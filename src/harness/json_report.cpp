@@ -1,128 +1,16 @@
 #include "harness/json_report.hpp"
 
-#include <charconv>
-#include <cmath>
-#include <concepts>
 #include <cstdint>
-#include <cstdio>
 #include <sstream>
-#include <vector>
 
+#include "harness/json_writer.hpp"
 #include "model/fault_env.hpp"
 
 namespace adacheck::harness {
 
-namespace {
-
-/// Minimal streaming JSON encoder: fixed key order, two-space indent,
-/// shortest round-trip doubles, non-finite doubles as null.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
-
-  void key(const char* name) {
-    element_prefix();
-    write_string(name);
-    os_ << ": ";
-    pending_key_ = true;
-  }
-
-  void begin_object() {
-    element_start();
-    os_ << '{';
-    first_.push_back(true);
-  }
-  void end_object() { close('}'); }
-
-  void begin_array() {
-    element_start();
-    os_ << '[';
-    first_.push_back(true);
-  }
-  void end_array() { close(']'); }
-
-  void value(const std::string& s) {
-    element_start();
-    write_string(s.c_str());
-  }
-  void value(double v) {
-    element_start();
-    if (!std::isfinite(v)) {
-      os_ << "null";
-      return;
-    }
-    char buf[32];
-    const auto res = std::to_chars(buf, buf + sizeof buf, v);
-    os_.write(buf, res.ptr - buf);
-  }
-  void value(bool b) { element_start(); os_ << (b ? "true" : "false"); }
-  // One template for all integer widths: distinct exact overloads
-  // would be ambiguous for std::size_t on platforms where it matches
-  // neither uint64_t nor long long exactly.  bool prefers the
-  // non-template overload above.
-  void value(std::integral auto v) { element_start(); os_ << v; }
-
-  template <class T>
-  void kv(const char* name, const T& v) {
-    key(name);
-    value(v);
-  }
-
- private:
-  void element_start() {
-    if (pending_key_) {
-      pending_key_ = false;
-      return;
-    }
-    element_prefix();
-  }
-  void element_prefix() {
-    if (first_.empty()) return;  // document root
-    if (!first_.back()) os_ << ',';
-    first_.back() = false;
-    newline_indent();
-  }
-  void newline_indent() {
-    os_ << '\n';
-    for (std::size_t i = 0; i < first_.size(); ++i) os_ << "  ";
-  }
-  void close(char bracket) {
-    const bool was_empty = first_.back();
-    first_.pop_back();
-    if (!was_empty) newline_indent();
-    os_ << bracket;
-  }
-  void write_string(const char* s) {
-    os_ << '"';
-    for (; *s != '\0'; ++s) {
-      const char c = *s;
-      switch (c) {
-        case '"': os_ << "\\\""; break;
-        case '\\': os_ << "\\\\"; break;
-        case '\n': os_ << "\\n"; break;
-        case '\t': os_ << "\\t"; break;
-        case '\r': os_ << "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            os_ << buf;
-          } else {
-            os_ << c;
-          }
-      }
-    }
-    os_ << '"';
-  }
-
-  std::ostream& os_;
-  std::vector<bool> first_;
-  bool pending_key_ = false;
-};
-
-void write_cell(JsonWriter& json, const std::string& scheme,
-                const sim::CellStats& stats) {
-  json.begin_object();
+void write_cell_fields(JsonWriter& json, const std::string& scheme,
+                       const sim::CellStats& stats,
+                       const sim::MetricValues& metrics) {
   json.kv("scheme", scheme);
   json.kv("trials", stats.completion.trials());
   json.kv("successes", stats.completion.successes());
@@ -139,8 +27,22 @@ void write_cell(JsonWriter& json, const std::string& scheme,
   json.kv("high_speed_cycles", stats.high_speed_cycles.mean());
   json.kv("aborted_runs", stats.aborted_runs);
   json.kv("validation_failures", stats.validation_failures);
-  json.end_object();
+  if (!metrics.empty()) {
+    json.key("metrics");
+    json.begin_object();
+    for (const auto& group : metrics.groups) {
+      json.key(group.recorder.c_str());
+      json.begin_object();
+      for (const auto& entry : group.entries) {
+        json.kv(entry.key.c_str(), entry.value);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
 }
+
+namespace {
 
 /// The fault environment of one experiment, fully expanded so report
 /// consumers need no registry lookup.  rate_multiplier is the
@@ -171,7 +73,7 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options) {
   JsonWriter json(os);
   json.begin_object();
-  json.kv("schema", std::string("adacheck-sweep-v2"));
+  json.kv("schema", std::string("adacheck-sweep-v3"));
 
   // Only result-affecting parameters here — thread count is an
   // execution detail and lives in "perf", keeping the no-perf document
@@ -181,6 +83,12 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
   json.kv("runs", sweep.config.runs);
   json.kv("seed", static_cast<std::uint64_t>(sweep.config.seed));
   json.kv("validate", sweep.config.validate);
+  if (sweep.config.metrics && !sweep.config.metrics->empty()) {
+    json.key("metrics");
+    json.begin_array();
+    for (const auto& name : sweep.config.metrics->names()) json.value(name);
+    json.end_array();
+  }
   json.end_object();
 
   if (options.include_perf) {
@@ -191,6 +99,31 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
     json.kv("runs_per_second", sweep.perf.runs_per_second);
     json.kv("threads", sweep.perf.threads);
     json.kv("cells", sweep.perf.cells);
+    if (options.baseline != nullptr) {
+      const PerfBaseline& baseline = *options.baseline;
+      json.key("observer_overhead");
+      json.begin_object();
+      json.kv("advisory", true);
+      json.kv("baseline_path", baseline.path);
+      json.kv("baseline_runs_per_second", baseline.runs_per_second);
+      json.kv("null_observer_runs_per_second",
+              baseline.null_runs_per_second);
+      json.kv("null_vs_baseline_ratio",
+              baseline.runs_per_second > 0.0
+                  ? baseline.null_runs_per_second / baseline.runs_per_second
+                  : 0.0);
+      json.kv("observer_runs_per_second",
+              baseline.observer_runs_per_second);
+      const double observer_ratio =
+          baseline.null_runs_per_second > 0.0
+              ? baseline.observer_runs_per_second /
+                    baseline.null_runs_per_second
+              : 0.0;
+      json.kv("observer_vs_null_ratio", observer_ratio);
+      json.kv("within_tolerance",
+              observer_ratio >= PerfBaseline::kMinObserverRatio);
+      json.end_object();
+    }
     json.end_object();
   }
 
@@ -216,7 +149,16 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
       json.key("cells");
       json.begin_array();
       for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
-        write_cell(json, spec.schemes[s], experiment.cells[r][s]);
+        // Hand-assembled results may omit the metrics grid entirely.
+        static const sim::MetricValues kNoMetrics;
+        const auto& metrics = r < experiment.metrics.size() &&
+                                      s < experiment.metrics[r].size()
+                                  ? experiment.metrics[r][s]
+                                  : kNoMetrics;
+        json.begin_object();
+        write_cell_fields(json, spec.schemes[s], experiment.cells[r][s],
+                          metrics);
+        json.end_object();
       }
       json.end_array();
       json.end_object();

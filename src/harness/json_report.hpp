@@ -17,14 +17,35 @@
 
 namespace adacheck::harness {
 
+/// Advisory observer-overhead comparison written into the perf section
+/// (bench_sweep fills this from the committed BENCH_sweep.json
+/// baseline; see README "Bench guard").  Advisory only — machines and
+/// run counts differ across measurements — so it never fails anything;
+/// within_tolerance in the report flags observer_vs_null_ratio <
+/// kMinObserverRatio.
+struct PerfBaseline {
+  /// Observer plumbing must keep >= 90% of null-path throughput.
+  static constexpr double kMinObserverRatio = 0.9;
+
+  std::string path;                       ///< baseline file compared against
+  double runs_per_second = 0.0;           ///< baseline's recorded throughput
+  double null_runs_per_second = 0.0;      ///< this run, no observer
+  double observer_runs_per_second = 0.0;  ///< this run, no-op observer
+};
+
 struct JsonReportOptions {
   /// Emit the "perf" section (wall-clock, runs/s).  Disable to get a
   /// byte-stable document for determinism comparisons.
   bool include_perf = true;
+  /// When set (and include_perf), perf gains an "observer_overhead"
+  /// advisory object.  Not owned; must outlive the write call.
+  const PerfBaseline* baseline = nullptr;
 };
 
-/// Writes the sweep as JSON (schema "adacheck-sweep-v2": v1 plus a
-/// per-experiment "environment" object describing the fault process).
+/// Writes the sweep as JSON (schema "adacheck-sweep-v3": v2 plus a
+/// per-cell "metrics" object of recorder values and a "metrics" name
+/// list in config, both present only when the sweep ran extra metric
+/// recorders).
 void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options = {});
 

@@ -1,0 +1,138 @@
+// Minimal streaming JSON encoder shared by the sweep report writer and
+// the JSONL cell stream: fixed key order, shortest round-trip doubles,
+// non-finite doubles as null.  Two layouts: kPretty (two-space indent,
+// the adacheck-sweep-v3 document) and kCompact (no whitespace at all,
+// one JSONL line).  Internal to the harness layer — not a public API.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <concepts>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace adacheck::harness {
+
+enum class JsonStyle { kPretty, kCompact };
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, JsonStyle style = JsonStyle::kPretty)
+      : os_(os), compact_(style == JsonStyle::kCompact) {}
+
+  void key(const char* name) {
+    element_prefix();
+    write_string(name);
+    os_ << (compact_ ? ":" : ": ");
+    pending_key_ = true;
+  }
+
+  void begin_object() {
+    element_start();
+    os_ << '{';
+    first_.push_back(true);
+  }
+  void end_object() { close('}'); }
+
+  void begin_array() {
+    element_start();
+    os_ << '[';
+    first_.push_back(true);
+  }
+  void end_array() { close(']'); }
+
+  void value(const std::string& s) {
+    element_start();
+    write_string(s.c_str());
+  }
+  void value(double v) {
+    element_start();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    os_.write(buf, res.ptr - buf);
+  }
+  void value(bool b) { element_start(); os_ << (b ? "true" : "false"); }
+  // One template for all integer widths: distinct exact overloads
+  // would be ambiguous for std::size_t on platforms where it matches
+  // neither uint64_t nor long long exactly.  bool prefers the
+  // non-template overload above.
+  void value(std::integral auto v) { element_start(); os_ << v; }
+
+  template <class T>
+  void kv(const char* name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void element_start() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    element_prefix();
+  }
+  void element_prefix() {
+    if (first_.empty()) return;  // document root
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+    newline_indent();
+  }
+  void newline_indent() {
+    if (compact_) return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < first_.size(); ++i) os_ << "  ";
+  }
+  void close(char bracket) {
+    const bool was_empty = first_.back();
+    first_.pop_back();
+    if (!was_empty) newline_indent();
+    os_ << bracket;
+  }
+  void write_string(const char* s) {
+    os_ << '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+  bool compact_ = false;
+};
+
+/// The fields of one measured cell, shared verbatim by the v3 report's
+/// cell objects and the JSONL stream: the v2 fields in their original
+/// order, then — only when the cell carried extra recorders — a
+/// "metrics" object of one sub-object per recorder.  Defined in
+/// json_report.cpp.
+void write_cell_fields(JsonWriter& json, const std::string& scheme,
+                       const sim::CellStats& stats,
+                       const sim::MetricValues& metrics);
+
+}  // namespace adacheck::harness

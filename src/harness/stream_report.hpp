@@ -1,0 +1,84 @@
+// Streaming sweep output: the JSONL cell stream and the live progress
+// line, both implemented as sim::ISweepObserver so they plug straight
+// into run_sweep / run_cells_ex.
+//
+// JSONL stream ("adacheck-cell-v1"): one compact JSON object per
+// completed cell, one per line, written in flat cell-index order (the
+// sweep_cell_refs order: spec-major, row-major, scheme inner).  Cells
+// complete out of order under parallel execution, so the stream
+// buffers finished lines until their predecessors are written — the
+// emitted bytes are therefore identical for every thread count, just
+// like the main report's cell section.  Each line carries the cell's
+// coordinates (experiment id, utilization, lambda, scheme), every v3
+// cell field, and the extra recorder metrics when present.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "sim/observer.hpp"
+
+namespace adacheck::harness {
+
+/// Coordinates of one flat sweep cell, in the exact order run_sweep
+/// flattens jobs (and numbers observer cells): spec-major, then
+/// row-major with schemes innermost.
+struct SweepCellRef {
+  std::string experiment_id;
+  std::size_t row = 0;
+  std::size_t scheme = 0;
+  double utilization = 0.0;
+  double lambda = 0.0;
+  std::string scheme_name;
+};
+
+/// The flat cell list of a sweep over `specs` (validates each spec).
+std::vector<SweepCellRef> sweep_cell_refs(
+    const std::vector<ExperimentSpec>& specs);
+
+/// Streams one JSONL line per completed cell to `os`, in cell-index
+/// order.  Construct with the refs of the exact spec list passed to
+/// run_sweep.  Callbacks arrive serialized (sim/observer.hpp), so the
+/// class needs no locking.
+class JsonlCellStream final : public sim::ISweepObserver {
+ public:
+  JsonlCellStream(std::ostream& os, std::vector<SweepCellRef> refs);
+
+  void on_cell_done(std::size_t cell, const sim::CellResult& result) override;
+
+  /// Lines written so far; equals the ref count after a complete sweep
+  /// (a cancelled sweep legitimately stops short).
+  std::size_t emitted() const noexcept { return next_; }
+
+ private:
+  std::ostream& os_;
+  std::vector<SweepCellRef> refs_;
+  std::size_t next_ = 0;                     ///< next cell index to write
+  std::map<std::size_t, std::string> pending_;  ///< finished out of order
+};
+
+/// Live progress line for interactive drivers: rewrites one
+/// carriage-return-terminated status line ("cells 12/208  34562
+/// runs/s") on every progress tick, throttled to `min_interval`
+/// seconds, and always ends with a final newline-terminated line when
+/// the last cell completes.  Point it at stderr so it never
+/// contaminates report documents on stdout.
+class ProgressLine final : public sim::ISweepObserver {
+ public:
+  explicit ProgressLine(std::ostream& os, double min_interval = 0.2);
+
+  void on_progress(const sim::SweepProgress& progress) override;
+
+ private:
+  std::ostream& os_;
+  double min_interval_;
+  double start_ = 0.0;       ///< steady-clock seconds at first tick
+  double last_print_ = -1.0;
+  bool any_ = false;
+};
+
+}  // namespace adacheck::harness

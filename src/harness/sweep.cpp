@@ -5,7 +5,8 @@
 namespace adacheck::harness {
 
 SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
-                      const sim::MonteCarloConfig& config) {
+                      const sim::MonteCarloConfig& config,
+                      const SweepOptions& options) {
   // Flatten: [spec][row][scheme] -> one job list, remembering where
   // each spec's slice starts.
   std::vector<sim::CellJob> jobs;
@@ -19,17 +20,21 @@ SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
   }
 
   int threads_used = 1;
+  sim::RunCellsOptions run_options;
+  run_options.threads = config.threads;
+  run_options.threads_used = &threads_used;
+  run_options.observer = options.observer;
+  run_options.cancel = options.cancel;
   const auto t0 = std::chrono::steady_clock::now();
-  const auto stats = sim::run_cells(jobs, config.threads, &threads_used);
+  const auto cell_results = sim::run_cells_ex(jobs, run_options);
   const auto t1 = std::chrono::steady_clock::now();
 
   SweepResult result;
   result.config = config;
   result.experiments.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    result.experiments.push_back(assemble_experiment(
-        specs[i],
-        stats.begin() + static_cast<std::ptrdiff_t>(offsets[i])));
+    result.experiments.push_back(
+        assemble_experiment(specs[i], cell_results, offsets[i]));
   }
 
   result.perf.wall_seconds =

@@ -36,8 +36,12 @@ struct SweepResult {
   SweepPerf perf;
 };
 
-/// Runs all cells of all specs as one flat task queue.
+/// Runs all cells of all specs as one flat task queue.  The options'
+/// observer sees flat cell indices in spec-major row-major order (the
+/// order of sweep_cell_refs); its cancellation token aborts the queue
+/// with sim::SweepCancelled.
 SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
-                      const sim::MonteCarloConfig& config = {});
+                      const sim::MonteCarloConfig& config = {},
+                      const SweepOptions& options = {});
 
 }  // namespace adacheck::harness

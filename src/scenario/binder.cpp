@@ -68,12 +68,16 @@ sim::MonteCarloConfig monte_carlo_config(const ScenarioSpec& scenario) {
   config.seed = scenario.config.seed;
   config.validate = scenario.config.validate;
   config.threads = scenario.config.threads;
+  if (!scenario.metrics.empty()) {
+    config.metrics = sim::make_metric_suite(scenario.metrics);
+  }
   return config;
 }
 
-harness::SweepResult run_scenario(const ScenarioSpec& scenario) {
+harness::SweepResult run_scenario(const ScenarioSpec& scenario,
+                                  const harness::SweepOptions& options) {
   return harness::run_sweep(bind_experiments(scenario),
-                            monte_carlo_config(scenario));
+                            monte_carlo_config(scenario), options);
 }
 
 }  // namespace adacheck::scenario

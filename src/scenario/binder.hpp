@@ -16,13 +16,16 @@ namespace adacheck::scenario {
 std::vector<harness::ExperimentSpec> bind_experiments(
     const ScenarioSpec& spec);
 
-/// The sim::MonteCarloConfig encoded by the scenario's config block.
+/// The sim::MonteCarloConfig encoded by the scenario's config block,
+/// including the metric suite built from the "metrics" array.
 sim::MonteCarloConfig monte_carlo_config(const ScenarioSpec& spec);
 
 /// bind_experiments + harness::run_sweep under the scenario's config.
 /// config.threads caps the parallelism (the adacheck driver
 /// additionally sizes the shared pool; statistics do not depend on
-/// either).
-harness::SweepResult run_scenario(const ScenarioSpec& spec);
+/// either).  `options` threads observers / cancellation through to the
+/// flat chunk queue (the driver's --progress and --jsonl plumbing).
+harness::SweepResult run_scenario(const ScenarioSpec& spec,
+                                  const harness::SweepOptions& options = {});
 
 }  // namespace adacheck::scenario

@@ -8,6 +8,7 @@
 #include "harness/paper_params.hpp"
 #include "model/fault_env.hpp"
 #include "policy/factory.hpp"
+#include "sim/metrics.hpp"
 #include "util/text.hpp"
 
 namespace adacheck::scenario {
@@ -369,11 +370,51 @@ std::vector<std::string> known_tables() {
   return names;
 }
 
+/// "output": either the report path directly, or an object splitting
+/// the report and the JSONL cell-stream paths.
+void parse_output(const Value& v, const std::string& path,
+                  ScenarioSpec& spec) {
+  if (v.is_string()) {
+    spec.output = v.as_string();
+    return;
+  }
+  if (!v.is_object()) {
+    fail(path, "expected string (report path) or object "
+               "{\"report\", \"jsonl\"}, got " + kind_name(v));
+  }
+  check_keys(v, path, {"report", "jsonl"});
+  if (const Value* report = v.find("report")) {
+    spec.output = as_string(*report, member_path(path, "report"));
+  }
+  if (const Value* jsonl = v.find("jsonl")) {
+    spec.output_jsonl = as_string(*jsonl, member_path(path, "jsonl"));
+  }
+}
+
+/// "metrics": extra recorder registry names, validated with
+/// did-you-mean like every other registry reference.
+std::vector<std::string> parse_metrics(const Value& v,
+                                       const std::string& path) {
+  std::vector<std::string> metrics;
+  const auto& array = as_array(v, path);
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const std::string item_path = index_path(path, i);
+    const std::string& name = as_string(array[i], item_path);
+    check_name(name, sim::known_metric_recorders(), item_path);
+    if (std::find(metrics.begin(), metrics.end(), name) != metrics.end()) {
+      fail(item_path, "duplicate metric recorder \"" + name + "\"");
+    }
+    metrics.push_back(name);
+  }
+  return metrics;
+}
+
 ScenarioSpec parse_scenario(const util::json::Value& root) {
   const std::string top;  // the document root has no path prefix
   require_object(root, top);
   check_keys(root, top,
-             {"schema", "name", "title", "config", "output", "experiments"});
+             {"schema", "name", "title", "config", "output", "metrics",
+              "experiments"});
 
   const std::string& schema = as_string(require(root, top, "schema"), "schema");
   if (schema != "adacheck-scenario-v1") {
@@ -390,7 +431,10 @@ ScenarioSpec parse_scenario(const util::json::Value& root) {
     spec.config = parse_config(*config, "config");
   }
   if (const Value* output = root.find("output")) {
-    spec.output = as_string(*output, "output");
+    parse_output(*output, "output", spec);
+  }
+  if (const Value* metrics = root.find("metrics")) {
+    spec.metrics = parse_metrics(*metrics, "metrics");
   }
 
   const auto& experiments =

@@ -16,7 +16,10 @@
 //     "title": "...",                        // optional, defaults to name
 //     "config": {"runs": 10000, "seed": 1592614637,
 //                "validate": false, "threads": 0},      // all optional
-//     "output": "table1_sweep.json",         // optional report path
+//     "output": "table1_sweep.json",         // optional report path, or
+//     "output": {"report": "table1_sweep.json",
+//                "jsonl": "table1_cells.jsonl"},  // + JSONL cell stream
+//     "metrics": ["tails", "checkpoints"],   // optional extra recorders
 //     "experiments": [                       // required, non-empty
 //       {"table": "table1a"},                // a paper table, or:
 //       {"id": "custom",
@@ -111,7 +114,15 @@ struct ScenarioSpec {
   std::string name;
   std::string title;  ///< defaults to name
   ScenarioConfig config;
-  std::string output;  ///< default report path for `adacheck run`
+  /// Default report path for `adacheck run`.  In the document "output"
+  /// is either that string directly or an object
+  /// {"report": PATH, "jsonl": PATH} — the object form also names the
+  /// default JSONL cell-stream path.
+  std::string output;
+  std::string output_jsonl;  ///< default JSONL stream path ("" = none)
+  /// Extra metric recorders applied to every cell, by registry name
+  /// (sim::known_metric_recorders(); the "metrics" array).
+  std::vector<std::string> metrics;
   std::vector<ScenarioExperiment> experiments;
 };
 

@@ -1,0 +1,229 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace adacheck::sim {
+
+void CellStats::merge(const CellStats& other) noexcept {
+  completion.merge(other.completion);
+  energy_success.merge(other.energy_success);
+  energy_all.merge(other.energy_all);
+  finish_time_success.merge(other.finish_time_success);
+  faults.merge(other.faults);
+  rollbacks.merge(other.rollbacks);
+  corrections.merge(other.corrections);
+  high_speed_cycles.merge(other.high_speed_cycles);
+  aborted_runs += other.aborted_runs;
+  validation_failures += other.validation_failures;
+}
+
+const double* MetricValues::find(std::string_view recorder,
+                                 std::string_view key) const {
+  for (const auto& group : groups) {
+    if (group.recorder != recorder) continue;
+    for (const auto& entry : group.entries) {
+      if (entry.key == key) return &entry.value;
+    }
+  }
+  return nullptr;
+}
+
+// --- CellStatsRecorder ---------------------------------------------------
+
+void CellStatsRecorder::observe(const RunView& run) {
+  const RunResult& result = run.result;
+  const bool ok = result.completed();
+  stats_.completion.add(ok);
+  stats_.energy_all.add(result.energy);
+  if (ok) {
+    stats_.energy_success.add(result.energy);
+    stats_.finish_time_success.add(result.finish_time);
+  }
+  stats_.faults.add(static_cast<double>(result.faults));
+  stats_.rollbacks.add(static_cast<double>(result.rollbacks));
+  stats_.corrections.add(static_cast<double>(result.corrections));
+  stats_.high_speed_cycles.add(result.meter.cycles_above(run.base_frequency));
+  if (result.outcome == RunOutcome::kAborted) ++stats_.aborted_runs;
+  if (run.validation_failed) ++stats_.validation_failures;
+}
+
+void CellStatsRecorder::merge(const IMetricRecorder& peer) {
+  stats_.merge(static_cast<const CellStatsRecorder&>(peer).stats_);
+}
+
+void CellStatsRecorder::emit(MetricValues::Group&) const {}
+
+// --- TailRecorder --------------------------------------------------------
+
+namespace {
+
+double max_cell_energy(const SimSetup& setup) {
+  // A run never executes past the deadline, and never faster than the
+  // fastest level: cycles <= f_max * D, each costing at most V(f_max)^2.
+  const auto& fastest = setup.processor.fastest();
+  return fastest.energy(fastest.frequency * setup.task.deadline);
+}
+
+}  // namespace
+
+TailRecorder::TailRecorder(const SimSetup& setup)
+    : finish_time_(0.0, setup.task.deadline, kBins),
+      energy_(0.0, max_cell_energy(setup), kBins) {}
+
+void TailRecorder::observe(const RunView& run) {
+  if (run.result.completed()) finish_time_.add(run.result.finish_time);
+  energy_.add(run.result.energy);
+}
+
+void TailRecorder::merge(const IMetricRecorder& peer) {
+  const auto& other = static_cast<const TailRecorder&>(peer);
+  finish_time_.merge(other.finish_time_);
+  energy_.merge(other.energy_);
+}
+
+void TailRecorder::emit(MetricValues::Group& out) const {
+  const auto quantiles = [&out](const char* prefix,
+                                const util::Histogram& hist) {
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}, {"_p999", 0.999}};
+    out.entries.push_back(
+        {std::string(prefix) + "_count", static_cast<double>(hist.total())});
+    for (const auto& [suffix, q] : kQuantiles) {
+      out.entries.push_back({std::string(prefix) + suffix, hist.quantile(q)});
+    }
+  };
+  quantiles("finish_time", finish_time_);
+  quantiles("energy", energy_);
+}
+
+// --- CheckpointRecorder --------------------------------------------------
+
+void CheckpointRecorder::observe(const RunView& run) {
+  const RunResult& result = run.result;
+  scp_.add(static_cast<double>(result.checkpoints_scp));
+  ccp_.add(static_cast<double>(result.checkpoints_ccp));
+  cscp_.add(static_cast<double>(result.checkpoints_cscp));
+  detections_.add(static_cast<double>(result.detections));
+  speed_switches_.add(static_cast<double>(result.speed_switches));
+}
+
+void CheckpointRecorder::merge(const IMetricRecorder& peer) {
+  const auto& other = static_cast<const CheckpointRecorder&>(peer);
+  scp_.merge(other.scp_);
+  ccp_.merge(other.ccp_);
+  cscp_.merge(other.cscp_);
+  detections_.merge(other.detections_);
+  speed_switches_.merge(other.speed_switches_);
+}
+
+void CheckpointRecorder::emit(MetricValues::Group& out) const {
+  out.entries.push_back({"scp_mean", scp_.mean()});
+  out.entries.push_back({"ccp_mean", ccp_.mean()});
+  out.entries.push_back({"cscp_mean", cscp_.mean()});
+  out.entries.push_back({"detections_mean", detections_.mean()});
+  out.entries.push_back({"speed_switches_mean", speed_switches_.mean()});
+}
+
+// --- suite + registry ----------------------------------------------------
+
+MetricSuite& MetricSuite::add(std::string name, MetricRecorderFactory factory) {
+  if (!factory) {
+    throw std::invalid_argument("MetricSuite::add: null factory for \"" +
+                                name + "\"");
+  }
+  names_.push_back(std::move(name));
+  factories_.push_back(std::move(factory));
+  return *this;
+}
+
+std::vector<std::unique_ptr<IMetricRecorder>> MetricSuite::instantiate(
+    const SimSetup& setup) const {
+  std::vector<std::unique_ptr<IMetricRecorder>> recorders;
+  recorders.reserve(factories_.size());
+  for (const auto& factory : factories_) recorders.push_back(factory(setup));
+  return recorders;
+}
+
+std::vector<std::string> known_metric_recorders() {
+  return {"tails", "checkpoints"};
+}
+
+std::shared_ptr<const MetricSuite> make_metric_suite(
+    const std::vector<std::string>& names) {
+  auto suite = std::make_shared<MetricSuite>();
+  for (const auto& name : names) {
+    const auto& seen = suite->names();
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+      throw std::invalid_argument("make_metric_suite: duplicate recorder \"" +
+                                  name + "\"");
+    }
+    if (name == "tails") {
+      suite->add(name, [](const SimSetup& setup) {
+        return std::make_unique<TailRecorder>(setup);
+      });
+    } else if (name == "checkpoints") {
+      suite->add(name, [](const SimSetup&) {
+        return std::make_unique<CheckpointRecorder>();
+      });
+    } else {
+      throw std::invalid_argument("make_metric_suite: unknown recorder \"" +
+                                  name + "\"");
+    }
+  }
+  return suite;
+}
+
+// --- MetricSet -----------------------------------------------------------
+
+MetricSet MetricSet::for_cell(const SimSetup& setup,
+                              const MetricSuite* suite) {
+  MetricSet set;
+  set.recorders_.push_back(std::make_unique<CellStatsRecorder>());
+  if (suite != nullptr) {
+    auto extras = suite->instantiate(setup);
+    set.recorders_.insert(set.recorders_.end(),
+                          std::make_move_iterator(extras.begin()),
+                          std::make_move_iterator(extras.end()));
+  }
+  return set;
+}
+
+void MetricSet::observe(const RunView& run) {
+  for (auto& recorder : recorders_) recorder->observe(run);
+}
+
+void MetricSet::merge(const MetricSet& other) {
+  if (!other.valid()) return;
+  if (!valid()) {
+    throw std::logic_error("MetricSet::merge: merging into an empty set");
+  }
+  if (recorders_.size() != other.recorders_.size()) {
+    throw std::logic_error("MetricSet::merge: mismatched recorder sets");
+  }
+  for (std::size_t i = 0; i < recorders_.size(); ++i) {
+    recorders_[i]->merge(*other.recorders_[i]);
+  }
+}
+
+const CellStats& MetricSet::cell_stats() const {
+  return static_cast<const CellStatsRecorder&>(*recorders_.front()).stats();
+}
+
+CellStats& MetricSet::cell_stats() {
+  return static_cast<CellStatsRecorder&>(*recorders_.front()).stats();
+}
+
+MetricValues MetricSet::values() const {
+  MetricValues values;
+  for (std::size_t i = 1; i < recorders_.size(); ++i) {
+    MetricValues::Group group;
+    group.recorder = std::string(recorders_[i]->name());
+    recorders_[i]->emit(group);
+    values.groups.push_back(std::move(group));
+  }
+  return values;
+}
+
+}  // namespace adacheck::sim

@@ -1,0 +1,233 @@
+// Pluggable per-run metric recorders.
+//
+// The results pipeline is an open API: a cell's aggregation is a
+// MetricSet — an ordered list of IMetricRecorder instances that each
+// observe every RunResult, merge with same-typed peers in run-index
+// order, and emit named values.  Slot 0 is always the built-in
+// CellStatsRecorder, which reimplements the paper's CellStats fields
+// (P, E, and the extended accumulators) with bit-identical values at
+// any thread count; everything after slot 0 comes from the cell's
+// MetricSuite — the recipe named in MonteCarloConfig::metrics (and in
+// a scenario's "metrics" array).
+//
+// Determinism contract: recorders are created per chunk, observe runs
+// in ascending run-index order within the chunk, and are merged in
+// chunk-index order.  A recorder whose merge is exact for that order
+// (integer tallies, or the same Chan merges CellStats uses) therefore
+// produces identical values for threads = 1 and threads = N.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/run_result.hpp"
+#include "util/statistics.hpp"
+
+namespace adacheck::sim {
+
+/// Aggregated cell statistics — the paper's two numbers plus the
+/// extended accumulators.  Kept as a plain struct (every layer reads
+/// its fields); CellStatsRecorder below is the code that fills it.
+struct CellStats {
+  util::BinomialStats completion;        ///< P
+  util::RunningStats energy_success;     ///< E (paper's definition)
+  util::RunningStats energy_all;         ///< energy over every run
+  util::RunningStats finish_time_success;
+  util::RunningStats faults;             ///< physical faults per run
+  util::RunningStats rollbacks;
+  util::RunningStats corrections;        ///< TMR vote repairs per run
+  util::RunningStats high_speed_cycles;  ///< cycles above the base speed
+  std::size_t aborted_runs = 0;
+  std::size_t validation_failures = 0;
+
+  double probability() const noexcept { return completion.proportion(); }
+  /// Paper's E: NaN when no run succeeded (the tables print "NaN").
+  double energy() const noexcept { return energy_success.mean(); }
+
+  void merge(const CellStats& other) noexcept;
+};
+
+/// One simulated run as seen by recorders: the engine's RunResult plus
+/// the loop-level context recorders need (the setup, the base
+/// frequency the default recorder compares speeds against, and the
+/// validator verdict when validation is enabled).
+struct RunView {
+  const SimSetup& setup;
+  const RunResult& result;
+  double base_frequency = 1.0;    ///< setup.processor.slowest().frequency
+  bool validation_failed = false; ///< only meaningful with config.validate
+};
+
+/// Snapshot of a MetricSet's emitted values: one named group per
+/// recorder (beyond the built-in slot 0), each an ordered list of
+/// (key, value) pairs.  Copyable — this is what reports and observers
+/// carry around after the move-only recorders are gone.
+struct MetricValues {
+  struct Entry {
+    std::string key;
+    double value = 0.0;
+  };
+  struct Group {
+    std::string recorder;
+    std::vector<Entry> entries;
+  };
+  std::vector<Group> groups;
+
+  bool empty() const noexcept { return groups.empty(); }
+  /// Looks up one value; nullptr when the group or key is absent.
+  const double* find(std::string_view recorder, std::string_view key) const;
+};
+
+/// One streaming metric over a cell's runs.  Implementations must obey
+/// the determinism contract in the file comment: observe() is called
+/// once per run in ascending run-index order within a chunk, merge()
+/// receives a peer built by the same factory covering the immediately
+/// following run-index range, and emit() appends (key, value) entries
+/// in a fixed order.
+class IMetricRecorder {
+ public:
+  virtual ~IMetricRecorder() = default;
+
+  /// Stable identifier; the group name in reports.
+  virtual std::string_view name() const = 0;
+  virtual void observe(const RunView& run) = 0;
+  /// Merges a same-typed peer that observed the runs immediately after
+  /// this recorder's.  Implementations may downcast; the runner
+  /// guarantees the peer came from the same suite slot.
+  virtual void merge(const IMetricRecorder& peer) = 0;
+  /// Appends this recorder's named values to `out.entries`
+  /// (out.recorder is already set to name()).
+  virtual void emit(MetricValues::Group& out) const = 0;
+};
+
+/// Builds a fresh recorder for one cell.  The setup is the cell's —
+/// factories read bounds (deadline, speed levels) from it so
+/// fixed-range accumulators like histograms can be sized upfront.
+using MetricRecorderFactory =
+    std::function<std::unique_ptr<IMetricRecorder>(const SimSetup& setup)>;
+
+/// An immutable recipe for the extra recorders of a cell, shared by
+/// every chunk of every cell that uses it (via
+/// MonteCarloConfig::metrics).  Compose with add(); instantiate() is
+/// called once per chunk.
+class MetricSuite {
+ public:
+  MetricSuite& add(std::string name, MetricRecorderFactory factory);
+
+  bool empty() const noexcept { return factories_.empty(); }
+  std::size_t size() const noexcept { return factories_.size(); }
+  /// Registry names in slot order (reports list these in "config").
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  std::vector<std::unique_ptr<IMetricRecorder>> instantiate(
+      const SimSetup& setup) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<MetricRecorderFactory> factories_;
+};
+
+/// The built-in default recorder: today's CellStats, observed exactly
+/// as the pre-redesign run loop did (same operations, same order), so
+/// the merged values are bit-identical to the seed implementation.
+class CellStatsRecorder final : public IMetricRecorder {
+ public:
+  std::string_view name() const override { return "cell_stats"; }
+  void observe(const RunView& run) override;
+  void merge(const IMetricRecorder& peer) override;
+  /// Emits nothing: CellStats values are the report's first-class cell
+  /// fields (p, e, ...), not a named metrics group.
+  void emit(MetricValues::Group& out) const override;
+
+  const CellStats& stats() const noexcept { return stats_; }
+  CellStats& stats() noexcept { return stats_; }
+
+ private:
+  CellStats stats_;
+};
+
+/// Finish-time / energy distributions with tail quantiles ("tails").
+/// Finish time (successful runs) is binned over [0, deadline]; energy
+/// (all runs) over [0, V(f_max)^2 * f_max * deadline] — the maximum
+/// energy a run bounded by the deadline can dissipate.  Integer bin
+/// tallies merge exactly, so quantiles are bit-identical at any thread
+/// count.
+class TailRecorder final : public IMetricRecorder {
+ public:
+  static constexpr std::size_t kBins = 64;
+
+  explicit TailRecorder(const SimSetup& setup);
+
+  std::string_view name() const override { return "tails"; }
+  void observe(const RunView& run) override;
+  void merge(const IMetricRecorder& peer) override;
+  void emit(MetricValues::Group& out) const override;
+
+  const util::Histogram& finish_time() const noexcept { return finish_time_; }
+  const util::Histogram& energy() const noexcept { return energy_; }
+
+ private:
+  util::Histogram finish_time_;
+  util::Histogram energy_;
+};
+
+/// Checkpoint-operation and speed-switch profile ("checkpoints"):
+/// means of the per-run SCP/CCP/CSCP checkpoint counts, detections,
+/// and DVS speed switches — RunResult fields the default cell stats
+/// never aggregated.
+class CheckpointRecorder final : public IMetricRecorder {
+ public:
+  std::string_view name() const override { return "checkpoints"; }
+  void observe(const RunView& run) override;
+  void merge(const IMetricRecorder& peer) override;
+  void emit(MetricValues::Group& out) const override;
+
+ private:
+  util::RunningStats scp_, ccp_, cscp_, detections_, speed_switches_;
+};
+
+/// Registry names accepted by make_metric_suite (and a scenario's
+/// "metrics" array): currently "tails" and "checkpoints".
+std::vector<std::string> known_metric_recorders();
+
+/// Builds a suite from registry names (slot order = name order).
+/// Throws std::invalid_argument on an unknown or duplicate name.
+std::shared_ptr<const MetricSuite> make_metric_suite(
+    const std::vector<std::string>& names);
+
+/// The per-chunk aggregation state: the built-in CellStatsRecorder in
+/// slot 0 plus one recorder per suite entry.  Move-only (owns the
+/// recorders); values() snapshots the extras into a copyable
+/// MetricValues.
+class MetricSet {
+ public:
+  /// An empty set (no recorders); observe() on it is invalid.  Exists
+  /// so containers of MetricSet can be default-constructed.
+  MetricSet() = default;
+
+  /// The aggregation state for one chunk of one cell.
+  static MetricSet for_cell(const SimSetup& setup, const MetricSuite* suite);
+
+  bool valid() const noexcept { return !recorders_.empty(); }
+
+  void observe(const RunView& run);
+  /// Merges `other` slot-by-slot; `other` must have been built by
+  /// for_cell with the same setup/suite and cover the immediately
+  /// following run-index range.
+  void merge(const MetricSet& other);
+
+  const CellStats& cell_stats() const;
+  CellStats& cell_stats();
+  /// Emitted values of every suite recorder (slot 0's CellStats is
+  /// surfaced as first-class report fields instead).
+  MetricValues values() const;
+
+ private:
+  std::vector<std::unique_ptr<IMetricRecorder>> recorders_;
+};
+
+}  // namespace adacheck::sim

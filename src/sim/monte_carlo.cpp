@@ -1,26 +1,16 @@
 #include "sim/monte_carlo.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/validators.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace adacheck::sim {
-
-void CellStats::merge(const CellStats& other) noexcept {
-  completion.merge(other.completion);
-  energy_success.merge(other.energy_success);
-  energy_all.merge(other.energy_all);
-  finish_time_success.merge(other.finish_time_success);
-  faults.merge(other.faults);
-  rollbacks.merge(other.rollbacks);
-  corrections.merge(other.corrections);
-  high_speed_cycles.merge(other.high_speed_cycles);
-  aborted_runs += other.aborted_runs;
-  validation_failures += other.validation_failures;
-}
 
 namespace {
 
@@ -37,9 +27,9 @@ struct Chunk {
   int end = 0;
 };
 
-CellStats run_chunk(const SimSetup& setup, const PolicyFactory& factory,
+MetricSet run_chunk(const SimSetup& setup, const PolicyFactory& factory,
                     const MonteCarloConfig& config, int begin, int end) {
-  CellStats stats;
+  MetricSet metrics = MetricSet::for_cell(setup, config.metrics.get());
   EngineConfig engine_config;
   engine_config.record_trace = config.validate;
   const double base_freq = setup.processor.slowest().frequency;
@@ -52,24 +42,11 @@ CellStats run_chunk(const SimSetup& setup, const PolicyFactory& factory,
     if (!policy || !policy->reset()) policy = factory();
     const RunResult result =
         simulate_seeded(setup, *policy, seed, engine_config);
-
-    const bool ok = result.completed();
-    stats.completion.add(ok);
-    stats.energy_all.add(result.energy);
-    if (ok) {
-      stats.energy_success.add(result.energy);
-      stats.finish_time_success.add(result.finish_time);
-    }
-    stats.faults.add(static_cast<double>(result.faults));
-    stats.rollbacks.add(static_cast<double>(result.rollbacks));
-    stats.corrections.add(static_cast<double>(result.corrections));
-    stats.high_speed_cycles.add(result.meter.cycles_above(base_freq));
-    if (result.outcome == RunOutcome::kAborted) ++stats.aborted_runs;
-    if (config.validate && !validate_all(setup, result).empty()) {
-      ++stats.validation_failures;
-    }
+    const bool validation_failed =
+        config.validate && !validate_all(setup, result).empty();
+    metrics.observe({setup, result, base_freq, validation_failed});
   }
-  return stats;
+  return metrics;
 }
 
 void validate_job(const CellJob& job) {
@@ -82,58 +59,184 @@ void validate_job(const CellJob& job) {
   }
 }
 
+/// Shared bookkeeping for the observer path of one run_cells_ex call.
+/// Exists only when an observer or a cancellation token is present —
+/// the null path never allocates or touches any of it.
+struct SweepTracker {
+  explicit SweepTracker(const std::vector<CellJob>& jobs,
+                        const std::vector<std::size_t>& first_chunk,
+                        std::size_t chunk_count) {
+    remaining.reserve(jobs.size());
+    started.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const std::size_t next =
+          j + 1 < jobs.size() ? first_chunk[j + 1] : chunk_count;
+      remaining.push_back(
+          std::make_unique<std::atomic<int>>(static_cast<int>(next -
+                                                              first_chunk[j])));
+      started.push_back(std::make_unique<std::atomic<bool>>(false));
+      progress.runs_total += jobs[j].config.runs;
+    }
+    progress.cells_total = jobs.size();
+  }
+
+  /// Serializes every observer callback: implementations never run
+  /// concurrently (documented in sim/observer.hpp).
+  std::mutex callback_mu;
+  std::vector<std::unique_ptr<std::atomic<int>>> remaining;
+  std::vector<std::unique_ptr<std::atomic<bool>>> started;
+  SweepProgress progress;  ///< counters mutated under callback_mu
+};
+
 }  // namespace
 
-std::vector<CellStats> run_cells(const std::vector<CellJob>& jobs,
-                                 int threads, int* threads_used) {
+std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
+                                     const RunCellsOptions& options) {
   for (const auto& job : jobs) validate_job(job);
 
   std::vector<Chunk> chunks;
+  std::vector<std::size_t> first_chunk;  // per job, into `chunks`
+  first_chunk.reserve(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
+    first_chunk.push_back(chunks.size());
     for (int begin = 0; begin < jobs[j].config.runs; begin += kRunChunk) {
       chunks.push_back(
           {j, begin, std::min(jobs[j].config.runs, begin + kRunChunk)});
     }
   }
 
-  // Partial stats are indexed by chunk, so the final merge below walks
-  // them in run-index order no matter which worker produced them.
-  // Claiming chunks one at a time lets the flat queue self-balance
-  // across cells of very different cost.
-  std::vector<CellStats> partials(chunks.size());
+  // Partial metric sets are indexed by chunk, so every merge below —
+  // whether at cell completion or after the queue drains — walks them
+  // in run-index order no matter which worker produced them.
+  std::vector<MetricSet> partials(chunks.size());
+  std::vector<CellResult> results(jobs.size());
+
+  std::unique_ptr<SweepTracker> tracker;
+  if (options.observer != nullptr) {
+    tracker = std::make_unique<SweepTracker>(jobs, first_chunk, chunks.size());
+  }
+
+  // Any chunk body that throws flips `abort` so peers drain the rest
+  // of the queue without simulating; `skipped` records that at least
+  // one chunk never executed (cancellation must not return partial
+  // results as if they were complete).
+  std::atomic<bool> abort{false};
+  std::atomic<bool> skipped{false};
+
+  // Merges one completed cell's partials (all written, ordered by the
+  // remaining-counter's acq_rel decrement) and reports it.
+  const auto complete_cell = [&](std::size_t job) {
+    const std::size_t next =
+        job + 1 < jobs.size() ? first_chunk[job + 1] : chunks.size();
+    MetricSet merged = std::move(partials[first_chunk[job]]);
+    for (std::size_t c = first_chunk[job] + 1; c < next; ++c) {
+      merged.merge(partials[c]);
+    }
+    results[job] = {merged.cell_stats(), merged.values()};
+    std::lock_guard<std::mutex> lock(tracker->callback_mu);
+    options.observer->on_cell_done(job, results[job]);
+  };
+
   const auto process = [&](int lo, int hi) {
     for (int c = lo; c < hi; ++c) {
+      if (abort.load(std::memory_order_relaxed)) {
+        skipped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (options.cancel != nullptr && options.cancel->stop_requested()) {
+        abort.store(true, std::memory_order_relaxed);
+        skipped.store(true, std::memory_order_relaxed);
+        return;
+      }
       const auto& chunk = chunks[static_cast<std::size_t>(c)];
       const auto& job = jobs[chunk.job];
-      partials[static_cast<std::size_t>(c)] = run_chunk(
-          job.setup, job.factory, job.config, chunk.begin, chunk.end);
+      try {
+        if (tracker &&
+            !tracker->started[chunk.job]->exchange(
+                true, std::memory_order_relaxed)) {
+          std::lock_guard<std::mutex> lock(tracker->callback_mu);
+          options.observer->on_cell_start(chunk.job);
+        }
+        partials[static_cast<std::size_t>(c)] = run_chunk(
+            job.setup, job.factory, job.config, chunk.begin, chunk.end);
+        if (tracker) {
+          const bool cell_done =
+              tracker->remaining[chunk.job]->fetch_sub(
+                  1, std::memory_order_acq_rel) == 1;
+          if (cell_done) complete_cell(chunk.job);
+          std::lock_guard<std::mutex> lock(tracker->callback_mu);
+          tracker->progress.runs_done += chunk.end - chunk.begin;
+          if (cell_done) ++tracker->progress.cells_done;
+          options.observer->on_progress(tracker->progress);
+        }
+      } catch (...) {
+        // First exception wins (TaskGroup keeps the first it sees);
+        // everyone else just drains.
+        abort.store(true, std::memory_order_relaxed);
+        throw;
+      }
     }
   };
 
   int applied = 1;
-  if (threads == 1) {
+  if (options.threads == 1) {
     // Fully serial in the calling thread — never touches (or even
     // constructs) the shared pool.
     process(0, static_cast<int>(chunks.size()));
   } else {
     applied = util::parallel_for(util::ThreadPool::shared(), 0,
                                  static_cast<int>(chunks.size()),
-                                 /*grain=*/1, process, threads);
+                                 /*grain=*/1, process, options.threads);
   }
-  if (threads_used != nullptr) *threads_used = std::max(applied, 1);
+  if (options.threads_used != nullptr) {
+    *options.threads_used = std::max(applied, 1);
+  }
 
-  std::vector<CellStats> results(jobs.size());
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    results[chunks[c].job].merge(partials[c]);
+  if (skipped.load(std::memory_order_relaxed)) throw SweepCancelled();
+
+  if (!tracker) {
+    // Null / cancel-only path: one pass of in-order merges at the end,
+    // exactly the pre-observer implementation.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const std::size_t next =
+          j + 1 < jobs.size() ? first_chunk[j + 1] : chunks.size();
+      MetricSet merged = std::move(partials[first_chunk[j]]);
+      for (std::size_t c = first_chunk[j] + 1; c < next; ++c) {
+        merged.merge(partials[c]);
+      }
+      results[j] = {merged.cell_stats(), merged.values()};
+    }
   }
   return results;
 }
 
-CellStats run_cell(const SimSetup& setup, const PolicyFactory& factory,
-                   const MonteCarloConfig& config) {
+std::vector<CellStats> run_cells(const std::vector<CellJob>& jobs,
+                                 int threads, int* threads_used) {
+  RunCellsOptions options;
+  options.threads = threads;
+  options.threads_used = threads_used;
+  auto results = run_cells_ex(jobs, options);
+  std::vector<CellStats> stats;
+  stats.reserve(results.size());
+  for (auto& result : results) stats.push_back(std::move(result.stats));
+  return stats;
+}
+
+CellResult run_cell_ex(const SimSetup& setup, const PolicyFactory& factory,
+                       const MonteCarloConfig& config,
+                       ISweepObserver* observer, CancellationToken* cancel) {
   std::vector<CellJob> jobs;
   jobs.push_back({setup, factory, config});
-  return run_cells(jobs, config.threads)[0];
+  RunCellsOptions options;
+  options.threads = config.threads;
+  options.observer = observer;
+  options.cancel = cancel;
+  return std::move(run_cells_ex(jobs, options)[0]);
+}
+
+CellStats run_cell(const SimSetup& setup, const PolicyFactory& factory,
+                   const MonteCarloConfig& config) {
+  return run_cell_ex(setup, factory, config).stats;
 }
 
 }  // namespace adacheck::sim

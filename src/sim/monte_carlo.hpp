@@ -1,16 +1,21 @@
 // Monte-Carlo experiment harness.
 //
 // Repeats a scenario `runs` times with independent fault streams and
-// aggregates the two quantities the paper reports — P (probability of
-// timely completion) and E (mean energy over successful runs) — plus
-// extended statistics.  Runs are seeded per-index from the master seed
-// and aggregated in fixed-size chunks merged in index order, so
-// results are bit-identical regardless of thread count.
+// aggregates per-run results through the pluggable metric-recorder
+// pipeline (sim/metrics.hpp): every cell gets a MetricSet — the
+// built-in CellStats recorder plus whatever extra recorders the
+// config's MetricSuite names.  Runs are seeded per-index from the
+// master seed and aggregated in fixed-size chunks merged in index
+// order, so all recorder values are bit-identical regardless of
+// thread count.
 //
 // Execution happens on the shared util::ThreadPool: one cell
 // (`run_cell`) chunks its runs onto the persistent workers, and a
 // whole batch of cells (`run_cells`) becomes a single flat task queue
-// — the backbone of harness::run_sweep.
+// — the backbone of harness::run_sweep.  An ISweepObserver
+// (sim/observer.hpp) can watch cell completion and progress, and a
+// CancellationToken stops the queue cooperatively; both default to the
+// zero-cost null path.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,8 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/observer.hpp"
 #include "util/statistics.hpp"
 
 namespace adacheck::sim {
@@ -34,33 +41,23 @@ struct MonteCarloConfig {
   std::uint64_t seed = 0x5EED5EED;
   int threads = 0;            ///< 0 = shared pool width; 1 = in-caller
   bool validate = false;      ///< run invariant validators on every run
+  /// Extra metric recorders instantiated per cell (see
+  /// sim::make_metric_suite); null = the default CellStats only.
+  std::shared_ptr<const MetricSuite> metrics;
 };
 
-/// Aggregated cell statistics.
-struct CellStats {
-  util::BinomialStats completion;        ///< P
-  util::RunningStats energy_success;     ///< E (paper's definition)
-  util::RunningStats energy_all;         ///< energy over every run
-  util::RunningStats finish_time_success;
-  util::RunningStats faults;             ///< physical faults per run
-  util::RunningStats rollbacks;
-  util::RunningStats corrections;        ///< TMR vote repairs per run
-  util::RunningStats high_speed_cycles;  ///< cycles above the base speed
-  std::size_t aborted_runs = 0;
-  std::size_t validation_failures = 0;
-
-  double probability() const noexcept { return completion.proportion(); }
-  /// Paper's E: NaN when no run succeeded (the tables print "NaN").
-  double energy() const noexcept { return energy_success.mean(); }
-
-  void merge(const CellStats& other) noexcept;
-};
-
-/// Runs one experiment cell.  Throws only on configuration errors;
-/// validation failures are counted, not thrown (the property tests
-/// assert the count is zero).
+/// Runs one experiment cell; returns the default statistics.  Throws
+/// only on configuration errors; validation failures are counted, not
+/// thrown (the property tests assert the count is zero).
 CellStats run_cell(const SimSetup& setup, const PolicyFactory& factory,
                    const MonteCarloConfig& config = {});
+
+/// run_cell with the full result (extra metric values included) and
+/// optional observer/cancellation hooks.
+CellResult run_cell_ex(const SimSetup& setup, const PolicyFactory& factory,
+                       const MonteCarloConfig& config = {},
+                       ISweepObserver* observer = nullptr,
+                       CancellationToken* cancel = nullptr);
 
 /// One independent cell of a batch.  `config.threads` is ignored here —
 /// run_cells parallelizes across the whole batch, not per cell.
@@ -70,14 +67,33 @@ struct CellJob {
   MonteCarloConfig config;
 };
 
-/// Runs every job as one flat chunk queue on the shared thread pool
-/// (`threads` caps the parallelism; 0 = pool width, 1 = fully serial
-/// in the calling thread).  Results are identical to calling run_cell
-/// per job — bit-identical for every thread count, since chunking and
-/// merge order depend only on each job's run count.  `threads_used`,
-/// when given, receives the parallelism actually applied — the cap
-/// clamped to the chunk count and to pool width + 1 (the waiting
-/// caller helps execute tasks) — what perf reports should record.
+/// Execution knobs for run_cells_ex beyond the job list itself.
+struct RunCellsOptions {
+  /// Parallelism cap; 0 = pool width, 1 = fully serial in the caller.
+  int threads = 0;
+  /// When given, receives the parallelism actually applied — the cap
+  /// clamped to the chunk count and to pool width + 1 (the waiting
+  /// caller helps execute tasks) — what perf reports should record.
+  int* threads_used = nullptr;
+  /// Cell-completion / progress callbacks (serialized by the runner);
+  /// null = no tracking overhead at all.
+  ISweepObserver* observer = nullptr;
+  /// Cooperative stop flag; when it fires before the queue is fully
+  /// executed, run_cells_ex throws SweepCancelled.
+  CancellationToken* cancel = nullptr;
+};
+
+/// Runs every job as one flat chunk queue on the shared thread pool.
+/// Results are identical to calling run_cell per job — bit-identical
+/// for every thread count, since chunking and merge order depend only
+/// on each job's run count.  Observer callbacks fire exactly once per
+/// cell regardless of thread count.  Throws SweepCancelled when the
+/// options' token stopped the sweep early; a throwing recorder or
+/// observer fast-drains the queue and propagates its exception.
+std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
+                                     const RunCellsOptions& options = {});
+
+/// Compatibility wrapper: default statistics only, no observers.
 std::vector<CellStats> run_cells(const std::vector<CellJob>& jobs,
                                  int threads = 0,
                                  int* threads_used = nullptr);

@@ -128,6 +128,19 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge: bounds and bin count must match");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  nan_count_ += other.nan_count_;
+}
+
 std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
 
 double Histogram::bin_lo(std::size_t i) const {

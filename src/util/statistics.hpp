@@ -71,6 +71,12 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
+  /// Adds another histogram's tallies bin-by-bin.  Both histograms must
+  /// have identical bounds and bin counts (throws std::invalid_argument
+  /// otherwise).  Counts are integers, so merging is exact and the
+  /// result is independent of merge order — parallel partials combine
+  /// deterministically.
+  void merge(const Histogram& other);
   std::size_t bin_count(std::size_t i) const;
   std::size_t bins() const noexcept { return counts_.size(); }
   std::size_t total() const noexcept { return total_; }

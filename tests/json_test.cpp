@@ -1,7 +1,7 @@
 // The strict JSON parser (util/json): value-tree construction,
 // line/column error reporting, and the round-trip pin against the
 // harness/json_report writer — parse(sweep_json(...)) must preserve
-// every key and value of the adacheck-sweep-v2 schema.
+// every key and value of the adacheck-sweep-v3 schema.
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>
@@ -201,7 +201,7 @@ TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
     const Value doc = parse(text);
 
     EXPECT_EQ(doc.as_object().size(), include_perf ? 4u : 3u);
-    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v2");
+    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v3");
 
     const Value& cfg = *doc.find("config");
     EXPECT_EQ(cfg.as_object().size(), 3u);
@@ -249,6 +249,37 @@ TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
       }
     }
   }
+}
+
+TEST(JsonRoundTrip, MetricsSurviveTheV3Report) {
+  // With a metric suite the v3 report gains config.metrics (the name
+  // list) and a "metrics" object per cell whose values round-trip
+  // exactly.
+  const auto spec = roundtrip_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 60;
+  config.metrics = sim::make_metric_suite({"tails"});
+  const auto sweep = harness::run_sweep({spec}, config);
+  const Value doc = parse(harness::sweep_json(sweep, {false}));
+
+  const auto& names = doc.find("config")->find("metrics")->as_array();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0].as_string(), "tails");
+
+  const Value& cell = doc.find("experiments")->as_array()[0]
+                          .find("rows")->as_array()[0]
+                          .find("cells")->as_array()[0];
+  const Value* metrics = cell.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Value* tails = metrics->find("tails");
+  ASSERT_NE(tails, nullptr);
+  const auto& emitted = sweep.experiments[0].metrics[0][0];
+  const double* p99 = emitted.find("tails", "finish_time_p99");
+  ASSERT_NE(p99, nullptr);
+  EXPECT_EQ(tails->find("finish_time_p99")->as_number(), *p99);
+  EXPECT_EQ(tails->find("finish_time_count")->as_number(),
+            static_cast<double>(
+                sweep.experiments[0].cells[0][0].finish_time_success.count()));
 }
 
 TEST(JsonRoundTrip, InfeasibleCellEnergyIsNull) {

@@ -1,0 +1,233 @@
+// The metric-recorder pipeline: CellStats/recorder merge edge cases
+// (empty merge is the identity, NaN energy propagates), the suite
+// registry, the new tail-quantile recorder, and bit-identical metric
+// values across thread counts.
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sim/monte_carlo.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace adacheck::sim {
+namespace {
+
+using testutil::basic_setup;
+
+PolicyFactory scripted_factory(const SimSetup& setup, double interval) {
+  const Decision plan = testutil::plain_plan(setup, interval);
+  return [plan] { return std::make_unique<testutil::ScriptedPolicy>(plan); };
+}
+
+CellStats sample_stats(const SimSetup& setup, int runs,
+                       std::uint64_t seed = 42) {
+  MonteCarloConfig config;
+  config.runs = runs;
+  config.seed = seed;
+  return run_cell(setup, scripted_factory(setup, 150.0), config);
+}
+
+void expect_same_cell_stats(const CellStats& a, const CellStats& b) {
+  EXPECT_EQ(a.completion.trials(), b.completion.trials());
+  EXPECT_EQ(a.completion.successes(), b.completion.successes());
+  EXPECT_EQ(a.aborted_runs, b.aborted_runs);
+  EXPECT_EQ(a.validation_failures, b.validation_failures);
+  EXPECT_EQ(a.energy_all.count(), b.energy_all.count());
+  EXPECT_DOUBLE_EQ(a.energy_all.mean(), b.energy_all.mean());
+  EXPECT_DOUBLE_EQ(a.energy_all.variance(), b.energy_all.variance());
+  EXPECT_EQ(a.faults.count(), b.faults.count());
+  EXPECT_DOUBLE_EQ(a.faults.mean(), b.faults.mean());
+}
+
+// --- merge edge cases ----------------------------------------------------
+
+TEST(CellStatsMerge, MergingAnEmptyCellIsTheIdentity) {
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 2e-3);
+  const CellStats reference = sample_stats(setup, 300);
+
+  CellStats merged = reference;
+  merged.merge(CellStats{});  // right identity
+  expect_same_cell_stats(merged, reference);
+
+  CellStats from_empty;  // left identity
+  from_empty.merge(reference);
+  expect_same_cell_stats(from_empty, reference);
+}
+
+TEST(CellStatsMerge, EmptyMergedWithEmptyStaysEmpty) {
+  CellStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.completion.trials(), 0u);
+  EXPECT_TRUE(std::isnan(a.probability()));
+  EXPECT_TRUE(std::isnan(a.energy()));
+}
+
+TEST(CellStatsMerge, NaNEnergyCellsPropagate) {
+  // Zero-success cells have NaN energy (the paper's NaN cells); the
+  // NaN must survive merging with another zero-success cell and be
+  // replaced only by real successes.
+  const auto impossible = basic_setup(1'000.0, 900.0);  // D < exec time
+  const CellStats never_a = sample_stats(impossible, 60, 1);
+  const CellStats never_b = sample_stats(impossible, 60, 2);
+  ASSERT_TRUE(std::isnan(never_a.energy()));
+
+  CellStats merged = never_a;
+  merged.merge(never_b);
+  EXPECT_EQ(merged.completion.trials(), 120u);
+  EXPECT_EQ(merged.completion.successes(), 0u);
+  EXPECT_TRUE(std::isnan(merged.energy()));
+  EXPECT_DOUBLE_EQ(merged.probability(), 0.0);
+
+  // A successful cell merged on top replaces the NaN with its E.
+  const auto feasible = basic_setup(1'000.0, 10'000.0);
+  const CellStats always = sample_stats(feasible, 60);
+  ASSERT_TRUE(std::isfinite(always.energy()));
+  merged.merge(always);
+  EXPECT_DOUBLE_EQ(merged.energy(), always.energy());
+  EXPECT_EQ(merged.energy_success.count(), always.energy_success.count());
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(MetricSuiteRegistry, KnownNamesBuildASuite) {
+  const auto names = known_metric_recorders();
+  ASSERT_GE(names.size(), 2u);
+  const auto suite = make_metric_suite(names);
+  EXPECT_EQ(suite->names(), names);
+  EXPECT_EQ(suite->size(), names.size());
+}
+
+TEST(MetricSuiteRegistry, UnknownAndDuplicateNamesThrow) {
+  EXPECT_THROW(make_metric_suite({"nope"}), std::invalid_argument);
+  EXPECT_THROW(make_metric_suite({"tails", "tails"}), std::invalid_argument);
+}
+
+// --- the tail-quantile recorder ------------------------------------------
+
+MonteCarloConfig tails_config(int runs, int threads = 0) {
+  MonteCarloConfig config;
+  config.runs = runs;
+  config.seed = 0xFEED;
+  config.threads = threads;
+  config.metrics = make_metric_suite({"tails", "checkpoints"});
+  return config;
+}
+
+TEST(TailRecorder, QuantilesAreOrderedAndBounded) {
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 2e-3);
+  const CellResult cell = run_cell_ex(setup, scripted_factory(setup, 150.0),
+                                      tails_config(600));
+  ASSERT_FALSE(cell.metrics.empty());
+  const double* p50 = cell.metrics.find("tails", "finish_time_p50");
+  const double* p90 = cell.metrics.find("tails", "finish_time_p90");
+  const double* p99 = cell.metrics.find("tails", "finish_time_p99");
+  const double* count = cell.metrics.find("tails", "finish_time_count");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p90, nullptr);
+  ASSERT_NE(p99, nullptr);
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(*count),
+            cell.stats.finish_time_success.count());
+  EXPECT_LE(*p50, *p90);
+  EXPECT_LE(*p90, *p99);
+  // Finish times are bounded by the deadline (the histogram's range).
+  EXPECT_GE(*p50, 0.0);
+  EXPECT_LE(*p99, setup.task.deadline);
+  // Energy quantiles bracket the observed mean.
+  const double* e50 = cell.metrics.find("tails", "energy_p50");
+  ASSERT_NE(e50, nullptr);
+  EXPECT_GT(*e50, 0.0);
+  const double* cscp = cell.metrics.find("checkpoints", "cscp_mean");
+  ASSERT_NE(cscp, nullptr);
+  EXPECT_GT(*cscp, 0.0);
+}
+
+TEST(TailRecorder, ValuesBitIdenticalAcrossThreadCounts) {
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 2e-3);
+  const CellResult serial = run_cell_ex(
+      setup, scripted_factory(setup, 150.0), tails_config(600, 1));
+  const CellResult parallel = run_cell_ex(
+      setup, scripted_factory(setup, 150.0), tails_config(600, 4));
+  ASSERT_EQ(serial.metrics.groups.size(), parallel.metrics.groups.size());
+  for (std::size_t g = 0; g < serial.metrics.groups.size(); ++g) {
+    const auto& a = serial.metrics.groups[g];
+    const auto& b = parallel.metrics.groups[g];
+    EXPECT_EQ(a.recorder, b.recorder);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+      EXPECT_EQ(a.entries[i].key, b.entries[i].key);
+      // Integer bin tallies merge exactly and RunningStats merges in
+      // fixed chunk order: identical bits, not just close values.
+      EXPECT_DOUBLE_EQ(a.entries[i].value, b.entries[i].value) << a.entries[i].key;
+    }
+  }
+}
+
+TEST(MetricSet, DefaultConfigEmitsNoExtraGroups) {
+  const auto setup = basic_setup(1'000.0, 10'000.0);
+  MonteCarloConfig config;
+  config.runs = 50;
+  const CellResult cell =
+      run_cell_ex(setup, scripted_factory(setup, 100.0), config);
+  EXPECT_TRUE(cell.metrics.empty());
+  EXPECT_EQ(cell.stats.completion.trials(), 50u);
+}
+
+TEST(MetricSet, MergeRejectsMismatchedSets) {
+  const auto setup = basic_setup(1'000.0, 10'000.0);
+  MetricSet with_tails =
+      MetricSet::for_cell(setup, make_metric_suite({"tails"}).get());
+  MetricSet plain = MetricSet::for_cell(setup, nullptr);
+  EXPECT_THROW(with_tails.merge(plain), std::logic_error);
+  MetricSet empty;
+  EXPECT_THROW(empty.merge(plain), std::logic_error);
+  // Merging an empty (default-constructed) set into a real one is a
+  // no-op, mirroring the CellStats identity law.
+  EXPECT_NO_THROW(plain.merge(MetricSet{}));
+}
+
+// --- a custom recorder plugs in end to end -------------------------------
+
+/// Counts deadline misses — the README's minimal custom-recorder
+/// example, kept compiling by this test.
+class MissRecorder final : public IMetricRecorder {
+ public:
+  std::string_view name() const override { return "misses"; }
+  void observe(const RunView& run) override {
+    if (run.result.outcome == RunOutcome::kDeadlineMiss) ++misses_;
+  }
+  void merge(const IMetricRecorder& peer) override {
+    misses_ += static_cast<const MissRecorder&>(peer).misses_;
+  }
+  void emit(MetricValues::Group& out) const override {
+    out.entries.push_back({"count", static_cast<double>(misses_)});
+  }
+
+ private:
+  std::size_t misses_ = 0;
+};
+
+TEST(MetricSuite, CustomRecorderComposes) {
+  auto suite = std::make_shared<MetricSuite>();
+  suite->add("misses",
+             [](const SimSetup&) { return std::make_unique<MissRecorder>(); });
+
+  const auto setup = basic_setup(2'000.0, 2'600.0, 5, 2e-3);
+  MonteCarloConfig config;
+  config.runs = 400;
+  config.metrics = suite;
+  const CellResult cell =
+      run_cell_ex(setup, scripted_factory(setup, 150.0), config);
+  const double* misses = cell.metrics.find("misses", "count");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_DOUBLE_EQ(*misses,
+                   static_cast<double>(cell.stats.completion.trials() -
+                                       cell.stats.completion.successes() -
+                                       cell.stats.aborted_runs));
+}
+
+}  // namespace
+}  // namespace adacheck::sim

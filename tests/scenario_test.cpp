@@ -110,6 +110,31 @@ TEST(ScenarioBind, EnvironmentAxisUsesWithEnvironmentsNaming) {
   EXPECT_EQ(specs[1].environment, "bursty-orbit");
 }
 
+TEST(ScenarioParse, OutputObjectAndMetricsBlock) {
+  const auto scenario = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "m",
+    "output": {"report": "m_sweep.json", "jsonl": "m_cells.jsonl"},
+    "metrics": ["tails", "checkpoints"],
+    "experiments": [{"table": "table1a"}]})json");
+  EXPECT_EQ(scenario.output, "m_sweep.json");
+  EXPECT_EQ(scenario.output_jsonl, "m_cells.jsonl");
+  EXPECT_EQ(scenario.metrics,
+            (std::vector<std::string>{"tails", "checkpoints"}));
+  // The binder lowers the names onto a sim::MetricSuite.
+  const auto config = monte_carlo_config(scenario);
+  ASSERT_NE(config.metrics, nullptr);
+  EXPECT_EQ(config.metrics->names(), scenario.metrics);
+
+  // The plain-string form still works and implies no JSONL stream.
+  const auto plain = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "p",
+    "output": "p_sweep.json",
+    "experiments": [{"table": "table1a"}]})json");
+  EXPECT_EQ(plain.output, "p_sweep.json");
+  EXPECT_TRUE(plain.output_jsonl.empty());
+  EXPECT_EQ(monte_carlo_config(plain).metrics, nullptr);
+}
+
 TEST(ScenarioBind, MonteCarloConfigCarriesTheKnobs) {
   const auto scenario = parse_scenario_text(R"json({
     "schema": "adacheck-scenario-v1", "name": "cfg",
@@ -182,6 +207,29 @@ TEST(ScenarioErrors, UnknownEnvironmentSuggestsTheClosestName) {
                  "experiments[0].environment: unknown name "
                  "\"bursty-orbitt\", did you mean \"bursty-orbit\"?");
   }
+}
+
+TEST(ScenarioErrors, MetricsAndOutputViolations) {
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "metrics": ["tailz"],
+    "experiments": [{"table": "table1a"}]})json",
+                        "metrics[0]", "did you mean \"tails\"?");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "metrics": ["tails", "tails"],
+    "experiments": [{"table": "table1a"}]})json",
+                        "metrics[1]", "duplicate metric recorder");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "output": 7,
+    "experiments": [{"table": "table1a"}]})json",
+                        "output", "expected string");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "output": {"reprot": "a.json"},
+    "experiments": [{"table": "table1a"}]})json",
+                        "output", "did you mean \"report\"?");
 }
 
 TEST(ScenarioErrors, UnknownSchemeAndTableAndKey) {

@@ -169,5 +169,37 @@ TEST(Histogram, QuantileOnUniformData) {
   EXPECT_TRUE(std::isnan(Histogram(0.0, 1.0, 4).quantile(0.5)));
 }
 
+TEST(Histogram, MergeMatchesSequentialFill) {
+  // Integer tallies: a merged pair of partials is exactly the
+  // histogram of the concatenated samples, whatever the split.
+  Histogram whole(0.0, 10.0, 20);
+  Histogram left(0.0, 10.0, 20);
+  Histogram right(0.0, 10.0, 20);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5'000; ++i) {
+    const double x = 12.0 * rng.uniform01() - 1.0;  // exercises clamping
+    whole.add(x);
+    (i < 1'234 ? left : right).add(x);
+  }
+  left.add(std::numeric_limits<double>::quiet_NaN());
+  whole.add(std::numeric_limits<double>::quiet_NaN());
+  left.merge(right);
+  EXPECT_EQ(left.total(), whole.total());
+  EXPECT_EQ(left.nan_count(), whole.nan_count());
+  for (std::size_t b = 0; b < whole.bins(); ++b) {
+    EXPECT_EQ(left.bin_count(b), whole.bin_count(b)) << "bin " << b;
+  }
+  EXPECT_DOUBLE_EQ(left.quantile(0.99), whole.quantile(0.99));
+}
+
+TEST(Histogram, MergeRejectsMismatchedShapes) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram bins(0.0, 1.0, 8);
+  Histogram range(0.0, 2.0, 4);
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+  EXPECT_NO_THROW(a.merge(Histogram(0.0, 1.0, 4)));
+}
+
 }  // namespace
 }  // namespace adacheck::util

@@ -7,23 +7,28 @@
 // a file under scenarios/ instead of a hand-compiled binary.
 //
 // Subcommands:
-//   run       execute a scenario, write the adacheck-sweep-v2 report
+//   run       execute a scenario, write the adacheck-sweep-v3 report
 //   validate  parse + validate scenario files, run nothing
 //   list      show the registries scenarios can reference
 //
 // The cell section of a `run` report is byte-identical to the
 // equivalent programmatic sweep at any --threads value (compare with
-// --no-perf; the perf section legitimately differs).
+// --no-perf; the perf section legitimately differs), and so is the
+// --jsonl cell stream.  Progress (--progress) and status go to stderr
+// whenever stdout carries a document, so machine output stays clean.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/json_report.hpp"
+#include "harness/stream_report.hpp"
 #include "model/fault_env.hpp"
 #include "policy/factory.hpp"
 #include "scenario/binder.hpp"
 #include "scenario/spec.hpp"
+#include "sim/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,15 +43,20 @@ int usage(std::ostream& os, int code) {
         "usage:\n"
         "  adacheck run <scenario.json> [--runs=N] [--seed=S] "
         "[--threads=T]\n"
-        "               [--out=PATH] [--validate] [--no-perf] [--dry-run]\n"
+        "               [--out=PATH] [--jsonl=PATH] [--progress] "
+        "[--quiet]\n"
+        "               [--validate] [--no-perf] [--dry-run]\n"
         "  adacheck validate <scenario.json> [more.json ...]\n"
-        "  adacheck list [policies|environments|tables]\n"
+        "  adacheck list [policies|environments|tables|metrics]\n"
         "\n"
         "run flags override the scenario's config block; --out=- writes\n"
-        "the report to stdout; --dry-run binds and prints the plan\n"
-        "without simulating.  ADACHECK_THREADS sizes the worker pool\n"
-        "when --threads is not given.  Statistics are bit-identical\n"
-        "across thread counts.\n";
+        "the report to stdout; --jsonl streams one JSON line per\n"
+        "completed cell (in cell order, byte-identical across thread\n"
+        "counts); --progress keeps a live cells/runs-per-second line on\n"
+        "stderr; --quiet drops the status chatter; --dry-run binds and\n"
+        "prints the plan without simulating.  ADACHECK_THREADS sizes\n"
+        "the worker pool when --threads is not given.  Statistics are\n"
+        "bit-identical across thread counts.\n";
   return code;
 }
 
@@ -58,10 +68,18 @@ std::size_t cell_count(const std::vector<harness::ExperimentSpec>& specs) {
   return cells;
 }
 
+/// Swallows status chatter under --quiet (a stream with a null
+/// buffer discards everything written to it).
+std::ostream& null_stream() {
+  static std::ostream stream(nullptr);
+  return stream;
+}
+
 int cmd_run(int argc, char** argv) {
   const util::CliArgs args(argc, argv,
-                           {"runs", "seed", "threads", "out", "validate!",
-                            "no-perf!", "dry-run!"});
+                           {"runs", "seed", "threads", "out", "jsonl",
+                            "progress!", "quiet!", "validate!", "no-perf!",
+                            "dry-run!"});
   if (args.positional().size() != 2) {
     std::cerr << "run expects exactly one scenario file\n";
     return 2;
@@ -95,9 +113,18 @@ int cmd_run(int argc, char** argv) {
 
   std::string out_path = args.get_string("out", scenario.output);
   if (out_path.empty()) out_path = scenario.name + "_sweep.json";
+  const std::string jsonl_path =
+      args.get_string("jsonl", scenario.output_jsonl);
+  if (jsonl_path == "-") {
+    std::cerr << "--jsonl needs a file path (stdout is the report's)\n";
+    return 2;
+  }
   // With --out=- the report owns stdout; status moves to stderr so the
-  // emitted JSON stays clean (and byte-comparable).
-  std::ostream& status = out_path == "-" ? std::cerr : std::cout;
+  // emitted JSON stays clean (and byte-comparable).  --quiet drops the
+  // chatter entirely; errors still reach stderr either way.
+  const bool quiet = args.get_bool("quiet", false);
+  std::ostream& status =
+      quiet ? null_stream() : (out_path == "-" ? std::cerr : std::cout);
 
   const auto specs = scenario::bind_experiments(scenario);
   status << "scenario \"" << scenario.name << "\": " << specs.size()
@@ -110,12 +137,47 @@ int cmd_run(int argc, char** argv) {
              << spec.schemes.size() << " schemes, environment "
              << spec.environment << "\n";
     }
+    if (!scenario.metrics.empty()) {
+      status << "  metrics:";
+      for (const auto& name : scenario.metrics) status << " " << name;
+      status << "\n";
+    }
+    if (!jsonl_path.empty()) status << "  jsonl: " << jsonl_path << "\n";
     status << "dry run: scenario validated and bound, nothing executed\n";
     return 0;
   }
 
   util::ThreadPool::set_shared_size(scenario.config.threads);
-  const auto sweep = scenario::run_scenario(scenario);
+
+  // Observers: the JSONL cell stream and/or the live progress line,
+  // both optional.  Progress always talks to stderr, so it can never
+  // contaminate --out (even --out=-) or the JSONL document.
+  sim::ObserverList observers;
+  std::ofstream jsonl_file;
+  std::unique_ptr<harness::JsonlCellStream> jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path, std::ios::binary);
+    if (!jsonl_file) {
+      std::cerr << "cannot open JSONL output file: " << jsonl_path << "\n";
+      return 1;
+    }
+    jsonl = std::make_unique<harness::JsonlCellStream>(
+        jsonl_file, harness::sweep_cell_refs(specs));
+    observers.add(jsonl.get());
+  }
+  std::unique_ptr<harness::ProgressLine> progress;
+  if (args.get_bool("progress", false)) {
+    progress = std::make_unique<harness::ProgressLine>(std::cerr);
+    observers.add(progress.get());
+  }
+  harness::SweepOptions sweep_options;
+  if (!observers.empty()) sweep_options.observer = &observers;
+
+  // Sweep the specs bound above (the same bind the JSONL refs came
+  // from) so the stream's cell coordinates can never desync from the
+  // jobs actually run.
+  const auto sweep = harness::run_sweep(
+      specs, scenario::monte_carlo_config(scenario), sweep_options);
 
   harness::JsonReportOptions options;
   options.include_perf = !args.get_bool("no-perf", false);
@@ -134,6 +196,10 @@ int cmd_run(int argc, char** argv) {
          << sweep.perf.threads << " threads, " << sweep.perf.runs_per_second
          << " runs/s\n";
   if (out_path != "-") status << "wrote " << out_path << "\n";
+  if (!jsonl_path.empty()) {
+    status << "streamed " << jsonl->emitted() << " cells to " << jsonl_path
+           << "\n";
+  }
   return 0;
 }
 
@@ -180,10 +246,14 @@ int cmd_list(int argc, char** argv) {
   if (what.empty() || what == "tables") {
     print_section("paper tables", scenario::known_tables());
   }
+  if (what.empty() || what == "metrics") {
+    print_section("metric recorders (scenario \"metrics\" names)",
+                  sim::known_metric_recorders());
+  }
   if (!what.empty() && what != "policies" && what != "environments" &&
-      what != "tables") {
+      what != "tables" && what != "metrics") {
     std::cerr << "unknown list \"" << what
-              << "\"; choose policies, environments, or tables\n";
+              << "\"; choose policies, environments, tables, or metrics\n";
     return 2;
   }
   return 0;

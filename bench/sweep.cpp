@@ -13,19 +13,30 @@
 // budgets differ between measurements, so a low ratio warns on stderr
 // but never fails the process.
 //
+// Run-budget guard: a third measurement runs one high-P(success) cell
+// twice — at the fixed run count and under a precision budget
+// targeting the same Wilson half-width the fixed count achieves — and
+// the perf section gains "time_to_target_precision" comparing runs
+// and wall clock.  The budgeted path should hit matched precision in
+// a fraction of the runs; CI asserts the ratio stays >= 5x.
+//
 // Usage: bench_sweep [--runs=N] [--seed=S] [--threads=T]
 //                    [--out=BENCH_sweep.json] [--tables=table1a,table2b]
 //                    [--baseline=BENCH_sweep.json] [--no-observer-check]
-//                    [--validate] [--no-perf]
+//                    [--precision-runs=N] [--precision-target=H]
+//                    [--no-precision-check] [--validate] [--no-perf]
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "harness/experiment.hpp"
 #include "harness/json_report.hpp"
 #include "harness/paper_params.hpp"
 #include "harness/sweep.hpp"
+#include "sim/monte_carlo.hpp"
 #include "sim/observer.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -57,8 +68,9 @@ int main(int argc, char** argv) {
   using namespace adacheck;
   const util::CliArgs args(argc, argv,
                            {"runs", "seed", "threads", "out", "tables",
-                            "baseline", "no-observer-check", "validate",
-                            "no-perf"});
+                            "baseline", "no-observer-check", "precision-runs",
+                            "precision-target", "no-precision-check",
+                            "validate", "no-perf"});
   sim::MonteCarloConfig config;
   config.runs = static_cast<int>(args.get_int("runs", 10'000));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5EED5EED));
@@ -125,6 +137,57 @@ int main(int argc, char** argv) {
                 << harness::PerfBaseline::kMinObserverRatio << "x)\n";
     }
   }
+  // Time-to-target-precision probe: one high-P(success) cell, fixed
+  // run count vs a budget targeting the same achieved half-width.
+  harness::PrecisionBench precision;
+  if (options.include_perf && !args.get_bool("no-precision-check", false)) {
+    harness::ExperimentSpec spec;
+    spec.id = "precision";
+    spec.title = "time-to-target-precision probe";
+    spec.costs = model::CheckpointCosts::paper_scp_flavor();
+    spec.deadline = 10'000.0;
+    spec.fault_tolerance = 5;
+    spec.speed_ratio = 2.0;
+    spec.util_level = 0;
+    spec.schemes = {"A_D_S"};
+    spec.rows = {{0.5, 1.0e-4, {}}};
+
+    sim::MonteCarloConfig fixed;
+    fixed.runs = static_cast<int>(args.get_int("precision-runs", 10'000));
+    fixed.seed = config.seed;
+    fixed.threads = config.threads;
+    auto jobs = harness::experiment_jobs(spec, fixed);
+    const auto& job = jobs.at(0);
+
+    using clock = std::chrono::steady_clock;
+    const auto fixed_t0 = clock::now();
+    const auto fixed_stats = sim::run_cell(job.setup, job.factory, job.config);
+    const auto fixed_t1 = clock::now();
+
+    auto budgeted_config = job.config;
+    budgeted_config.budget.target_p_halfwidth =
+        args.get_double("precision-target", 0.01);
+    const auto budgeted_t0 = clock::now();
+    const auto budgeted_stats =
+        sim::run_cell(job.setup, job.factory, budgeted_config);
+    const auto budgeted_t1 = clock::now();
+
+    const auto seconds = [](clock::time_point a, clock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    precision.target_p_halfwidth = budgeted_config.budget.target_p_halfwidth;
+    precision.fixed_runs =
+        static_cast<long long>(fixed_stats.completion.trials());
+    precision.fixed_wall_seconds = seconds(fixed_t0, fixed_t1);
+    precision.fixed_p_halfwidth = fixed_stats.completion.wilson_halfwidth();
+    precision.budgeted_runs =
+        static_cast<long long>(budgeted_stats.completion.trials());
+    precision.budgeted_wall_seconds = seconds(budgeted_t0, budgeted_t1);
+    precision.budgeted_p_halfwidth =
+        budgeted_stats.completion.wilson_halfwidth();
+    options.precision = &precision;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open output file: " << out_path << "\n";
@@ -135,7 +198,17 @@ int main(int argc, char** argv) {
   std::cout << "sweep: " << sweep.perf.cells << " cells x " << config.runs
             << " runs on " << sweep.perf.threads << " threads\n"
             << "wall: " << sweep.perf.wall_seconds << " s, "
-            << sweep.perf.runs_per_second << " runs/s\n"
-            << "wrote " << out_path << "\n";
+            << sweep.perf.runs_per_second << " runs/s\n";
+  if (options.precision != nullptr) {
+    std::cout << "precision: " << precision.budgeted_runs << " budgeted vs "
+              << precision.fixed_runs << " fixed runs ("
+              << (precision.budgeted_runs > 0
+                      ? static_cast<double>(precision.fixed_runs) /
+                            static_cast<double>(precision.budgeted_runs)
+                      : 0.0)
+              << "x fewer) at half-width target "
+              << precision.target_p_halfwidth << "\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -23,6 +23,7 @@ void ExperimentSpec::validate() const {
   if (!model::is_known_environment(environment))
     throw std::invalid_argument("ExperimentSpec: unknown environment \"" +
                                 environment + "\"");
+  budget.validate();
   if (schemes.empty())
     throw std::invalid_argument("ExperimentSpec: no schemes");
   for (const auto& row : rows) {
@@ -87,6 +88,7 @@ std::vector<sim::CellJob> experiment_jobs(
     for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
       sim::MonteCarloConfig cell_config = config;
       cell_config.seed = cell_seed(config.seed, r, s);
+      if (spec.budget.enabled()) cell_config.budget = spec.budget;
       jobs.push_back(
           {setup,
            policy::make_policy_factory(spec.schemes[s], spec.util_level),

@@ -42,6 +42,11 @@ struct ExperimentSpec {
   /// model/fault_env.hpp); the default "poisson" reproduces the paper
   /// bit-for-bit.
   std::string environment = "poisson";
+  /// Per-experiment precision budget; when enabled it overrides the
+  /// sweep config's budget for every cell of this spec (sequential
+  /// stopping instead of the config's fixed run count — see
+  /// sim::RunBudget).  Disabled by default.
+  sim::RunBudget budget;
   std::vector<std::string> schemes;  ///< policy names (see policy/factory.hpp)
   std::vector<ExperimentRow> rows;
 

@@ -27,6 +27,13 @@ void write_cell_fields(JsonWriter& json, const std::string& scheme,
   json.kv("high_speed_cycles", stats.high_speed_cycles.mean());
   json.kv("aborted_runs", stats.aborted_runs);
   json.kv("validation_failures", stats.validation_failures);
+  // v4: how many runs the cell actually executed (== trials; explicit
+  // so budgeted reports read naturally) and the achieved precisions
+  // the stop rule evaluates.  Null (NaN) e_rel_halfwidth means fewer
+  // than two successful runs — reported, never silently wrong.
+  json.kv("runs_executed", stats.completion.trials());
+  json.kv("p_halfwidth", stats.completion.wilson_halfwidth());
+  json.kv("e_rel_halfwidth", stats.energy_success.rel_ci95_halfwidth());
   if (!metrics.empty()) {
     json.key("metrics");
     json.begin_object();
@@ -67,13 +74,24 @@ void write_environment(JsonWriter& json, const std::string& name) {
   json.end_object();
 }
 
+/// A RunBudget, all four knobs expanded (zeros mean "unset", matching
+/// the in-memory defaults).
+void write_budget(JsonWriter& json, const sim::RunBudget& budget) {
+  json.begin_object();
+  json.kv("target_p_halfwidth", budget.target_p_halfwidth);
+  json.kv("target_e_rel_halfwidth", budget.target_e_rel_halfwidth);
+  json.kv("min_runs", budget.min_runs);
+  json.kv("max_runs", budget.max_runs);
+  json.end_object();
+}
+
 }  // namespace
 
 void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options) {
   JsonWriter json(os);
   json.begin_object();
-  json.kv("schema", std::string("adacheck-sweep-v3"));
+  json.kv("schema", std::string("adacheck-sweep-v4"));
 
   // Only result-affecting parameters here — thread count is an
   // execution detail and lives in "perf", keeping the no-perf document
@@ -83,6 +101,10 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
   json.kv("runs", sweep.config.runs);
   json.kv("seed", static_cast<std::uint64_t>(sweep.config.seed));
   json.kv("validate", sweep.config.validate);
+  if (sweep.config.budget.enabled()) {
+    json.key("budget");
+    write_budget(json, sweep.config.budget);
+  }
   if (sweep.config.metrics && !sweep.config.metrics->empty()) {
     json.key("metrics");
     json.begin_array();
@@ -124,6 +146,28 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
               observer_ratio >= PerfBaseline::kMinObserverRatio);
       json.end_object();
     }
+    if (options.precision != nullptr) {
+      const PrecisionBench& bench = *options.precision;
+      json.key("time_to_target_precision");
+      json.begin_object();
+      json.kv("target_p_halfwidth", bench.target_p_halfwidth);
+      json.kv("fixed_runs", bench.fixed_runs);
+      json.kv("fixed_wall_seconds", bench.fixed_wall_seconds);
+      json.kv("fixed_p_halfwidth", bench.fixed_p_halfwidth);
+      json.kv("budgeted_runs", bench.budgeted_runs);
+      json.kv("budgeted_wall_seconds", bench.budgeted_wall_seconds);
+      json.kv("budgeted_p_halfwidth", bench.budgeted_p_halfwidth);
+      json.kv("runs_ratio",
+              bench.budgeted_runs > 0
+                  ? static_cast<double>(bench.fixed_runs) /
+                        static_cast<double>(bench.budgeted_runs)
+                  : 0.0);
+      json.kv("wall_ratio",
+              bench.budgeted_wall_seconds > 0.0
+                  ? bench.fixed_wall_seconds / bench.budgeted_wall_seconds
+                  : 0.0);
+      json.end_object();
+    }
     json.end_object();
   }
 
@@ -136,6 +180,10 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
     json.kv("title", spec.title);
     json.key("environment");
     write_environment(json, spec.environment);
+    if (spec.budget.enabled()) {
+      json.key("budget");
+      write_budget(json, spec.budget);
+    }
     json.key("schemes");
     json.begin_array();
     for (const auto& scheme : spec.schemes) json.value(scheme);

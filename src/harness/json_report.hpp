@@ -33,6 +33,20 @@ struct PerfBaseline {
   double observer_runs_per_second = 0.0;  ///< this run, no-op observer
 };
 
+/// Fixed-count vs budgeted comparison at matched precision, written
+/// into the perf section as "time_to_target_precision" (bench_sweep
+/// fills this; see README "Bench guard").  Tracks the sequential-
+/// stopping speedup in the CI perf trajectory instead of claiming it.
+struct PrecisionBench {
+  double target_p_halfwidth = 0.0;  ///< precision both sides must reach
+  long long fixed_runs = 0;         ///< the fixed cell's run count
+  double fixed_wall_seconds = 0.0;
+  double fixed_p_halfwidth = 0.0;   ///< achieved by the fixed cell
+  long long budgeted_runs = 0;      ///< where the budgeted cell stopped
+  double budgeted_wall_seconds = 0.0;
+  double budgeted_p_halfwidth = 0.0;
+};
+
 struct JsonReportOptions {
   /// Emit the "perf" section (wall-clock, runs/s).  Disable to get a
   /// byte-stable document for determinism comparisons.
@@ -40,12 +54,16 @@ struct JsonReportOptions {
   /// When set (and include_perf), perf gains an "observer_overhead"
   /// advisory object.  Not owned; must outlive the write call.
   const PerfBaseline* baseline = nullptr;
+  /// When set (and include_perf), perf gains a
+  /// "time_to_target_precision" object.  Not owned; must outlive the
+  /// write call.
+  const PrecisionBench* precision = nullptr;
 };
 
-/// Writes the sweep as JSON (schema "adacheck-sweep-v3": v2 plus a
-/// per-cell "metrics" object of recorder values and a "metrics" name
-/// list in config, both present only when the sweep ran extra metric
-/// recorders).
+/// Writes the sweep as JSON (schema "adacheck-sweep-v4": v3 plus
+/// per-cell "runs_executed" / "p_halfwidth" / "e_rel_halfwidth"
+/// fields and optional "budget" objects in config and per experiment
+/// when a run budget was enabled; every v3 field is unchanged).
 void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options = {});
 

@@ -43,7 +43,7 @@ void JsonlCellStream::on_cell_done(std::size_t cell,
     JsonWriter json(line, JsonStyle::kCompact);
     const SweepCellRef& ref = refs_[cell];
     json.begin_object();
-    json.kv("schema", std::string("adacheck-cell-v1"));
+    json.kv("schema", std::string("adacheck-cell-v2"));
     json.kv("cell", cell);
     json.kv("experiment", ref.experiment_id);
     json.kv("row", ref.row);

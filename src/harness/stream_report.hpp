@@ -2,15 +2,18 @@
 // line, both implemented as sim::ISweepObserver so they plug straight
 // into run_sweep / run_cells_ex.
 //
-// JSONL stream ("adacheck-cell-v1"): one compact JSON object per
+// JSONL stream ("adacheck-cell-v2"): one compact JSON object per
 // completed cell, one per line, written in flat cell-index order (the
 // sweep_cell_refs order: spec-major, row-major, scheme inner).  Cells
 // complete out of order under parallel execution, so the stream
 // buffers finished lines until their predecessors are written — the
 // emitted bytes are therefore identical for every thread count, just
-// like the main report's cell section.  Each line carries the cell's
-// coordinates (experiment id, utilization, lambda, scheme), every v3
-// cell field, and the extra recorder metrics when present.
+// like the main report's cell section — budgeted sweeps included,
+// since a budgeted cell's stopping chunk is thread-count independent.
+// Each line carries the cell's coordinates (experiment id,
+// utilization, lambda, scheme), every sweep-v4 cell field
+// (runs_executed and the achieved half-widths included), and the
+// extra recorder metrics when present.
 #pragma once
 
 #include <cstddef>

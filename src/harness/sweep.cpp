@@ -40,8 +40,13 @@ SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
   result.perf.wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();
   result.perf.cells = jobs.size();
-  result.perf.total_runs =
-      static_cast<long long>(jobs.size()) * config.runs;
+  // Count the runs actually aggregated: for budgeted cells that is
+  // where each one stopped, for fixed cells exactly cells x runs.
+  result.perf.total_runs = 0;
+  for (const auto& cell : cell_results) {
+    result.perf.total_runs +=
+        static_cast<long long>(cell.stats.completion.trials());
+  }
   result.perf.runs_per_second =
       result.perf.wall_seconds > 0.0
           ? static_cast<double>(result.perf.total_runs) /

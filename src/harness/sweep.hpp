@@ -23,7 +23,10 @@ namespace adacheck::harness {
 /// Wall-clock and throughput metrics for one sweep execution.
 struct SweepPerf {
   double wall_seconds = 0.0;
-  long long total_runs = 0;      ///< simulated runs across all cells
+  /// Runs aggregated across all cells — cells x runs for fixed-count
+  /// sweeps, the sum of per-cell stopping points for budgeted ones
+  /// (wave overshoot past a stopping chunk is excluded).
+  long long total_runs = 0;
   double runs_per_second = 0.0;  ///< total_runs / wall_seconds
   int threads = 0;               ///< parallelism cap actually applied
   std::size_t cells = 0;         ///< (row, scheme) cells executed

@@ -68,6 +68,7 @@ sim::MonteCarloConfig monte_carlo_config(const ScenarioSpec& scenario) {
   config.seed = scenario.config.seed;
   config.validate = scenario.config.validate;
   config.threads = scenario.config.threads;
+  config.budget = scenario.budget;
   if (!scenario.metrics.empty()) {
     config.metrics = sim::make_metric_suite(scenario.metrics);
   }

@@ -17,7 +17,8 @@ std::vector<harness::ExperimentSpec> bind_experiments(
     const ScenarioSpec& spec);
 
 /// The sim::MonteCarloConfig encoded by the scenario's config block,
-/// including the metric suite built from the "metrics" array.
+/// including the metric suite built from the "metrics" array and the
+/// run budget from the "budget" object (disabled when absent).
 sim::MonteCarloConfig monte_carlo_config(const ScenarioSpec& spec);
 
 /// bind_experiments + harness::run_sweep under the scenario's config.

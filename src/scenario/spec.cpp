@@ -150,6 +150,42 @@ ScenarioConfig parse_config(const Value& v, const std::string& path) {
   return config;
 }
 
+sim::RunBudget parse_budget(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path, {"target_p_halfwidth", "target_e_rel_halfwidth",
+                       "min_runs", "max_runs"});
+  sim::RunBudget budget;
+  if (const Value* target = v.find("target_p_halfwidth")) {
+    budget.target_p_halfwidth =
+        positive_number(*target, member_path(path, "target_p_halfwidth"));
+  }
+  if (const Value* target = v.find("target_e_rel_halfwidth")) {
+    budget.target_e_rel_halfwidth = positive_number(
+        *target, member_path(path, "target_e_rel_halfwidth"));
+  }
+  const auto parse_cap = [&](const char* key) {
+    const Value* cap = v.find(key);
+    if (cap == nullptr) return 0;
+    const std::string cap_path = member_path(path, key);
+    const auto value = as_int(*cap, cap_path);
+    if (value < 1) fail(cap_path, "must be >= 1");
+    if (value > 1'000'000'000) fail(cap_path, "must be <= 1e9");
+    return static_cast<int>(value);
+  };
+  budget.min_runs = parse_cap("min_runs");
+  budget.max_runs = parse_cap("max_runs");
+  if (!budget.enabled()) {
+    fail(path, "set at least one of \"target_p_halfwidth\" or "
+               "\"target_e_rel_halfwidth\" (a budget without a target "
+               "never stops early)");
+  }
+  if (budget.min_runs > 0 && budget.max_runs > 0 &&
+      budget.min_runs > budget.max_runs) {
+    fail(member_path(path, "min_runs"), "must be <= max_runs");
+  }
+  return budget;
+}
+
 model::CheckpointCosts parse_costs(const Value& v, const std::string& path) {
   require_object(v, path);
   check_keys(v, path, {"store", "compare", "rollback"});
@@ -413,8 +449,8 @@ ScenarioSpec parse_scenario(const util::json::Value& root) {
   const std::string top;  // the document root has no path prefix
   require_object(root, top);
   check_keys(root, top,
-             {"schema", "name", "title", "config", "output", "metrics",
-              "experiments"});
+             {"schema", "name", "title", "config", "budget", "output",
+              "metrics", "experiments"});
 
   const std::string& schema = as_string(require(root, top, "schema"), "schema");
   if (schema != "adacheck-scenario-v1") {
@@ -429,6 +465,9 @@ ScenarioSpec parse_scenario(const util::json::Value& root) {
       root.find("title") ? as_string(*root.find("title"), "title") : spec.name;
   if (const Value* config = root.find("config")) {
     spec.config = parse_config(*config, "config");
+  }
+  if (const Value* budget = root.find("budget")) {
+    spec.budget = parse_budget(*budget, "budget");
   }
   if (const Value* output = root.find("output")) {
     parse_output(*output, "output", spec);

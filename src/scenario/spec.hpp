@@ -16,6 +16,10 @@
 //     "title": "...",                        // optional, defaults to name
 //     "config": {"runs": 10000, "seed": 1592614637,
 //                "validate": false, "threads": 0},      // all optional
+//     "budget": {"target_p_halfwidth": 0.01,  // optional sequential
+//                "target_e_rel_halfwidth": 0.02,  // stopping; at least
+//                "min_runs": 256,                 // one target required
+//                "max_runs": 100000},
 //     "output": "table1_sweep.json",         // optional report path, or
 //     "output": {"report": "table1_sweep.json",
 //                "jsonl": "table1_cells.jsonl"},  // + JSONL cell stream
@@ -54,6 +58,7 @@
 #include <vector>
 
 #include "model/checkpoint.hpp"
+#include "sim/metrics.hpp"
 #include "util/json.hpp"
 
 namespace adacheck::scenario {
@@ -114,6 +119,9 @@ struct ScenarioSpec {
   std::string name;
   std::string title;  ///< defaults to name
   ScenarioConfig config;
+  /// Precision-targeted sequential stopping (the "budget" object);
+  /// disabled — fixed config.runs per cell — when absent.
+  sim::RunBudget budget;
   /// Default report path for `adacheck run`.  In the document "output"
   /// is either that string directly or an object
   /// {"report": PATH, "jsonl": PATH} — the object form also names the

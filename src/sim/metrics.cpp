@@ -1,6 +1,7 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -17,6 +18,54 @@ void CellStats::merge(const CellStats& other) noexcept {
   high_speed_cycles.merge(other.high_speed_cycles);
   aborted_runs += other.aborted_runs;
   validation_failures += other.validation_failures;
+}
+
+void RunBudget::validate() const {
+  const auto bad_target = [](double t) {
+    return !std::isfinite(t) || t < 0.0;
+  };
+  if (bad_target(target_p_halfwidth) || bad_target(target_e_rel_halfwidth)) {
+    throw std::invalid_argument(
+        "RunBudget: targets must be finite and >= 0 (0 = unset)");
+  }
+  if (min_runs < 0 || max_runs < 0) {
+    throw std::invalid_argument(
+        "RunBudget: min_runs/max_runs must be >= 0 (0 = unset)");
+  }
+  if (min_runs > 0 && max_runs > 0 && min_runs > max_runs) {
+    throw std::invalid_argument("RunBudget: min_runs must be <= max_runs");
+  }
+  if (!enabled() && (min_runs > 0 || max_runs > 0)) {
+    throw std::invalid_argument(
+        "RunBudget: min_runs/max_runs need a precision target "
+        "(set target_p_halfwidth or target_e_rel_halfwidth)");
+  }
+}
+
+PrecisionRecorder::PrecisionRecorder(const RunBudget& budget, int fixed_runs)
+    : budget_(budget),
+      min_(static_cast<std::size_t>(budget.resolved_min(fixed_runs))),
+      max_(static_cast<std::size_t>(budget.resolved_max(fixed_runs))) {}
+
+void PrecisionRecorder::absorb(const CellStats& chunk) {
+  completion_.merge(chunk.completion);
+  energy_.merge(chunk.energy_success);
+}
+
+bool PrecisionRecorder::targets_met() const noexcept {
+  if (budget_.target_p_halfwidth > 0.0 &&
+      !(p_halfwidth() <= budget_.target_p_halfwidth)) {
+    return false;
+  }
+  if (budget_.target_e_rel_halfwidth > 0.0 &&
+      !(e_rel_halfwidth() <= budget_.target_e_rel_halfwidth)) {
+    return false;
+  }
+  return true;
+}
+
+bool PrecisionRecorder::should_stop() const noexcept {
+  return runs() >= min_ && (targets_met() || runs() >= max_);
 }
 
 const double* MetricValues::find(std::string_view recorder,

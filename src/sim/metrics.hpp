@@ -29,9 +29,54 @@
 
 namespace adacheck::sim {
 
-/// Aggregated cell statistics — the paper's two numbers plus the
-/// extended accumulators.  Kept as a plain struct (every layer reads
-/// its fields); CellStatsRecorder below is the code that fills it.
+/// Fixed chunk grain for Monte-Carlo aggregation: partial merges (and
+/// the budget evaluator's stopping boundaries) happen per chunk in
+/// index order, so any change here changes rounding (not correctness).
+/// 256 runs keeps >= 39 chunks for the paper's 10,000-run cells —
+/// enough parallelism without drowning the queue.
+inline constexpr int kRunChunk = 256;
+
+/// Precision targets for sequential stopping.  When enabled() (any
+/// target set), a cell runs in deterministic seed-indexed waves of
+/// kRunChunk-run chunks until every set target is met at a chunk
+/// boundary, instead of a fixed MonteCarloConfig::runs count.  The
+/// stop rule depends only on the completed-chunk prefix in index
+/// order — never on thread scheduling — so budgeted results are
+/// bit-identical across thread counts.
+struct RunBudget {
+  /// Stop once the Wilson 95% half-width of P is at or below this
+  /// (equivalently of P(miss): the interval is swap-symmetric).
+  /// 0 = no probability target.
+  double target_p_halfwidth = 0.0;
+  /// Stop once E[energy | success]'s 95% CI half-width divided by the
+  /// mean is at or below this.  0 = no energy target.
+  double target_e_rel_halfwidth = 0.0;
+  /// Never stop before this many runs; 0 = one chunk (kRunChunk).
+  int min_runs = 0;
+  /// Hard cap; 0 = the config's fixed `runs` count.
+  int max_runs = 0;
+
+  /// A budget participates in scheduling only when a target is set.
+  bool enabled() const noexcept {
+    return target_p_halfwidth > 0.0 || target_e_rel_halfwidth > 0.0;
+  }
+  /// The hard cap this budget resolves to for a cell whose fixed count
+  /// is `fixed_runs`.
+  int resolved_max(int fixed_runs) const noexcept {
+    return max_runs > 0 ? max_runs : fixed_runs;
+  }
+  /// The floor, clamped to the cap so min/max never cross at runtime.
+  int resolved_min(int fixed_runs) const noexcept {
+    const int floor = min_runs > 0 ? min_runs : kRunChunk;
+    const int cap = resolved_max(fixed_runs);
+    return floor < cap ? floor : cap;
+  }
+  /// Throws std::invalid_argument on non-finite or negative targets,
+  /// negative caps, min_runs > max_runs (both set), or caps set
+  /// without any target (a cap-only budget silently degenerating to
+  /// the fixed path would hide a config mistake).
+  void validate() const;
+};
 struct CellStats {
   util::BinomialStats completion;        ///< P
   util::RunningStats energy_success;     ///< E (paper's definition)
@@ -49,6 +94,53 @@ struct CellStats {
   double energy() const noexcept { return energy_success.mean(); }
 
   void merge(const CellStats& other) noexcept;
+};
+
+/// Streaming budget evaluator: absorbs completed chunks' CellStats in
+/// index order (Welford/Chan merges for energy, exact counter merges
+/// for completion) and answers the stop question at each chunk
+/// boundary.  Lives beside the recorders because the run loop feeds it
+/// the same per-chunk partials it merges into the cell result — the
+/// decision stream and the reported statistics can never diverge.
+class PrecisionRecorder {
+ public:
+  /// An inert recorder (should_stop() always true).  Exists so
+  /// containers can be default-constructed.
+  PrecisionRecorder() = default;
+  /// Evaluator for one cell; `fixed_runs` is the cell's
+  /// MonteCarloConfig::runs, used to resolve the budget's caps.
+  PrecisionRecorder(const RunBudget& budget, int fixed_runs);
+
+  /// Folds one completed chunk's statistics in; chunks must arrive in
+  /// run-index order (same contract as MetricSet::merge).
+  void absorb(const CellStats& chunk);
+
+  /// Runs absorbed so far.
+  std::size_t runs() const noexcept { return completion_.trials(); }
+  /// True once every set target is met.  NaN half-widths (no trials,
+  /// or fewer than two successful runs for the energy target) never
+  /// satisfy a target.
+  bool targets_met() const noexcept;
+  /// The stop rule: at or past the floor AND (targets met OR at the
+  /// cap).
+  bool should_stop() const noexcept;
+
+  /// Achieved Wilson 95% half-width on P; NaN before any runs.
+  double p_halfwidth() const noexcept {
+    return completion_.wilson_halfwidth();
+  }
+  /// Achieved relative 95% half-width on E[energy | success]; NaN
+  /// until two successful runs exist.
+  double e_rel_halfwidth() const noexcept {
+    return energy_.rel_ci95_halfwidth();
+  }
+
+ private:
+  RunBudget budget_;
+  std::size_t min_ = 0;
+  std::size_t max_ = 0;
+  util::BinomialStats completion_;
+  util::RunningStats energy_;
 };
 
 /// One simulated run as seen by recorders: the engine's RunResult plus

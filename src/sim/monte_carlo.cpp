@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <climits>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -14,17 +15,28 @@ namespace adacheck::sim {
 
 namespace {
 
-/// Fixed chunk grain: partial merges happen per chunk in index order,
-/// so any change here changes rounding (not correctness).  256 runs
-/// keeps >= 39 chunks for the paper's 10,000-run cells — enough
-/// parallelism without drowning the queue.
-constexpr int kRunChunk = 256;
-
 /// One contiguous slice of one job's run indices.
 struct Chunk {
   std::size_t job = 0;
   int begin = 0;
   int end = 0;
+};
+
+/// Per-job scheduling state.  Unbudgeted jobs place all their chunks
+/// in round 0 and never revisit them; budgeted jobs grow in doubling
+/// waves, absorbing each wave's chunks in index order at the round
+/// boundary until the stop rule fires.  Everything here is a pure
+/// function of the job's config — never of thread scheduling — which
+/// is what makes budget outcomes bit-identical across thread counts.
+struct JobPlan {
+  bool budgeted = false;
+  bool done = false;
+  int max = 0;                         ///< resolved run cap (budgeted)
+  int scheduled = 0;                   ///< runs scheduled so far
+  std::size_t absorbed = 0;            ///< chunks folded into `prefix`
+  std::vector<std::size_t> chunk_ids;  ///< into the chunk queue, in order
+  MetricSet prefix;                    ///< merged completed-chunk prefix
+  PrecisionRecorder precision;
 };
 
 MetricSet run_chunk(const SimSetup& setup, const PolicyFactory& factory,
@@ -54,6 +66,7 @@ void validate_job(const CellJob& job) {
   if (job.config.runs <= 0) {
     throw std::invalid_argument("MonteCarloConfig: runs must be > 0");
   }
+  job.config.budget.validate();
   if (!job.factory) {
     throw std::invalid_argument("run_cell: null policy factory");
   }
@@ -64,18 +77,19 @@ void validate_job(const CellJob& job) {
 /// the null path never allocates or touches any of it.
 struct SweepTracker {
   explicit SweepTracker(const std::vector<CellJob>& jobs,
-                        const std::vector<std::size_t>& first_chunk,
-                        std::size_t chunk_count) {
+                        const std::vector<JobPlan>& plans) {
     remaining.reserve(jobs.size());
     started.reserve(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      const std::size_t next =
-          j + 1 < jobs.size() ? first_chunk[j + 1] : chunk_count;
-      remaining.push_back(
-          std::make_unique<std::atomic<int>>(static_cast<int>(next -
-                                                              first_chunk[j])));
+      // Budgeted cells complete at round boundaries, not when a worker
+      // finishes their last chunk; the sentinel keeps the worker-side
+      // decrement from ever reaching zero for them.
+      const int chunks_left =
+          plans[j].budgeted ? INT_MAX
+                            : static_cast<int>(plans[j].chunk_ids.size());
+      remaining.push_back(std::make_unique<std::atomic<int>>(chunks_left));
       started.push_back(std::make_unique<std::atomic<bool>>(false));
-      progress.runs_total += jobs[j].config.runs;
+      progress.runs_total += plans[j].scheduled;
     }
     progress.cells_total = jobs.size();
   }
@@ -88,6 +102,14 @@ struct SweepTracker {
   SweepProgress progress;  ///< counters mutated under callback_mu
 };
 
+/// Aligns a run count up to the chunk grain, capped at `max`.  Wide
+/// arithmetic so the doubling schedule cannot overflow near INT_MAX.
+int align_runs(long long runs, int max) {
+  const long long aligned =
+      (runs + kRunChunk - 1) / kRunChunk * kRunChunk;
+  return static_cast<int>(std::min<long long>(aligned, max));
+}
+
 }  // namespace
 
 std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
@@ -95,13 +117,34 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
   for (const auto& job : jobs) validate_job(job);
 
   std::vector<Chunk> chunks;
-  std::vector<std::size_t> first_chunk;  // per job, into `chunks`
-  first_chunk.reserve(jobs.size());
+  std::vector<JobPlan> plans(jobs.size());
+
+  // Appends job `j`'s chunks covering run indices [plan.scheduled,
+  // end) to the queue.  Chunk boundaries are always kRunChunk-aligned
+  // (the cap is the only place a short chunk can appear), so a given
+  // run index lands in the same chunk no matter how many waves it
+  // took to get there.
+  const auto schedule_runs = [&](std::size_t j, int end) {
+    for (int b = plans[j].scheduled; b < end; b += kRunChunk) {
+      plans[j].chunk_ids.push_back(chunks.size());
+      chunks.push_back({j, b, std::min(end, b + kRunChunk)});
+    }
+    plans[j].scheduled = end;
+  };
+
+  // Round 0: every chunk of every unbudgeted job (job-major,
+  // contiguous — the exact pre-budget queue layout) plus the first
+  // wave of each budgeted job.
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    first_chunk.push_back(chunks.size());
-    for (int begin = 0; begin < jobs[j].config.runs; begin += kRunChunk) {
-      chunks.push_back(
-          {j, begin, std::min(jobs[j].config.runs, begin + kRunChunk)});
+    const auto& config = jobs[j].config;
+    if (config.budget.enabled()) {
+      plans[j].budgeted = true;
+      plans[j].max = config.budget.resolved_max(config.runs);
+      plans[j].precision = PrecisionRecorder(config.budget, config.runs);
+      schedule_runs(j, align_runs(config.budget.resolved_min(config.runs),
+                                  plans[j].max));
+    } else {
+      schedule_runs(j, config.runs);
     }
   }
 
@@ -113,7 +156,7 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
 
   std::unique_ptr<SweepTracker> tracker;
   if (options.observer != nullptr) {
-    tracker = std::make_unique<SweepTracker>(jobs, first_chunk, chunks.size());
+    tracker = std::make_unique<SweepTracker>(jobs, plans);
   }
 
   // Any chunk body that throws flips `abort` so peers drain the rest
@@ -123,14 +166,14 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
   std::atomic<bool> abort{false};
   std::atomic<bool> skipped{false};
 
-  // Merges one completed cell's partials (all written, ordered by the
-  // remaining-counter's acq_rel decrement) and reports it.
+  // Merges one completed unbudgeted cell's partials (all written,
+  // ordered by the remaining-counter's acq_rel decrement) and reports
+  // it.
   const auto complete_cell = [&](std::size_t job) {
-    const std::size_t next =
-        job + 1 < jobs.size() ? first_chunk[job + 1] : chunks.size();
-    MetricSet merged = std::move(partials[first_chunk[job]]);
-    for (std::size_t c = first_chunk[job] + 1; c < next; ++c) {
-      merged.merge(partials[c]);
+    const auto& ids = plans[job].chunk_ids;
+    MetricSet merged = std::move(partials[ids.front()]);
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      merged.merge(partials[ids[i]]);
     }
     results[job] = {merged.cell_stats(), merged.values()};
     std::lock_guard<std::mutex> lock(tracker->callback_mu);
@@ -178,31 +221,85 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
     }
   };
 
+  // The round loop: execute the scheduled chunk range, then advance
+  // every live budgeted job — absorb its newly completed chunks in
+  // index order, evaluating the stop rule at each chunk boundary, and
+  // either finalize the cell or schedule the next doubling wave.
+  // Rounds end at barriers, so the stop decision only ever sees fully
+  // completed prefixes; which worker ran which chunk is invisible.
+  std::size_t round_begin = 0;
   int applied = 1;
-  if (options.threads == 1) {
-    // Fully serial in the calling thread — never touches (or even
-    // constructs) the shared pool.
-    process(0, static_cast<int>(chunks.size()));
-  } else {
-    applied = util::parallel_for(util::ThreadPool::shared(), 0,
-                                 static_cast<int>(chunks.size()),
-                                 /*grain=*/1, process, options.threads);
-  }
-  if (options.threads_used != nullptr) {
-    *options.threads_used = std::max(applied, 1);
-  }
+  while (round_begin < chunks.size()) {
+    const std::size_t round_end = chunks.size();
+    if (options.threads == 1) {
+      // Fully serial in the calling thread — never touches (or even
+      // constructs) the shared pool.
+      process(static_cast<int>(round_begin), static_cast<int>(round_end));
+    } else {
+      applied = std::max(
+          applied, util::parallel_for(util::ThreadPool::shared(),
+                                      static_cast<int>(round_begin),
+                                      static_cast<int>(round_end),
+                                      /*grain=*/1, process, options.threads));
+    }
+    if (options.threads_used != nullptr) {
+      *options.threads_used = std::max(applied, 1);
+    }
+    if (skipped.load(std::memory_order_relaxed)) throw SweepCancelled();
 
-  if (skipped.load(std::memory_order_relaxed)) throw SweepCancelled();
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      auto& plan = plans[j];
+      if (!plan.budgeted || plan.done) continue;
+      while (plan.absorbed < plan.chunk_ids.size()) {
+        const std::size_t id = plan.chunk_ids[plan.absorbed];
+        plan.precision.absorb(partials[id].cell_stats());
+        if (plan.absorbed == 0) {
+          plan.prefix = std::move(partials[id]);
+        } else {
+          plan.prefix.merge(partials[id]);
+        }
+        ++plan.absorbed;
+        if (plan.precision.should_stop()) {
+          // Later chunks of this wave (already executed) are discarded
+          // unabsorbed: the result is the stopping prefix, which is
+          // the same prefix at any thread count.
+          plan.done = true;
+          break;
+        }
+      }
+      if (plan.done) {
+        results[j] = {plan.prefix.cell_stats(), plan.prefix.values()};
+        if (tracker) {
+          std::lock_guard<std::mutex> lock(tracker->callback_mu);
+          options.observer->on_cell_done(j, results[j]);
+          ++tracker->progress.cells_done;
+          options.observer->on_progress(tracker->progress);
+        }
+      } else {
+        // Not stopped with the cap unreached: double the schedule.
+        const int begin = plan.scheduled;
+        schedule_runs(j, align_runs(2LL * plan.scheduled, plan.max));
+        partials.resize(chunks.size());
+        if (tracker) {
+          std::lock_guard<std::mutex> lock(tracker->callback_mu);
+          tracker->progress.runs_total += plan.scheduled - begin;
+        }
+      }
+    }
+    round_begin = round_end;
+  }
 
   if (!tracker) {
-    // Null / cancel-only path: one pass of in-order merges at the end,
-    // exactly the pre-observer implementation.
+    // Null / cancel-only path for unbudgeted cells: one pass of
+    // in-order merges at the end, exactly the pre-observer
+    // implementation.  (Budgeted cells were finalized by the round
+    // loop either way.)
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      const std::size_t next =
-          j + 1 < jobs.size() ? first_chunk[j + 1] : chunks.size();
-      MetricSet merged = std::move(partials[first_chunk[j]]);
-      for (std::size_t c = first_chunk[j] + 1; c < next; ++c) {
-        merged.merge(partials[c]);
+      if (plans[j].budgeted) continue;
+      const auto& ids = plans[j].chunk_ids;
+      MetricSet merged = std::move(partials[ids.front()]);
+      for (std::size_t i = 1; i < ids.size(); ++i) {
+        merged.merge(partials[ids[i]]);
       }
       results[j] = {merged.cell_stats(), merged.values()};
     }

@@ -1,13 +1,19 @@
 // Monte-Carlo experiment harness.
 //
-// Repeats a scenario `runs` times with independent fault streams and
-// aggregates per-run results through the pluggable metric-recorder
-// pipeline (sim/metrics.hpp): every cell gets a MetricSet — the
-// built-in CellStats recorder plus whatever extra recorders the
-// config's MetricSuite names.  Runs are seeded per-index from the
-// master seed and aggregated in fixed-size chunks merged in index
-// order, so all recorder values are bit-identical regardless of
-// thread count.
+// Repeats a scenario with independent fault streams and aggregates
+// per-run results through the pluggable metric-recorder pipeline
+// (sim/metrics.hpp): every cell gets a MetricSet — the built-in
+// CellStats recorder plus whatever extra recorders the config's
+// MetricSuite names.  By default a cell executes a fixed `runs` count
+// (the paper's "repeated 10,000 times"); with a RunBudget configured
+// it instead runs in doubling waves of kRunChunk-run chunks until the
+// targeted confidence-interval half-widths are achieved or the hard
+// cap is hit.  Either way runs are seeded per-index from the master
+// seed and aggregated in fixed-size chunks merged in index order —
+// and for budgets, the stop rule is evaluated only at chunk
+// boundaries over that same index-ordered prefix — so all recorder
+// values (and the budget's stopping point) are bit-identical
+// regardless of thread count.
 //
 // Execution happens on the shared util::ThreadPool: one cell
 // (`run_cell`) chunks its runs onto the persistent workers, and a
@@ -37,10 +43,18 @@ namespace adacheck::sim {
 using PolicyFactory = std::function<std::unique_ptr<ICheckpointPolicy>()>;
 
 struct MonteCarloConfig {
-  int runs = 10'000;          ///< paper: "repeated 10,000 times"
+  /// Fixed run count when no budget is enabled (the paper's "repeated
+  /// 10,000 times"); with a budget it is only the fallback for caps
+  /// the budget leaves unset (RunBudget::resolved_max).
+  int runs = 10'000;
   std::uint64_t seed = 0x5EED5EED;
   int threads = 0;            ///< 0 = shared pool width; 1 = in-caller
   bool validate = false;      ///< run invariant validators on every run
+  /// Precision-targeted sequential stopping; disabled (fixed `runs`)
+  /// by default.  A budget with min_runs == max_runs == runs executes
+  /// exactly the fixed path's chunks and reproduces its statistics
+  /// bit-for-bit.
+  RunBudget budget;
   /// Extra metric recorders instantiated per cell (see
   /// sim::make_metric_suite); null = the default CellStats only.
   std::shared_ptr<const MetricSuite> metrics;

@@ -39,7 +39,12 @@ struct CellResult {
   MetricValues metrics;
 };
 
-/// Chunk-granular progress of one run_cells execution.
+/// Chunk-granular progress of one run_cells execution.  For budgeted
+/// cells (MonteCarloConfig::budget) runs_total is the runs scheduled
+/// so far and grows as waves are added — it is an estimate that only
+/// settles when every budgeted cell has stopped; runs_done counts
+/// every executed run, including wave overshoot past a cell's
+/// stopping chunk, so runs_done == runs_total on the final call.
 struct SweepProgress {
   std::size_t cells_total = 0;
   std::size_t cells_done = 0;
@@ -55,8 +60,9 @@ class ISweepObserver {
 
   /// The first chunk of cell `cell` is about to execute.
   virtual void on_cell_start(std::size_t cell) { (void)cell; }
-  /// Cell `cell` finished: every chunk executed and merged.  Fires
-  /// exactly once per cell, in completion order (not index order).
+  /// Cell `cell` finished: every chunk executed and merged (for a
+  /// budgeted cell, the stopping prefix was merged).  Fires exactly
+  /// once per cell, in completion order (not index order).
   virtual void on_cell_done(std::size_t cell, const CellResult& result) {
     (void)cell;
     (void)result;

@@ -53,6 +53,15 @@ double RunningStats::sem() const noexcept {
 
 double RunningStats::ci95_halfwidth() const noexcept { return 1.96 * sem(); }
 
+double RunningStats::rel_ci95_halfwidth() const noexcept {
+  if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double m = mean();
+  if (!std::isfinite(m) || m == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return ci95_halfwidth() / std::abs(m);
+}
+
 double RunningStats::min() const noexcept {
   return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
 }
@@ -91,12 +100,35 @@ double wilson_bound(std::size_t successes, std::size_t trials, int sign) {
 }
 }  // namespace
 
+double wilson95_lower(std::size_t successes, std::size_t trials) noexcept {
+  return wilson_bound(successes, trials, -1);
+}
+
+double wilson95_upper(std::size_t successes, std::size_t trials) noexcept {
+  return wilson_bound(successes, trials, +1);
+}
+
+double wilson95_halfwidth(std::size_t successes, std::size_t trials) noexcept {
+  if (trials == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Canonicalize to the smaller tail: the half-width is symmetric
+  // under the success/failure swap, and routing both readings through
+  // identical operands makes that symmetry exact, not just
+  // approximate — P(miss) and P(success) targets stop at the same
+  // chunk.
+  const std::size_t s = std::min(successes, trials - successes);
+  return (wilson_bound(s, trials, +1) - wilson_bound(s, trials, -1)) / 2.0;
+}
+
 double BinomialStats::wilson_lo() const noexcept {
-  return wilson_bound(successes_, trials_, -1);
+  return wilson95_lower(successes_, trials_);
 }
 
 double BinomialStats::wilson_hi() const noexcept {
-  return wilson_bound(successes_, trials_, +1);
+  return wilson95_upper(successes_, trials_);
+}
+
+double BinomialStats::wilson_halfwidth() const noexcept {
+  return wilson95_halfwidth(successes_, trials_);
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

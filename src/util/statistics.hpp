@@ -12,6 +12,17 @@
 
 namespace adacheck::util {
 
+/// Wilson 95% score bounds as free helpers, shared by BinomialStats and
+/// the budget evaluator (sim::PrecisionRecorder) instead of being
+/// re-derived at each call site.  All three return NaN when trials is
+/// zero; bounds are clamped to [0, 1].  The interval is equivariant
+/// under the success/failure swap, so the half-width for P(success)
+/// equals the half-width for P(miss).
+double wilson95_lower(std::size_t successes, std::size_t trials) noexcept;
+double wilson95_upper(std::size_t successes, std::size_t trials) noexcept;
+/// Half the interval width, (upper - lower) / 2.
+double wilson95_halfwidth(std::size_t successes, std::size_t trials) noexcept;
+
 /// Welford single-pass accumulator for mean / variance / extrema.
 /// Mergeable (parallel-friendly) via Chan's algorithm.
 class RunningStats {
@@ -31,6 +42,10 @@ class RunningStats {
   double sem() const noexcept;
   /// Normal-approximation 95% half-width of the mean's CI.
   double ci95_halfwidth() const noexcept;
+  /// ci95_halfwidth() / |mean()| — the relative precision budgeted
+  /// cells target.  NaN when fewer than two samples exist or the mean
+  /// is zero/non-finite (one lucky sample must never satisfy a target).
+  double rel_ci95_halfwidth() const noexcept;
   double min() const noexcept;
   double max() const noexcept;
   double sum() const noexcept { return mean_ * static_cast<double>(n_); }
@@ -56,6 +71,8 @@ class BinomialStats {
   /// Wilson 95% interval bounds — well-behaved near p = 0 and p = 1.
   double wilson_lo() const noexcept;
   double wilson_hi() const noexcept;
+  /// Half the Wilson interval width; NaN when no trials recorded.
+  double wilson_halfwidth() const noexcept;
 
  private:
   std::size_t trials_ = 0;

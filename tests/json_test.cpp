@@ -1,7 +1,7 @@
 // The strict JSON parser (util/json): value-tree construction,
 // line/column error reporting, and the round-trip pin against the
 // harness/json_report writer — parse(sweep_json(...)) must preserve
-// every key and value of the adacheck-sweep-v3 schema.
+// every key and value of the adacheck-sweep-v4 schema.
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>
@@ -163,7 +163,8 @@ void expect_cell_preserved(const Value& cell, const std::string& scheme,
   const char* const keys[] = {
       "scheme", "trials", "successes", "p", "p_lo", "p_hi", "e", "e_ci95",
       "e_all", "finish_time", "faults", "rollbacks", "corrections",
-      "high_speed_cycles", "aborted_runs", "validation_failures"};
+      "high_speed_cycles", "aborted_runs", "validation_failures",
+      "runs_executed", "p_halfwidth", "e_rel_halfwidth"};
   EXPECT_EQ(cell.as_object().size(), std::size(keys));
   for (const char* key : keys) {
     EXPECT_NE(cell.find(key), nullptr) << "missing cell key " << key;
@@ -187,6 +188,19 @@ void expect_cell_preserved(const Value& cell, const std::string& scheme,
   EXPECT_EQ(cell.find("rollbacks")->as_number(), stats.rollbacks.mean());
   EXPECT_EQ(cell.find("aborted_runs")->as_int(),
             static_cast<std::int64_t>(stats.aborted_runs));
+  // v4 additions: runs_executed mirrors trials; the achieved
+  // half-widths match the statistics helpers (null when NaN, e.g. a
+  // cell with fewer than two successful runs).
+  EXPECT_EQ(cell.find("runs_executed")->as_int(),
+            static_cast<std::int64_t>(stats.completion.trials()));
+  EXPECT_EQ(cell.find("p_halfwidth")->as_number(),
+            stats.completion.wilson_halfwidth());
+  const double e_rel = stats.energy_success.rel_ci95_halfwidth();
+  if (std::isfinite(e_rel)) {
+    EXPECT_EQ(cell.find("e_rel_halfwidth")->as_number(), e_rel);
+  } else {
+    EXPECT_TRUE(cell.find("e_rel_halfwidth")->is_null());
+  }
 }
 
 TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
@@ -201,7 +215,7 @@ TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
     const Value doc = parse(text);
 
     EXPECT_EQ(doc.as_object().size(), include_perf ? 4u : 3u);
-    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v3");
+    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v4");
 
     const Value& cfg = *doc.find("config");
     EXPECT_EQ(cfg.as_object().size(), 3u);
@@ -251,8 +265,8 @@ TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
   }
 }
 
-TEST(JsonRoundTrip, MetricsSurviveTheV3Report) {
-  // With a metric suite the v3 report gains config.metrics (the name
+TEST(JsonRoundTrip, MetricsSurviveTheSweepReport) {
+  // With a metric suite the report gains config.metrics (the name
   // list) and a "metrics" object per cell whose values round-trip
   // exactly.
   const auto spec = roundtrip_spec();

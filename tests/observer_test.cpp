@@ -260,7 +260,7 @@ TEST(JsonlStream, ByteIdenticalAcrossThreadCounts) {
   const std::string serial = jsonl_stream(1);
   const std::string parallel = jsonl_stream(4);
   EXPECT_EQ(serial, parallel);
-  EXPECT_NE(serial.find("\"schema\":\"adacheck-cell-v1\""),
+  EXPECT_NE(serial.find("\"schema\":\"adacheck-cell-v2\""),
             std::string::npos);
 }
 
@@ -270,7 +270,7 @@ TEST(JsonlStream, OneOrderedLinePerCell) {
   std::string line;
   std::size_t expected = 0;
   while (std::getline(lines, line)) {
-    EXPECT_EQ(line.find("{\"schema\":\"adacheck-cell-v1\",\"cell\":" +
+    EXPECT_EQ(line.find("{\"schema\":\"adacheck-cell-v2\",\"cell\":" +
                         std::to_string(expected) + ","),
               0u)
         << line;

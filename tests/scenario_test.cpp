@@ -147,6 +147,32 @@ TEST(ScenarioBind, MonteCarloConfigCarriesTheKnobs) {
   EXPECT_EQ(config.threads, 2);
 }
 
+TEST(ScenarioParse, BudgetDisabledByDefault) {
+  const auto scenario = parse_scenario_text(kMinimal);
+  EXPECT_FALSE(scenario.budget.enabled());
+  EXPECT_FALSE(monte_carlo_config(scenario).budget.enabled());
+}
+
+TEST(ScenarioParse, BudgetObjectParsedAndLowered) {
+  const auto scenario = parse_scenario_text(R"json({
+    "schema": "adacheck-scenario-v1", "name": "budgeted",
+    "config": {"runs": 5000},
+    "budget": {"target_p_halfwidth": 0.02, "target_e_rel_halfwidth": 0.05,
+               "min_runs": 256, "max_runs": 2048},
+    "experiments": [{"table": "table1a"}]})json");
+  EXPECT_TRUE(scenario.budget.enabled());
+  EXPECT_DOUBLE_EQ(scenario.budget.target_p_halfwidth, 0.02);
+  EXPECT_DOUBLE_EQ(scenario.budget.target_e_rel_halfwidth, 0.05);
+  EXPECT_EQ(scenario.budget.min_runs, 256);
+  EXPECT_EQ(scenario.budget.max_runs, 2048);
+  // The binder lowers the budget into the Monte-Carlo config, so every
+  // cell of the scenario runs under it.
+  const auto config = monte_carlo_config(scenario);
+  EXPECT_TRUE(config.budget.enabled());
+  EXPECT_DOUBLE_EQ(config.budget.target_p_halfwidth, 0.02);
+  EXPECT_EQ(config.budget.resolved_max(config.runs), 2048);
+}
+
 // --- the acceptance pin --------------------------------------------------
 
 TEST(ScenarioRun, ByteIdenticalToProgrammaticTableSweep) {
@@ -253,6 +279,35 @@ TEST(ScenarioErrors, UnknownSchemeAndTableAndKey) {
     ]})json",
                         "experiments[0]",
                         "unknown key \"scheems\", did you mean \"schemes\"?");
+}
+
+TEST(ScenarioErrors, BudgetViolations) {
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "budget": {"target_p_halfwith": 0.02},
+    "experiments": [{"table": "table1a"}]})json",
+                        "budget",
+                        "did you mean \"target_p_halfwidth\"?");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "budget": {"min_runs": 256},
+    "experiments": [{"table": "table1a"}]})json",
+                        "budget", "set at least one of");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "budget": {"target_p_halfwidth": 0.02, "min_runs": 512, "max_runs": 256},
+    "experiments": [{"table": "table1a"}]})json",
+                        "budget.min_runs", "must be <= max_runs");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "budget": {"target_p_halfwidth": -0.5},
+    "experiments": [{"table": "table1a"}]})json",
+                        "budget.target_p_halfwidth", "must be > 0");
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "budget": {"target_p_halfwidth": 0.02, "max_runs": 0},
+    "experiments": [{"table": "table1a"}]})json",
+                        "budget.max_runs", "must be >= 1");
 }
 
 TEST(ScenarioErrors, TypeAndRangeViolations) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -114,6 +115,76 @@ TEST(BinomialStats, WilsonWellBehavedAtExtremes) {
   EXPECT_EQ(one.wilson_hi(), 1.0);
   EXPECT_LT(one.wilson_lo(), 1.0);
   EXPECT_GT(one.wilson_lo(), 0.88);
+}
+
+TEST(RunningStats, RelativeHalfwidthGuards) {
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.rel_ci95_halfwidth()));  // empty
+  s.add(5.0);
+  // One sample must never satisfy a precision target.
+  EXPECT_TRUE(std::isnan(s.rel_ci95_halfwidth()));
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.rel_ci95_halfwidth(), s.ci95_halfwidth() / 6.0);
+
+  RunningStats zero_mean;
+  zero_mean.add(-1.0);
+  zero_mean.add(1.0);
+  EXPECT_TRUE(std::isnan(zero_mean.rel_ci95_halfwidth()));
+}
+
+TEST(RunningStats, RelativeHalfwidthClosedForm) {
+  // Samples {9, 10, 11}: mean 10, variance 1, sem 1/sqrt(3).
+  RunningStats s;
+  for (double x : {9.0, 10.0, 11.0}) s.add(x);
+  EXPECT_NEAR(s.rel_ci95_halfwidth(), 1.96 / std::sqrt(3.0) / 10.0, 1e-12);
+}
+
+TEST(Wilson95, MatchesClosedForm) {
+  // s = 50, n = 100 with z = 1.96, straight from the score-interval
+  // definition: center = (p + z^2/2n) / (1 + z^2/n),
+  // margin = z * sqrt(p(1-p)/n + z^2/4n^2) / (1 + z^2/n).
+  const double z = 1.96, n = 100.0, p = 0.5;
+  const double denom = 1.0 + z * z / n;
+  const double center = (p + z * z / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / denom;
+  EXPECT_NEAR(wilson95_lower(50, 100), center - margin, 1e-12);
+  EXPECT_NEAR(wilson95_upper(50, 100), center + margin, 1e-12);
+  EXPECT_NEAR(wilson95_halfwidth(50, 100), margin, 1e-12);
+}
+
+TEST(Wilson95, SymmetricUnderSuccessFailureSwap) {
+  // The half-width for P(success) equals the half-width for P(miss),
+  // so one budget target covers both readings of the interval.
+  for (const auto [s, n] : {std::pair<std::size_t, std::size_t>{3, 256},
+                            {200, 256},
+                            {0, 100},
+                            {97, 100}}) {
+    EXPECT_DOUBLE_EQ(wilson95_halfwidth(s, n), wilson95_halfwidth(n - s, n));
+  }
+}
+
+TEST(Wilson95, MembersDelegateToFreeHelpers) {
+  BinomialStats b;
+  for (int i = 0; i < 256; ++i) b.add(i < 255);
+  EXPECT_DOUBLE_EQ(b.wilson_lo(), wilson95_lower(255, 256));
+  EXPECT_DOUBLE_EQ(b.wilson_hi(), wilson95_upper(255, 256));
+  EXPECT_DOUBLE_EQ(b.wilson_halfwidth(), wilson95_halfwidth(255, 256));
+  // The half-width is computed through the canonical (smaller) tail,
+  // so it matches the raw bound spread only up to rounding.
+  EXPECT_NEAR(b.wilson_halfwidth(), (b.wilson_hi() - b.wilson_lo()) / 2.0,
+              1e-12);
+  EXPECT_TRUE(std::isnan(wilson95_halfwidth(0, 0)));
+}
+
+TEST(Wilson95, HalfwidthShrinksWithTrials) {
+  // The budget loop relies on more chunks tightening the interval.
+  double previous = 1.0;
+  for (std::size_t n : {256u, 512u, 1024u, 2048u}) {
+    const double hw = wilson95_halfwidth(n / 2, n);
+    EXPECT_LT(hw, previous);
+    previous = hw;
+  }
 }
 
 TEST(Histogram, RejectsDegenerateConstruction) {

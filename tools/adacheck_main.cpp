@@ -7,7 +7,7 @@
 // a file under scenarios/ instead of a hand-compiled binary.
 //
 // Subcommands:
-//   run       execute a scenario, write the adacheck-sweep-v3 report
+//   run       execute a scenario, write the adacheck-sweep-v4 report
 //   validate  parse + validate scenario files, run nothing
 //   list      show the registries scenarios can reference
 //
@@ -43,20 +43,26 @@ int usage(std::ostream& os, int code) {
         "usage:\n"
         "  adacheck run <scenario.json> [--runs=N] [--seed=S] "
         "[--threads=T]\n"
+        "               [--budget=HW] [--budget-e=HW] [--min-runs=N] "
+        "[--max-runs=N]\n"
         "               [--out=PATH] [--jsonl=PATH] [--progress] "
         "[--quiet]\n"
         "               [--validate] [--no-perf] [--dry-run]\n"
         "  adacheck validate <scenario.json> [more.json ...]\n"
-        "  adacheck list [policies|environments|tables|metrics]\n"
+        "  adacheck list [policies|environments|tables|metrics|budget]\n"
         "\n"
-        "run flags override the scenario's config block; --out=- writes\n"
-        "the report to stdout; --jsonl streams one JSON line per\n"
-        "completed cell (in cell order, byte-identical across thread\n"
-        "counts); --progress keeps a live cells/runs-per-second line on\n"
-        "stderr; --quiet drops the status chatter; --dry-run binds and\n"
-        "prints the plan without simulating.  ADACHECK_THREADS sizes\n"
-        "the worker pool when --threads is not given.  Statistics are\n"
-        "bit-identical across thread counts.\n";
+        "run flags override the scenario's config and budget blocks;\n"
+        "--budget targets a Wilson 95% half-width on P, --budget-e a\n"
+        "relative half-width on E (cells then stop at the first\n"
+        "256-run chunk boundary meeting every target, within\n"
+        "[--min-runs, --max-runs]); --out=- writes the report to\n"
+        "stdout; --jsonl streams one JSON line per completed cell (in\n"
+        "cell order, byte-identical across thread counts); --progress\n"
+        "keeps a live cells/runs-per-second line on stderr; --quiet\n"
+        "drops the status chatter; --dry-run binds and prints the plan\n"
+        "without simulating.  ADACHECK_THREADS sizes the worker pool\n"
+        "when --threads is not given.  Statistics are bit-identical\n"
+        "across thread counts.\n";
   return code;
 }
 
@@ -77,7 +83,8 @@ std::ostream& null_stream() {
 
 int cmd_run(int argc, char** argv) {
   const util::CliArgs args(argc, argv,
-                           {"runs", "seed", "threads", "out", "jsonl",
+                           {"runs", "seed", "threads", "budget", "budget-e",
+                            "min-runs", "max-runs", "out", "jsonl",
                             "progress!", "quiet!", "validate!", "no-perf!",
                             "dry-run!"});
   if (args.positional().size() != 2) {
@@ -111,6 +118,24 @@ int cmd_run(int argc, char** argv) {
   scenario.config.validate =
       args.get_bool("validate", scenario.config.validate);
 
+  // Budget flags layer onto the scenario's "budget" object (or create
+  // one); the combined budget is validated the same way the schema
+  // validates the object.
+  scenario.budget.target_p_halfwidth =
+      args.get_double("budget", scenario.budget.target_p_halfwidth);
+  scenario.budget.target_e_rel_halfwidth =
+      args.get_double("budget-e", scenario.budget.target_e_rel_halfwidth);
+  scenario.budget.min_runs = static_cast<int>(
+      args.get_int("min-runs", scenario.budget.min_runs));
+  scenario.budget.max_runs = static_cast<int>(
+      args.get_int("max-runs", scenario.budget.max_runs));
+  try {
+    scenario.budget.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "budget flags: " << e.what() << "\n";
+    return 2;
+  }
+
   std::string out_path = args.get_string("out", scenario.output);
   if (out_path.empty()) out_path = scenario.name + "_sweep.json";
   const std::string jsonl_path =
@@ -128,8 +153,15 @@ int cmd_run(int argc, char** argv) {
 
   const auto specs = scenario::bind_experiments(scenario);
   status << "scenario \"" << scenario.name << "\": " << specs.size()
-         << " experiments, " << cell_count(specs) << " cells x "
-         << scenario.config.runs << " runs\n";
+         << " experiments, " << cell_count(specs) << " cells x ";
+  if (scenario.budget.enabled()) {
+    const auto& budget = scenario.budget;
+    status << "[" << budget.resolved_min(scenario.config.runs) << ", "
+           << budget.resolved_max(scenario.config.runs)
+           << "] runs (budgeted)\n";
+  } else {
+    status << scenario.config.runs << " runs\n";
+  }
 
   if (args.get_bool("dry-run", false)) {
     for (const auto& spec : specs) {
@@ -141,6 +173,19 @@ int cmd_run(int argc, char** argv) {
       status << "  metrics:";
       for (const auto& name : scenario.metrics) status << " " << name;
       status << "\n";
+    }
+    if (scenario.budget.enabled()) {
+      const auto& budget = scenario.budget;
+      status << "  budget:";
+      if (budget.target_p_halfwidth > 0.0) {
+        status << " target_p_halfwidth=" << budget.target_p_halfwidth;
+      }
+      if (budget.target_e_rel_halfwidth > 0.0) {
+        status << " target_e_rel_halfwidth=" << budget.target_e_rel_halfwidth;
+      }
+      status << " min_runs=" << budget.resolved_min(scenario.config.runs)
+             << " max_runs=" << budget.resolved_max(scenario.config.runs)
+             << "\n";
     }
     if (!jsonl_path.empty()) status << "  jsonl: " << jsonl_path << "\n";
     status << "dry run: scenario validated and bound, nothing executed\n";
@@ -250,10 +295,19 @@ int cmd_list(int argc, char** argv) {
     print_section("metric recorders (scenario \"metrics\" names)",
                   sim::known_metric_recorders());
   }
+  if (what.empty() || what == "budget") {
+    print_section(
+        "budget knobs (scenario \"budget\" object / run flags)",
+        {"target_p_halfwidth (--budget): Wilson 95% half-width on P",
+         "target_e_rel_halfwidth (--budget-e): relative 95% half-width on E",
+         "min_runs (--min-runs): floor; default one chunk (256 runs)",
+         "max_runs (--max-runs): hard cap; default config.runs"});
+  }
   if (!what.empty() && what != "policies" && what != "environments" &&
-      what != "tables" && what != "metrics") {
+      what != "tables" && what != "metrics" && what != "budget") {
     std::cerr << "unknown list \"" << what
-              << "\"; choose policies, environments, tables, or metrics\n";
+              << "\"; choose policies, environments, tables, metrics, or "
+                 "budget\n";
     return 2;
   }
   return 0;

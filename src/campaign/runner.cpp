@@ -1,0 +1,453 @@
+#include "campaign/runner.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "harness/json_writer.hpp"
+#include "scenario/binder.hpp"
+#include "util/version.hpp"
+
+namespace adacheck::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_budget(harness::JsonWriter& json, const sim::RunBudget& budget) {
+  json.begin_object();
+  if (budget.target_p_halfwidth > 0.0) {
+    json.kv("target_p_halfwidth", budget.target_p_halfwidth);
+  }
+  if (budget.target_e_rel_halfwidth > 0.0) {
+    json.kv("target_e_rel_halfwidth", budget.target_e_rel_halfwidth);
+  }
+  if (budget.min_runs > 0) json.kv("min_runs", budget.min_runs);
+  if (budget.max_runs > 0) json.kv("max_runs", budget.max_runs);
+  json.end_object();
+}
+
+fs::path resolve_ref(const CampaignSpec& spec, const std::string& ref) {
+  const fs::path path(ref);
+  if (path.is_absolute() || spec.base_dir.empty()) return path;
+  return fs::path(spec.base_dir) / path;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(path.string() + ": cannot open file");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+fs::path payload_path(const std::string& cache_dir, const std::string& fp) {
+  return fs::path(cache_dir) / (fp + ".jsonl");
+}
+
+fs::path meta_path(const std::string& cache_dir, const std::string& fp) {
+  return fs::path(cache_dir) / (fp + ".meta.json");
+}
+
+/// A committed cache entry: the payload bytes plus meta provenance.
+struct CacheEntry {
+  std::string bytes;
+  long long total_runs = 0;  ///< runs the original execution performed
+};
+
+/// Loads and verifies a cache entry; nullopt on any defect (missing
+/// file, unparsable meta, fingerprint or hash mismatch) — defects are
+/// misses, never errors, so a corrupted cache heals itself.
+std::optional<CacheEntry> cache_load(const std::string& cache_dir,
+                                     const std::string& fingerprint) {
+  const fs::path meta_file = meta_path(cache_dir, fingerprint);
+  const fs::path payload_file = payload_path(cache_dir, fingerprint);
+  std::error_code ec;
+  if (!fs::exists(meta_file, ec) || !fs::exists(payload_file, ec)) {
+    return std::nullopt;
+  }
+  try {
+    const auto meta = util::json::parse(read_file(meta_file));
+    const util::json::Value* hash = meta.find("result_hash");
+    const util::json::Value* fp = meta.find("fingerprint");
+    if (hash == nullptr || !hash->is_string() || fp == nullptr ||
+        !fp->is_string() || fp->as_string() != fingerprint) {
+      return std::nullopt;
+    }
+    CacheEntry entry;
+    entry.bytes = read_file(payload_file);
+    if (util::content_hash128(entry.bytes).hex() != hash->as_string()) {
+      return std::nullopt;
+    }
+    if (const util::json::Value* runs = meta.find("total_runs")) {
+      if (runs->is_number()) entry.total_runs = runs->as_int();
+    }
+    return entry;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Commits an entry: payload first, meta last (the commit marker).
+void cache_store(const std::string& cache_dir, const CampaignCell& cell,
+                 const std::string& bytes, long long total_runs,
+                 const std::string& result_hash) {
+  const fs::path payload_file = payload_path(cache_dir, cell.fingerprint);
+  {
+    std::ofstream out(payload_file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw std::runtime_error(payload_file.string() + ": cannot write");
+    }
+  }
+  std::ofstream out(meta_path(cache_dir, cell.fingerprint),
+                    std::ios::binary | std::ios::trunc);
+  harness::JsonWriter json(out);
+  json.begin_object();
+  json.kv("schema", std::string("adacheck-cache-meta-v1"));
+  json.kv("fingerprint", cell.fingerprint);
+  json.kv("code_version", util::version_string());
+  json.kv("scenario", cell.resolved.name);
+  if (!cell.environment.empty()) json.kv("environment", cell.environment);
+  json.kv("seed", cell.seed);
+  json.kv("sweep_cells", cell.sweep_cells);
+  json.kv("total_runs", total_runs);
+  json.kv("result_hash", result_hash);
+  json.end_object();
+  out << "\n";
+  if (!out) {
+    throw std::runtime_error(
+        meta_path(cache_dir, cell.fingerprint).string() + ": cannot write");
+  }
+}
+
+/// The deterministic adacheck-campaign-cell-v1 header line for a cell.
+std::string header_line(const CampaignCell& cell) {
+  std::ostringstream out;
+  harness::JsonWriter json(out, harness::JsonStyle::kCompact);
+  json.begin_object();
+  json.kv("schema", std::string("adacheck-campaign-cell-v1"));
+  json.kv("cell", cell.index);
+  json.kv("scenario", cell.scenario_ref);
+  json.kv("name", cell.resolved.name);
+  if (!cell.environment.empty()) json.kv("environment", cell.environment);
+  json.kv("seed", cell.seed);
+  json.kv("fingerprint", cell.fingerprint);
+  json.kv("sweep_cells", cell.sweep_cells);
+  json.end_object();
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string cell_fingerprint_document(
+    const scenario::ScenarioSpec& resolved) {
+  // Emission order here is irrelevant by construction: the document is
+  // re-serialized canonically (sorted keys) before hashing.  What
+  // matters is the field set — everything result-affecting, nothing
+  // else (no threads, no titles, no output paths).
+  std::ostringstream out;
+  harness::JsonWriter json(out, harness::JsonStyle::kCompact);
+  json.begin_object();
+  json.kv("code_version", util::version_string());
+  json.key("config");
+  json.begin_object();
+  json.kv("runs", resolved.config.runs);
+  json.kv("seed", resolved.config.seed);
+  json.kv("validate", resolved.config.validate);
+  json.end_object();
+  if (resolved.budget.enabled()) {
+    json.key("budget");
+    write_budget(json, resolved.budget);
+  }
+  if (!resolved.metrics.empty()) {
+    json.key("metrics");
+    json.begin_array();
+    for (const auto& name : resolved.metrics) json.value(name);
+    json.end_array();
+  }
+  json.key("experiments");
+  json.begin_array();
+  for (const auto& spec : scenario::bind_experiments(resolved)) {
+    json.begin_object();
+    json.kv("id", spec.id);
+    json.kv("environment", spec.environment);
+    json.key("costs");
+    json.begin_object();
+    json.kv("store", spec.costs.store);
+    json.kv("compare", spec.costs.compare);
+    json.kv("rollback", spec.costs.rollback);
+    json.end_object();
+    json.kv("deadline", spec.deadline);
+    json.kv("fault_tolerance", spec.fault_tolerance);
+    json.kv("speed_ratio", spec.speed_ratio);
+    json.kv("voltage_kappa", spec.voltage.kappa);
+    json.kv("util_level", spec.util_level);
+    if (spec.budget.enabled()) {
+      json.key("budget");
+      write_budget(json, spec.budget);
+    }
+    json.key("schemes");
+    json.begin_array();
+    for (const auto& scheme : spec.schemes) json.value(scheme);
+    json.end_array();
+    json.key("rows");
+    json.begin_array();
+    for (const auto& row : spec.rows) {
+      json.begin_object();
+      json.kv("utilization", row.utilization);
+      json.kv("lambda", row.lambda);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return util::canonical_json(util::json::parse(out.str()));
+}
+
+std::string cell_fingerprint(const scenario::ScenarioSpec& resolved) {
+  return util::content_hash128(cell_fingerprint_document(resolved)).hex();
+}
+
+CampaignPlan plan_campaign(const CampaignSpec& spec) {
+  CampaignPlan plan;
+  for (std::size_t ei = 0; ei < spec.matrix.size(); ++ei) {
+    const MatrixEntry& entry = spec.matrix[ei];
+    const fs::path path = resolve_ref(spec, entry.scenario);
+    scenario::ScenarioSpec base =
+        scenario::load_scenario_file(path.string());
+    if (entry.runs > 0) base.config.runs = entry.runs;
+    if (entry.budget.enabled()) base.budget = entry.budget;
+
+    const std::vector<std::string> environments =
+        entry.environments.empty() ? std::vector<std::string>{""}
+                                   : entry.environments;
+    const std::vector<std::uint64_t> seeds =
+        entry.seeds.empty() ? std::vector<std::uint64_t>{base.config.seed}
+                            : entry.seeds;
+    for (const auto& environment : environments) {
+      scenario::ScenarioSpec with_env = base;
+      if (!environment.empty()) {
+        for (auto& exp : with_env.experiments) {
+          exp.environment = environment;
+          exp.environments.clear();
+        }
+      }
+      for (const auto seed : seeds) {
+        CampaignCell cell;
+        cell.index = plan.cells.size();
+        cell.entry = ei;
+        cell.scenario_ref = entry.scenario;
+        cell.scenario_path = path.string();
+        cell.environment = environment;
+        cell.seed = seed;
+        cell.resolved = with_env;
+        cell.resolved.config.seed = seed;
+        cell.sweep_cells =
+            harness::sweep_cell_refs(
+                scenario::bind_experiments(cell.resolved))
+                .size();
+        cell.fingerprint = cell_fingerprint(cell.resolved);
+        plan.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return plan;
+}
+
+const char* to_string(CellStatus status) {
+  switch (status) {
+    case CellStatus::kCached: return "cached";
+    case CellStatus::kExecuted: return "executed";
+    case CellStatus::kFailed: return "failed";
+    case CellStatus::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+bool CampaignResult::any_failed() const {
+  for (const auto& outcome : outcomes) {
+    if (outcome.status == CellStatus::kFailed) return true;
+  }
+  return false;
+}
+
+bool cache_probe(const std::string& cache_dir,
+                 const std::string& fingerprint) {
+  return cache_load(cache_dir, fingerprint).has_value();
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  result.plan = plan_campaign(spec);
+  result.outcomes.resize(result.plan.cells.size());
+  result.cache_dir =
+      options.cache_dir.empty() ? spec.cache_dir : options.cache_dir;
+
+  std::error_code ec;
+  fs::create_directories(result.cache_dir, ec);
+  if (ec) {
+    throw std::runtime_error(result.cache_dir +
+                             ": cannot create cache directory (" +
+                             ec.message() + ")");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  bool stop = false;
+  for (std::size_t i = 0; i < result.plan.cells.size(); ++i) {
+    const CampaignCell& cell = result.plan.cells[i];
+    CellOutcome& outcome = result.outcomes[i];
+    if (stop) {
+      outcome.status = CellStatus::kSkipped;
+      continue;
+    }
+
+    std::string label = cell.resolved.name;
+    if (!cell.environment.empty()) label += "@" + cell.environment;
+    label += " seed=" + std::to_string(cell.seed);
+    const std::string prefix = "[" + std::to_string(i + 1) + "/" +
+                               std::to_string(result.plan.cells.size()) +
+                               "] " + label;
+
+    if (options.jsonl != nullptr) *options.jsonl << header_line(cell);
+
+    if (options.resume) {
+      if (auto entry = cache_load(result.cache_dir, cell.fingerprint)) {
+        if (options.jsonl != nullptr) *options.jsonl << entry->bytes;
+        outcome.status = CellStatus::kCached;
+        outcome.runs_executed = 0;
+        outcome.result_hash = util::content_hash128(entry->bytes).hex();
+        if (options.status != nullptr) {
+          *options.status << prefix << " cached ("
+                          << cell.sweep_cells << " cells)\n";
+        }
+        continue;
+      }
+    }
+
+    try {
+      if (options.before_execute) options.before_execute(cell);
+      scenario::ScenarioSpec to_run = cell.resolved;
+      if (options.threads >= 0) to_run.config.threads = options.threads;
+
+      std::ostringstream bytes;
+      harness::JsonlCellStream stream(
+          bytes, harness::sweep_cell_refs(
+                     scenario::bind_experiments(to_run)));
+      sim::ObserverList observers;
+      observers.add(&stream).add(options.observer);
+      harness::SweepOptions sweep_options;
+      sweep_options.observer = &observers;
+      const harness::SweepResult sweep =
+          scenario::run_scenario(to_run, sweep_options);
+
+      const std::string payload = bytes.str();
+      outcome.result_hash = util::content_hash128(payload).hex();
+      cache_store(result.cache_dir, cell, payload, sweep.perf.total_runs,
+                  outcome.result_hash);
+      if (options.jsonl != nullptr) *options.jsonl << payload;
+      outcome.status = CellStatus::kExecuted;
+      outcome.runs_executed = sweep.perf.total_runs;
+      if (options.status != nullptr) {
+        *options.status << prefix << " executed (" << cell.sweep_cells
+                        << " cells, " << sweep.perf.total_runs
+                        << " runs)\n";
+      }
+    } catch (const std::exception& e) {
+      outcome.status = CellStatus::kFailed;
+      outcome.error = e.what();
+      if (options.status != nullptr) {
+        *options.status << prefix << " FAILED: " << e.what() << "\n";
+      }
+      if (options.fail_fast) stop = true;
+    }
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+void write_campaign_json(const CampaignSpec& spec,
+                         const CampaignResult& result, std::ostream& os,
+                         const CampaignReportOptions& options) {
+  harness::JsonWriter json(os);
+  json.begin_object();
+  json.kv("schema", std::string("adacheck-campaign-report-v1"));
+  json.kv("name", spec.name);
+  json.kv("title", spec.title);
+  json.key("config");
+  json.begin_object();
+  json.kv("version", util::version_string());
+  json.kv("cache_dir", result.cache_dir);
+  json.kv("cells", result.plan.cells.size());
+  json.end_object();
+  json.key("cells");
+  json.begin_array();
+  for (const auto& cell : result.plan.cells) {
+    json.begin_object();
+    json.kv("cell", cell.index);
+    json.kv("scenario", cell.scenario_ref);
+    json.kv("name", cell.resolved.name);
+    if (!cell.environment.empty()) json.kv("environment", cell.environment);
+    json.kv("seed", cell.seed);
+    json.kv("runs", cell.resolved.config.runs);
+    json.kv("sweep_cells", cell.sweep_cells);
+    json.kv("fingerprint", cell.fingerprint);
+    json.end_object();
+  }
+  json.end_array();
+  if (options.include_execution) {
+    std::size_t counts[4] = {0, 0, 0, 0};
+    long long total_runs = 0;
+    for (const auto& outcome : result.outcomes) {
+      counts[static_cast<int>(outcome.status)]++;
+      total_runs += outcome.runs_executed;
+    }
+    json.key("execution");
+    json.begin_object();
+    json.kv("cached", counts[static_cast<int>(CellStatus::kCached)]);
+    json.kv("executed", counts[static_cast<int>(CellStatus::kExecuted)]);
+    json.kv("failed", counts[static_cast<int>(CellStatus::kFailed)]);
+    json.kv("skipped", counts[static_cast<int>(CellStatus::kSkipped)]);
+    json.kv("runs_executed", total_runs);
+    json.kv("wall_seconds", result.wall_seconds);
+    json.key("cells");
+    json.begin_array();
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+      const CellOutcome& outcome = result.outcomes[i];
+      json.begin_object();
+      json.kv("cell", i);
+      json.kv("status", std::string(to_string(outcome.status)));
+      json.kv("runs_executed", outcome.runs_executed);
+      if (!outcome.result_hash.empty()) {
+        json.kv("result_hash", outcome.result_hash);
+      }
+      if (!outcome.error.empty()) json.kv("error", outcome.error);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  os << "\n";
+}
+
+std::string campaign_json(const CampaignSpec& spec,
+                          const CampaignResult& result,
+                          const CampaignReportOptions& options) {
+  std::ostringstream out;
+  write_campaign_json(spec, result, out, options);
+  return out.str();
+}
+
+}  // namespace adacheck::campaign

@@ -1,0 +1,152 @@
+// Campaign planning, cell fingerprints, the result cache, and the
+// runner behind `adacheck campaign`.
+//
+// Planning expands a CampaignSpec's matrix into cells — one resolved
+// scenario (overrides applied) per (entry, environment, seed) triple —
+// and stamps each cell with a content fingerprint: the canonical-JSON
+// hash (util/canonical_json.hpp) of everything that determines the
+// cell's results — the bound harness experiment specs, the
+// result-affecting config knobs (runs, seed, validate; NOT threads),
+// the metric suite, and the code-version string.  Two cells with the
+// same fingerprint produce byte-identical adacheck-cell-v2 streams, so
+// the fingerprint doubles as the cache key.
+//
+// The cache directory holds two files per fingerprint:
+//
+//   <fp>.jsonl       the cell's adacheck-cell-v2 lines, verbatim
+//   <fp>.meta.json   provenance + content_hash128 of the .jsonl bytes
+//
+// The meta file is written AFTER the payload and acts as the commit
+// marker: a payload without meta (crashed writer) is an ordinary
+// miss, and a meta whose result_hash does not match the payload bytes
+// (torn write, manual edit) is treated as a miss too — the cache can
+// only replay exactly what a fresh run would produce.
+//
+// run_campaign executes cells sequentially in plan order (each cell's
+// sweep is internally parallel on the shared pool), replaying cached
+// cells and simulating the rest; with resume=false every cell is
+// re-executed and the cache overwritten.  The campaign JSONL stream
+// interleaves one adacheck-campaign-cell-v1 header line per cell with
+// that cell's adacheck-cell-v2 body lines (cached or fresh — same
+// bytes), so a rerun over a warm cache reproduces the stream
+// byte-for-byte.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "harness/stream_report.hpp"
+#include "sim/observer.hpp"
+#include "util/canonical_json.hpp"
+
+namespace adacheck::campaign {
+
+/// One expanded cell: a fully resolved scenario run.
+struct CampaignCell {
+  std::size_t index = 0;       ///< position in plan order
+  std::size_t entry = 0;       ///< matrix entry this cell came from
+  std::string scenario_ref;    ///< the entry's ref, as written
+  std::string scenario_path;   ///< resolved against the document dir
+  std::string environment;     ///< override applied, "" = scenario's own
+  std::uint64_t seed = 0;
+  /// The scenario with every override applied (seed, environment,
+  /// runs, budget); binding this is what the fingerprint covers.
+  scenario::ScenarioSpec resolved;
+  std::string fingerprint;     ///< cell_fingerprint(resolved), hex
+  std::size_t sweep_cells = 0; ///< flat (row, scheme) cells of the sweep
+};
+
+struct CampaignPlan {
+  std::vector<CampaignCell> cells;
+};
+
+/// The canonical-JSON document a cell's fingerprint hashes (exposed so
+/// tests can pin its stability properties).  Key order in the result
+/// is canonical regardless of emission order; includes the
+/// code-version string.
+std::string cell_fingerprint_document(const scenario::ScenarioSpec& resolved);
+
+/// content_hash128 of the fingerprint document, as 32 hex chars.
+std::string cell_fingerprint(const scenario::ScenarioSpec& resolved);
+
+/// Expands the matrix, loading and resolving every referenced
+/// scenario.  Throws std::runtime_error (unreadable ref) or
+/// scenario::ScenarioError (invalid scenario) with the ref path in
+/// the message.
+CampaignPlan plan_campaign(const CampaignSpec& spec);
+
+enum class CellStatus { kCached, kExecuted, kFailed, kSkipped };
+
+/// "cached" | "executed" | "failed" | "skipped".
+const char* to_string(CellStatus status);
+
+struct CellOutcome {
+  CellStatus status = CellStatus::kSkipped;
+  /// Monte-Carlo runs performed by THIS campaign run (0 when cached).
+  long long runs_executed = 0;
+  /// content_hash128 hex of the cell's adacheck-cell-v2 bytes ("" for
+  /// failed/skipped cells).
+  std::string result_hash;
+  std::string error;  ///< what() for failed cells
+};
+
+struct CampaignOptions {
+  /// Replay cached cells (--resume, the default); false (--fresh)
+  /// re-executes everything and overwrites the cache.
+  bool resume = true;
+  /// Stop at the first failed cell, marking the rest skipped.
+  bool fail_fast = false;
+  /// Parallelism cap for each cell's sweep; -1 = keep each scenario's
+  /// own config.threads.  Never part of the fingerprint.
+  int threads = -1;
+  /// Overrides the document's cache_dir when non-empty.
+  std::string cache_dir;
+  std::ostream* status = nullptr;  ///< per-cell progress lines
+  std::ostream* jsonl = nullptr;   ///< campaign JSONL stream
+  /// Extra observer for each freshly executed sweep (progress lines).
+  sim::ISweepObserver* observer = nullptr;
+  /// Test seam, called before a cell is (re)executed — never for
+  /// cache hits; a throw marks the cell failed.
+  std::function<void(const CampaignCell&)> before_execute;
+};
+
+struct CampaignResult {
+  CampaignPlan plan;
+  std::vector<CellOutcome> outcomes;  ///< parallel to plan.cells
+  std::string cache_dir;              ///< the directory actually used
+  double wall_seconds = 0.0;
+
+  bool any_failed() const;
+};
+
+/// True when the cache holds a committed, hash-verified entry for the
+/// fingerprint (what --dry-run reports as "cached").
+bool cache_probe(const std::string& cache_dir, const std::string& fingerprint);
+
+/// Plans and executes the whole campaign.  Throws only for planning
+/// and cache-directory errors; per-cell execution errors become
+/// kFailed outcomes.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options = {});
+
+struct CampaignReportOptions {
+  /// Emit the volatile "execution" section (statuses, runs executed,
+  /// wall-clock).  Disable (--no-perf) to get a byte-stable document:
+  /// everything else depends only on the plan, never on cache state.
+  bool include_execution = true;
+};
+
+/// Writes the campaign report (schema "adacheck-campaign-report-v1").
+void write_campaign_json(const CampaignSpec& spec,
+                         const CampaignResult& result, std::ostream& os,
+                         const CampaignReportOptions& options = {});
+
+/// Convenience: the same document as a string.
+std::string campaign_json(const CampaignSpec& spec,
+                          const CampaignResult& result,
+                          const CampaignReportOptions& options = {});
+
+}  // namespace adacheck::campaign

@@ -1,0 +1,103 @@
+// Campaign documents: schema "adacheck-campaign-v1".
+//
+// A campaign describes a *matrix of scenario runs* — scenario refs
+// crossed with seed lists and environment overrides, plus runs/budget
+// overrides — and the `adacheck campaign` runner executes it through a
+// content-addressed result cache: every expanded cell gets a
+// fingerprint over its resolved configuration (canonical JSON, so key
+// order never matters) + seed + the code-version string, and cells
+// whose fingerprint already has a cached result are replayed from disk
+// byte-for-byte instead of simulated.  That is what makes week-long
+// parameter studies cheap to iterate on: rerunning a thousand-cell
+// campaign after editing one scenario re-executes only the cells the
+// edit actually touched.
+//
+// Document layout (full reference in README.md "Campaigns"):
+//
+//   {
+//     "schema": "adacheck-campaign-v1",
+//     "name": "orbit-study",                // required identifier
+//     "title": "...",                       // optional, defaults to name
+//     "cache_dir": "orbit_cache",           // optional; default
+//                                           // "<name>_cache" (cwd-relative,
+//                                           // like every output path)
+//     "output": "orbit_campaign.json",      // optional report path, or
+//     "output": {"report": PATH, "jsonl": PATH},
+//     "matrix": [                           // required, non-empty
+//       {"scenario": "smoke.json",          // ref, relative to this file
+//        "seeds": [1, 2, 3],                // optional; default: the
+//                                           // scenario's own seed
+//        "environments": ["bursty-orbit"],  // optional override axis:
+//                                           // replaces every experiment's
+//                                           // environment(s)
+//        "runs": 500,                       // optional config.runs override
+//        "budget": {"target_p_halfwidth": 0.01}}  // optional override
+//     ]
+//   }
+//
+// One matrix entry expands to |environments| x |seeds| cells (axes
+// default to one element each).  Validation is strict and
+// path-qualified with "did you mean" suggestions, same engine as the
+// scenario schema (scenario/schema.hpp); referenced scenario files are
+// loaded and validated when the campaign is planned
+// (campaign/runner.hpp), not at parse time, so a campaign document is
+// parseable without touching the filesystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+
+namespace adacheck::campaign {
+
+/// One matrix entry: a scenario ref crossed with optional seed and
+/// environment axes, plus overrides applied to every expanded cell.
+struct MatrixEntry {
+  std::string scenario;  ///< ref, resolved relative to the document
+  /// Seed axis; empty = one cell with the scenario's own seed.
+  std::vector<std::uint64_t> seeds;
+  /// Environment override axis (registry names); empty = keep the
+  /// scenario's environment(s).  A named override replaces BOTH the
+  /// "environment" and "environments" keys of every experiment.
+  std::vector<std::string> environments;
+  int runs = 0;  ///< config.runs override; 0 = keep the scenario's
+  /// Budget override; disabled = keep the scenario's budget.
+  sim::RunBudget budget;
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::string title;      ///< defaults to name
+  std::string cache_dir;  ///< defaults to "<name>_cache"
+  /// Default report / JSONL stream paths ("output", same two forms as
+  /// a scenario document); the driver's --out/--jsonl flags take
+  /// precedence (cli::resolve_output).
+  std::string output;
+  std::string output_jsonl;
+  std::vector<MatrixEntry> matrix;
+  /// Directory of the loaded document — scenario refs resolve against
+  /// it ("" when parsed from text: refs resolve against the cwd).
+  std::string base_dir;
+};
+
+/// True when a parsed JSON document declares the campaign schema —
+/// the dispatch test `adacheck validate` uses to route a file to this
+/// parser instead of the scenario one.
+bool is_campaign_document(const util::json::Value& root);
+
+/// Lowers a parsed JSON document into a validated CampaignSpec.
+/// Throws scenario::ScenarioError on any schema violation.
+CampaignSpec parse_campaign(const util::json::Value& root);
+
+/// util::json::parse + parse_campaign.
+CampaignSpec parse_campaign_text(std::string_view text);
+
+/// Reads and parses a campaign file; error messages are prefixed with
+/// the file path, and base_dir is set for scenario-ref resolution.
+CampaignSpec load_campaign_file(const std::string& path);
+
+}  // namespace adacheck::campaign

@@ -1,0 +1,104 @@
+// Subcommand registry for multi-verb tools (the adacheck driver).
+//
+// Each subcommand declares itself ONCE — name, one-line summary,
+// usage line, flag table, run function — and the registry derives
+// everything that used to be per-subcommand switch code from that
+// single declaration:
+//
+//   - dispatch: `tool <verb> ...` parses the verb's declared flags
+//     (util::CliArgs, so unknown-flag errors carry the allowed list
+//     and a "did you mean" suggestion from one engine) and calls the
+//     run function;
+//   - help: `tool help`, `tool --help`, and `tool help <verb>` /
+//     `tool <verb> --help` are generated from the summaries and flag
+//     tables;
+//   - unknown verbs get a "did you mean" suggestion against the
+//     registered names;
+//   - `tool --version` / `tool version` print the registered version
+//     string.
+//
+// The registry performs no I/O beyond the streams it is handed and
+// throws nothing itself; std::invalid_argument from flag parsing (or
+// a run function's own validation) is translated into exit code 2
+// with the message on the error stream.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace adacheck::cli {
+
+/// One flag row of a command's table.  `value_name` empty declares a
+/// boolean switch (the CliArgs "name!" form: never consumes the next
+/// token, so positionals survive `--switch file.json`).
+struct Flag {
+  std::string name;        ///< without the leading "--"
+  std::string value_name;  ///< e.g. "N", "PATH"; "" = boolean switch
+  std::string help;        ///< one line
+};
+
+/// A subcommand: everything the engine needs, declared once.
+struct Command {
+  std::string name;     ///< the verb ("run")
+  std::string summary;  ///< one line for the overview listing
+  /// Positional signature shown in help ("run <scenario.json>").
+  std::string usage;
+  std::vector<Flag> flags;
+  /// Invoked with the fully parsed arguments (verb in positional()[0],
+  /// flags validated against the table).  Returns the exit code.
+  std::function<int(const util::CliArgs&)> run;
+};
+
+class CommandRegistry {
+ public:
+  /// `intro` heads the overview help; `version` is what `--version`
+  /// prints (util::version_string() for adacheck).
+  CommandRegistry(std::string tool, std::string intro, std::string version);
+
+  CommandRegistry& add(Command command);
+
+  const Command* find(const std::string& name) const;
+  const std::vector<Command>& commands() const noexcept { return commands_; }
+
+  /// The whole engine: verb lookup (with "did you mean"), per-command
+  /// flag parsing, help/version interception, run dispatch.  Returns
+  /// the process exit code; exceptions from run functions propagate
+  /// (the tool's main decides how to report them), but flag-parsing
+  /// std::invalid_argument is reported on `err` with exit code 2.
+  int dispatch(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) const;
+
+  /// The overview: intro, usage of every command, flag-free footer.
+  void print_overview(std::ostream& os) const;
+  /// One command's help: usage, summary, and its flag table.
+  void print_command_help(const Command& command, std::ostream& os) const;
+
+ private:
+  /// The CliArgs allowed-flag list for a command: its table (boolean
+  /// switches in the "name!" form) plus the implicit --help switch.
+  static std::vector<std::string> allowed_flags(const Command& command);
+
+  /// Appends a ", did you mean ...?" (or the command list) to an
+  /// unknown-verb error.
+  void suggest(const std::string& name, std::ostream& err) const;
+
+  std::string tool_;
+  std::string intro_;
+  std::string version_;
+  std::vector<Command> commands_;
+};
+
+/// THE output-selection precedence rule, applied identically by every
+/// subcommand that writes a document: an explicit flag wins, else the
+/// input document's "output" value, else the built-in fallback
+/// (documented per subcommand; "-" always means stdout).  Exists so
+/// run and campaign cannot drift apart.
+std::string resolve_output(const util::CliArgs& args, const std::string& flag,
+                           const std::string& document_value,
+                           const std::string& fallback);
+
+}  // namespace adacheck::cli

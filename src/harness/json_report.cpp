@@ -5,6 +5,7 @@
 
 #include "harness/json_writer.hpp"
 #include "model/fault_env.hpp"
+#include "util/version.hpp"
 
 namespace adacheck::harness {
 
@@ -91,13 +92,16 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options) {
   JsonWriter json(os);
   json.begin_object();
-  json.kv("schema", std::string("adacheck-sweep-v4"));
+  json.kv("schema", std::string("adacheck-sweep-v5"));
 
   // Only result-affecting parameters here — thread count is an
   // execution detail and lives in "perf", keeping the no-perf document
-  // byte-identical across thread counts.
+  // byte-identical across thread counts.  "version" is the same
+  // code-version string the campaign cache fingerprints, so a report
+  // always records which build produced it.
   json.key("config");
   json.begin_object();
+  json.kv("version", util::version_string());
   json.kv("runs", sweep.config.runs);
   json.kv("seed", static_cast<std::uint64_t>(sweep.config.seed));
   json.kv("validate", sweep.config.validate);

@@ -60,10 +60,10 @@ struct JsonReportOptions {
   const PrecisionBench* precision = nullptr;
 };
 
-/// Writes the sweep as JSON (schema "adacheck-sweep-v4": v3 plus
-/// per-cell "runs_executed" / "p_halfwidth" / "e_rel_halfwidth"
-/// fields and optional "budget" objects in config and per experiment
-/// when a run budget was enabled; every v3 field is unchanged).
+/// Writes the sweep as JSON (schema "adacheck-sweep-v5": v4 plus a
+/// "version" field in config — the code-version string
+/// (util::version_string) shared with `adacheck --version` and the
+/// campaign cache fingerprint; every v4 field is unchanged).
 void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options = {});
 

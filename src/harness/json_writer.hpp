@@ -1,7 +1,7 @@
 // Minimal streaming JSON encoder shared by the sweep report writer and
 // the JSONL cell stream: fixed key order, shortest round-trip doubles,
 // non-finite doubles as null.  Two layouts: kPretty (two-space indent,
-// the adacheck-sweep-v4 document) and kCompact (no whitespace at all,
+// the adacheck-sweep-v5 document) and kCompact (no whitespace at all,
 // one JSONL line).  Internal to the harness layer — not a public API.
 #pragma once
 
@@ -126,7 +126,7 @@ class JsonWriter {
   bool compact_ = false;
 };
 
-/// The fields of one measured cell, shared verbatim by the v4 report's
+/// The fields of one measured cell, shared verbatim by the sweep report's
 /// cell objects and the JSONL stream: the v3 fields in their original
 /// order, the v4 additions (runs_executed, p_halfwidth,
 /// e_rel_halfwidth), then — only when the cell carried extra

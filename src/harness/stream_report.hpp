@@ -11,7 +11,7 @@
 // like the main report's cell section — budgeted sweeps included,
 // since a budgeted cell's stopping chunk is thread-count independent.
 // Each line carries the cell's coordinates (experiment id,
-// utilization, lambda, scheme), every sweep-v4 cell field
+// utilization, lambda, scheme), every sweep report cell field
 // (runs_executed and the achieved half-widths included), and the
 // extra recorder metrics when present.
 #pragma once

@@ -1,0 +1,106 @@
+#include "scenario/schema.hpp"
+
+#include <algorithm>
+
+#include "util/text.hpp"
+
+namespace adacheck::scenario::schema {
+
+using util::json::Value;
+
+void fail(const std::string& path, const std::string& message) {
+  throw ScenarioError(path, message);
+}
+
+std::string member_path(const std::string& path, std::string_view key) {
+  return path.empty() ? std::string(key) : path + "." + std::string(key);
+}
+
+std::string index_path(const std::string& path, std::size_t index) {
+  return path + "[" + std::to_string(index) + "]";
+}
+
+std::string kind_name(const Value& v) {
+  return util::json::to_string(v.kind());
+}
+
+const Value& require(const Value& object, const std::string& path,
+                     std::string_view key) {
+  const Value* member = object.find(key);
+  if (member == nullptr) {
+    fail(path, "missing required key \"" + std::string(key) + "\"");
+  }
+  return *member;
+}
+
+double as_number(const Value& v, const std::string& path) {
+  if (!v.is_number()) fail(path, "expected number, got " + kind_name(v));
+  return v.as_number();
+}
+
+std::int64_t as_int(const Value& v, const std::string& path) {
+  if (!v.is_number()) fail(path, "expected number, got " + kind_name(v));
+  try {
+    return v.as_int();
+  } catch (const util::json::TypeError&) {
+    fail(path, "expected an integer (exactly representable, |n| <= 2^53)");
+  }
+}
+
+bool as_bool(const Value& v, const std::string& path) {
+  if (!v.is_bool()) fail(path, "expected boolean, got " + kind_name(v));
+  return v.as_bool();
+}
+
+const std::string& as_string(const Value& v, const std::string& path) {
+  if (!v.is_string()) fail(path, "expected string, got " + kind_name(v));
+  return v.as_string();
+}
+
+const util::json::Array& as_array(const Value& v, const std::string& path) {
+  if (!v.is_array()) fail(path, "expected array, got " + kind_name(v));
+  return v.as_array();
+}
+
+void require_object(const Value& v, const std::string& path) {
+  if (!v.is_object()) fail(path, "expected object, got " + kind_name(v));
+}
+
+double positive_number(const Value& v, const std::string& path) {
+  const double value = as_number(v, path);
+  if (value <= 0.0) fail(path, "must be > 0");
+  return value;
+}
+
+void check_keys(const Value& object, const std::string& path,
+                const std::vector<std::string>& allowed) {
+  for (const auto& [key, ignored] : object.as_object()) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    std::string message = "unknown key \"" + key + "\"";
+    const std::string suggestion = util::closest_match(key, allowed);
+    if (!suggestion.empty()) {
+      message += ", did you mean \"" + suggestion + "\"?";
+    } else {
+      message += " (known keys: " + util::join(allowed, ", ") + ")";
+    }
+    fail(path, message);
+  }
+}
+
+void check_name(const std::string& name,
+                const std::vector<std::string>& known,
+                const std::string& path) {
+  if (std::find(known.begin(), known.end(), name) != known.end()) return;
+  std::string message = "unknown name \"" + name + "\"";
+  const std::string suggestion = util::closest_match(name, known);
+  if (!suggestion.empty()) {
+    message += ", did you mean \"" + suggestion + "\"?";
+  } else {
+    message += " (known: " + util::join(known, ", ") + ")";
+  }
+  fail(path, message);
+}
+
+}  // namespace adacheck::scenario::schema

@@ -1,0 +1,58 @@
+// Shared building blocks for path-qualified JSON schema validation:
+// kind-checked accessors that fail with ScenarioError("<path>: ..."),
+// unknown-key rejection, and registry-name checks with "did you mean"
+// suggestions.  Extracted from the scenario parser so the campaign
+// parser (src/campaign) validates its documents with the exact same
+// error vocabulary — one engine, two schemas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+
+namespace adacheck::scenario::schema {
+
+/// Throws ScenarioError(path, message).
+[[noreturn]] void fail(const std::string& path, const std::string& message);
+
+/// "config" + "runs" -> "config.runs" ("" prefix stays bare).
+std::string member_path(const std::string& path, std::string_view key);
+/// "experiments" + 2 -> "experiments[2]".
+std::string index_path(const std::string& path, std::size_t index);
+
+/// Human-readable kind of a value ("object", "number", ...).
+std::string kind_name(const util::json::Value& v);
+
+/// Member lookup that fails on absence.
+const util::json::Value& require(const util::json::Value& object,
+                                 const std::string& path,
+                                 std::string_view key);
+
+// Kind-checked accessors; every failure is "<path>: expected ..., got
+// <kind>" (as_int additionally requires exact integer representability).
+double as_number(const util::json::Value& v, const std::string& path);
+std::int64_t as_int(const util::json::Value& v, const std::string& path);
+bool as_bool(const util::json::Value& v, const std::string& path);
+const std::string& as_string(const util::json::Value& v,
+                             const std::string& path);
+const util::json::Array& as_array(const util::json::Value& v,
+                                  const std::string& path);
+void require_object(const util::json::Value& v, const std::string& path);
+
+/// as_number + "must be > 0".
+double positive_number(const util::json::Value& v, const std::string& path);
+
+/// Rejects keys outside `allowed`, suggesting the closest allowed key.
+void check_keys(const util::json::Value& object, const std::string& path,
+                const std::vector<std::string>& allowed);
+
+/// Registry-name check with a "did you mean" suggestion.
+void check_name(const std::string& name,
+                const std::vector<std::string>& known,
+                const std::string& path);
+
+}  // namespace adacheck::scenario::schema

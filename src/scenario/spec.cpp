@@ -8,115 +8,18 @@
 #include "harness/paper_params.hpp"
 #include "model/fault_env.hpp"
 #include "policy/factory.hpp"
+#include "scenario/schema.hpp"
 #include "sim/metrics.hpp"
 #include "util/text.hpp"
 
 namespace adacheck::scenario {
 
-namespace {
-
+// Path-qualified accessors and did-you-mean checks live in
+// scenario/schema.hpp, shared with the campaign parser.
+using namespace schema;
 using util::json::Value;
 
-[[noreturn]] void fail(const std::string& path, const std::string& message) {
-  throw ScenarioError(path, message);
-}
-
-std::string member_path(const std::string& path, std::string_view key) {
-  return path.empty() ? std::string(key) : path + "." + std::string(key);
-}
-
-std::string index_path(const std::string& path, std::size_t index) {
-  return path + "[" + std::to_string(index) + "]";
-}
-
-std::string kind_name(const Value& v) {
-  return util::json::to_string(v.kind());
-}
-
-// --- kind-checked accessors with path-qualified errors -------------------
-
-const Value& require(const Value& object, const std::string& path,
-                     std::string_view key) {
-  const Value* member = object.find(key);
-  if (member == nullptr) {
-    fail(path, "missing required key \"" + std::string(key) + "\"");
-  }
-  return *member;
-}
-
-double as_number(const Value& v, const std::string& path) {
-  if (!v.is_number()) fail(path, "expected number, got " + kind_name(v));
-  return v.as_number();
-}
-
-std::int64_t as_int(const Value& v, const std::string& path) {
-  if (!v.is_number()) fail(path, "expected number, got " + kind_name(v));
-  try {
-    return v.as_int();
-  } catch (const util::json::TypeError&) {
-    fail(path, "expected an integer (exactly representable, |n| <= 2^53)");
-  }
-}
-
-bool as_bool(const Value& v, const std::string& path) {
-  if (!v.is_bool()) fail(path, "expected boolean, got " + kind_name(v));
-  return v.as_bool();
-}
-
-const std::string& as_string(const Value& v, const std::string& path) {
-  if (!v.is_string()) fail(path, "expected string, got " + kind_name(v));
-  return v.as_string();
-}
-
-const util::json::Array& as_array(const Value& v, const std::string& path) {
-  if (!v.is_array()) fail(path, "expected array, got " + kind_name(v));
-  return v.as_array();
-}
-
-void require_object(const Value& v, const std::string& path) {
-  if (!v.is_object()) fail(path, "expected object, got " + kind_name(v));
-}
-
-// --- schema checks -------------------------------------------------------
-
-/// Rejects keys outside `allowed`, suggesting the closest allowed key.
-void check_keys(const Value& object, const std::string& path,
-                const std::vector<std::string>& allowed) {
-  for (const auto& [key, ignored] : object.as_object()) {
-    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
-      continue;
-    }
-    std::string message = "unknown key \"" + key + "\"";
-    const std::string suggestion = util::closest_match(key, allowed);
-    if (!suggestion.empty()) {
-      message += ", did you mean \"" + suggestion + "\"?";
-    } else {
-      message += " (known keys: " + util::join(allowed, ", ") + ")";
-    }
-    fail(path, message);
-  }
-}
-
-/// Registry-name check with a "did you mean" suggestion.
-void check_name(const std::string& name,
-                const std::vector<std::string>& known,
-                const std::string& path) {
-  if (std::find(known.begin(), known.end(), name) != known.end()) return;
-  std::string message = "unknown name \"" + name + "\"";
-  const std::string suggestion = util::closest_match(name, known);
-  if (!suggestion.empty()) {
-    message += ", did you mean \"" + suggestion + "\"?";
-  } else {
-    message += " (known: " + util::join(known, ", ") + ")";
-  }
-  fail(path, message);
-}
-
-double positive_number(const Value& v, const std::string& path) {
-  const double value = as_number(v, path);
-  if (value <= 0.0) fail(path, "must be > 0");
-  return value;
-}
+namespace {
 
 // --- section parsers -----------------------------------------------------
 
@@ -148,42 +51,6 @@ ScenarioConfig parse_config(const Value& v, const std::string& path) {
     config.threads = static_cast<int>(value);
   }
   return config;
-}
-
-sim::RunBudget parse_budget(const Value& v, const std::string& path) {
-  require_object(v, path);
-  check_keys(v, path, {"target_p_halfwidth", "target_e_rel_halfwidth",
-                       "min_runs", "max_runs"});
-  sim::RunBudget budget;
-  if (const Value* target = v.find("target_p_halfwidth")) {
-    budget.target_p_halfwidth =
-        positive_number(*target, member_path(path, "target_p_halfwidth"));
-  }
-  if (const Value* target = v.find("target_e_rel_halfwidth")) {
-    budget.target_e_rel_halfwidth = positive_number(
-        *target, member_path(path, "target_e_rel_halfwidth"));
-  }
-  const auto parse_cap = [&](const char* key) {
-    const Value* cap = v.find(key);
-    if (cap == nullptr) return 0;
-    const std::string cap_path = member_path(path, key);
-    const auto value = as_int(*cap, cap_path);
-    if (value < 1) fail(cap_path, "must be >= 1");
-    if (value > 1'000'000'000) fail(cap_path, "must be <= 1e9");
-    return static_cast<int>(value);
-  };
-  budget.min_runs = parse_cap("min_runs");
-  budget.max_runs = parse_cap("max_runs");
-  if (!budget.enabled()) {
-    fail(path, "set at least one of \"target_p_halfwidth\" or "
-               "\"target_e_rel_halfwidth\" (a budget without a target "
-               "never stops early)");
-  }
-  if (budget.min_runs > 0 && budget.max_runs > 0 &&
-      budget.min_runs > budget.max_runs) {
-    fail(member_path(path, "min_runs"), "must be <= max_runs");
-  }
-  return budget;
 }
 
 model::CheckpointCosts parse_costs(const Value& v, const std::string& path) {
@@ -404,6 +271,43 @@ std::vector<std::string> known_tables() {
     names.push_back(spec.id);
   }
   return names;
+}
+
+sim::RunBudget parse_budget(const util::json::Value& v,
+                            const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path, {"target_p_halfwidth", "target_e_rel_halfwidth",
+                       "min_runs", "max_runs"});
+  sim::RunBudget budget;
+  if (const Value* target = v.find("target_p_halfwidth")) {
+    budget.target_p_halfwidth =
+        positive_number(*target, member_path(path, "target_p_halfwidth"));
+  }
+  if (const Value* target = v.find("target_e_rel_halfwidth")) {
+    budget.target_e_rel_halfwidth = positive_number(
+        *target, member_path(path, "target_e_rel_halfwidth"));
+  }
+  const auto parse_cap = [&](const char* key) {
+    const Value* cap = v.find(key);
+    if (cap == nullptr) return 0;
+    const std::string cap_path = member_path(path, key);
+    const auto value = as_int(*cap, cap_path);
+    if (value < 1) fail(cap_path, "must be >= 1");
+    if (value > 1'000'000'000) fail(cap_path, "must be <= 1e9");
+    return static_cast<int>(value);
+  };
+  budget.min_runs = parse_cap("min_runs");
+  budget.max_runs = parse_cap("max_runs");
+  if (!budget.enabled()) {
+    fail(path, "set at least one of \"target_p_halfwidth\" or "
+               "\"target_e_rel_halfwidth\" (a budget without a target "
+               "never stops early)");
+  }
+  if (budget.min_runs > 0 && budget.max_runs > 0 &&
+      budget.min_runs > budget.max_runs) {
+    fail(member_path(path, "min_runs"), "must be <= max_runs");
+  }
+  return budget;
 }
 
 /// "output": either the report path directly, or an object splitting

@@ -138,6 +138,12 @@ struct ScenarioSpec {
 /// ("table1a" ... "table4b", see harness/paper_params.hpp).
 std::vector<std::string> known_tables();
 
+/// Parses a "budget" object (shared by scenario and campaign
+/// documents): the four RunBudget knobs, at least one target required,
+/// min_runs <= max_runs when both are set.  Throws ScenarioError.
+sim::RunBudget parse_budget(const util::json::Value& v,
+                            const std::string& path);
+
 /// Lowers a parsed JSON document into a validated ScenarioSpec.
 /// Throws ScenarioError on any schema violation.
 ScenarioSpec parse_scenario(const util::json::Value& root);

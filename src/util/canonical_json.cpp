@@ -1,0 +1,138 @@
+#include "util/canonical_json.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace adacheck::util {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  // The parser rejects NaN/Infinity literals, so every parsed number
+  // is finite; emit the shortest round-trip form (the same formatting
+  // the report writer uses, so canonical text and reports agree on
+  // number spelling).
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_canonical(std::string& out, const json::Value& value) {
+  switch (value.kind()) {
+    case json::Kind::kNull:
+      out += "null";
+      return;
+    case json::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case json::Kind::kNumber:
+      append_number(out, value.as_number());
+      return;
+    case json::Kind::kString:
+      append_escaped(out, value.as_string());
+      return;
+    case json::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& element : value.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        append_canonical(out, element);
+      }
+      out += ']';
+      return;
+    }
+    case json::Kind::kObject: {
+      // Sort members bytewise by key; the parser already rejected
+      // duplicates, so the order is total.
+      const auto& object = value.as_object();
+      std::vector<const json::Member*> members;
+      members.reserve(object.size());
+      for (const auto& member : object) members.push_back(&member);
+      std::sort(members.begin(), members.end(),
+                [](const json::Member* a, const json::Member* b) {
+                  return a->first < b->first;
+                });
+      out += '{';
+      bool first = true;
+      for (const auto* member : members) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, member->first);
+        out += ':';
+        append_canonical(out, member->second);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// splitmix64 finalizer: full-avalanche bit mix.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string canonical_json(const json::Value& value) {
+  std::string out;
+  append_canonical(out, value);
+  return out;
+}
+
+std::string Hash128::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Hash128 content_hash128(std::string_view bytes) {
+  // Two FNV-1a-64 lanes decorrelated by basis and per-byte tweak; the
+  // splitmix64 finalizer fixes FNV's weak high-bit diffusion.  Pinned
+  // by known-answer tests — do not change without bumping the cache
+  // code-version story (src/campaign).
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t h1 = 0xCBF29CE484222325ULL;  // FNV offset basis
+  std::uint64_t h2 = 0x6C62272E07BB0142ULL;  // FNV-1a-128 basis high word
+  for (const char c : bytes) {
+    const auto b = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h1 = (h1 ^ b) * kPrime;
+    h2 = (h2 ^ (b + 0x9EULL)) * kPrime;
+  }
+  // Fold the length in so lane collisions cannot align across sizes.
+  h1 = mix64(h1 ^ static_cast<std::uint64_t>(bytes.size()));
+  h2 = mix64(h2 + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(bytes.size()));
+  return {h1, h2};
+}
+
+}  // namespace adacheck::util

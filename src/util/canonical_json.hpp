@@ -1,0 +1,51 @@
+// Canonical JSON and stable content hashing — the identity layer of
+// the campaign result cache.
+//
+// canonical_json re-serializes a parsed util::json::Value into one
+// normal form: object keys sorted bytewise, no whitespace, shortest
+// round-trip doubles, minimal string escaping.  Two documents that
+// differ only in key order, inter-token whitespace, or number spelling
+// ("1e2" vs "100.0") canonicalize to identical bytes — which is what
+// makes a content fingerprint stable under cosmetic edits to a
+// scenario or campaign file.  Array order is semantic in every
+// adacheck schema (grids, scheme lists, seeds) and is preserved.
+//
+// content_hash128 is the companion digest: a stable, non-cryptographic
+// 128-bit hash (two decorrelated FNV-1a-64 lanes, each finalized with
+// the splitmix64 avalanche) whose value depends only on the input
+// bytes — never on platform, thread count, or process.  Cache keys and
+// result digests must stay comparable across runs and machines, so the
+// algorithm is pinned by known-answer tests; changing it invalidates
+// every existing campaign cache (which the code-version fingerprint
+// component makes observable, see src/campaign).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace adacheck::util {
+
+/// The canonical serialization of a parsed JSON document (see file
+/// comment).  Total: every Value kind has exactly one encoding.
+std::string canonical_json(const json::Value& value);
+
+/// A 128-bit digest, comparable and hex-printable.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters, hi lane first.
+  std::string hex() const;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// Stable content hash of a byte string (see file comment).  Not
+/// cryptographic: fine for cache keys and corruption checks, not for
+/// adversarial inputs.
+Hash128 content_hash128(std::string_view bytes);
+
+}  // namespace adacheck::util

@@ -1,0 +1,14 @@
+#include "util/version.hpp"
+
+namespace adacheck::util {
+
+const std::string& version_string() {
+#ifdef ADACHECK_VERSION
+  static const std::string version = ADACHECK_VERSION;
+#else
+  static const std::string version = "0.0.0-unversioned";
+#endif
+  return version;
+}
+
+}  // namespace adacheck::util

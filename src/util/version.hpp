@@ -1,0 +1,19 @@
+// The code-version string: one identifier shared by `adacheck
+// --version`, every report's config object, and the campaign cache
+// fingerprint — so "which code produced this result" and "is this
+// cached result still valid" are answered by the same value.  Bumping
+// the CMake project VERSION invalidates every campaign cache entry
+// (the fingerprint changes), which is exactly the conservative default
+// for a code change.
+#pragma once
+
+#include <string>
+
+namespace adacheck::util {
+
+/// The project version ("0.2.0"), injected by CMake via the
+/// ADACHECK_VERSION compile definition; a placeholder when built
+/// outside CMake so the string is never empty.
+const std::string& version_string();
+
+}  // namespace adacheck::util

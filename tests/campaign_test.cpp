@@ -1,0 +1,451 @@
+// campaign/spec.hpp + campaign/runner.hpp: the adacheck-campaign-v1
+// schema, cell fingerprints, the content-addressed result cache, and
+// the runner.  The load-bearing properties: a fingerprint depends on
+// every result-affecting knob and nothing else, a warm rerun replays
+// byte-identical streams with zero simulation runs, and flipping one
+// cell's seed re-executes exactly that cell.
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/spec.hpp"
+#include "util/version.hpp"
+
+namespace adacheck::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::ScenarioError;
+
+const char* kMiniScenario = R"({
+  "schema": "adacheck-scenario-v1",
+  "name": "mini",
+  "config": {"runs": 64, "seed": 5},
+  "output": "mini_sweep.json",
+  "experiments": [{
+    "id": "mini",
+    "costs": {"store": 2, "compare": 20, "rollback": 0},
+    "fault_tolerance": 5,
+    "schemes": ["Poisson"],
+    "rows": [{"utilization": 0.8, "lambda": 1.4e-3}]
+  }]
+})";
+
+/// Fresh per-test scratch directory holding mini.json and the cache.
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("adacheck_campaign_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    write_file("mini.json", kMiniScenario);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_file(const std::string& name, const std::string& text) {
+    std::ofstream out(dir_ / name, std::ios::binary);
+    out << text;
+  }
+
+  CampaignSpec mini_campaign(std::vector<std::uint64_t> seeds = {1, 2}) {
+    CampaignSpec spec;
+    spec.name = "c";
+    spec.title = "c";
+    spec.cache_dir = (dir_ / "cache").string();
+    spec.base_dir = dir_.string();
+    MatrixEntry entry;
+    entry.scenario = "mini.json";
+    entry.seeds = std::move(seeds);
+    spec.matrix.push_back(entry);
+    return spec;
+  }
+
+  fs::path dir_;
+};
+
+// --- schema --------------------------------------------------------------
+
+TEST(CampaignSchema, ParsesDefaultsAndOverrides) {
+  const auto spec = parse_campaign_text(R"({
+    "schema": "adacheck-campaign-v1",
+    "name": "study",
+    "matrix": [
+      {"scenario": "smoke.json", "seeds": [1, 2],
+       "environments": ["bursty-orbit"], "runs": 500,
+       "budget": {"target_p_halfwidth": 0.01}}
+    ]
+  })");
+  EXPECT_EQ(spec.name, "study");
+  EXPECT_EQ(spec.title, "study");            // defaults to name
+  EXPECT_EQ(spec.cache_dir, "study_cache");  // defaults to <name>_cache
+  ASSERT_EQ(spec.matrix.size(), 1u);
+  const auto& entry = spec.matrix[0];
+  EXPECT_EQ(entry.scenario, "smoke.json");
+  EXPECT_EQ(entry.seeds, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(entry.environments, (std::vector<std::string>{"bursty-orbit"}));
+  EXPECT_EQ(entry.runs, 500);
+  EXPECT_DOUBLE_EQ(entry.budget.target_p_halfwidth, 0.01);
+}
+
+TEST(CampaignSchema, UnknownKeySuggestsTheClosest) {
+  try {
+    parse_campaign_text(R"({"schema": "adacheck-campaign-v1",
+                            "name": "c", "matrx": []})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean \"matrix\"?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignSchema, EntryKeyTypoIsPathQualified) {
+  try {
+    parse_campaign_text(R"({"schema": "adacheck-campaign-v1", "name": "c",
+                            "matrix": [{"sceanrio": "x.json"}]})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.path(), "matrix[0]");
+    EXPECT_NE(std::string(e.what()).find("did you mean \"scenario\"?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignSchema, UnknownEnvironmentSuggests) {
+  try {
+    parse_campaign_text(R"({"schema": "adacheck-campaign-v1", "name": "c",
+      "matrix": [{"scenario": "x.json",
+                  "environments": ["bursty-orbitt"]}]})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean \"bursty-orbit\"?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignSchema, RejectsDuplicateAndNegativeSeeds) {
+  EXPECT_THROW(parse_campaign_text(
+                   R"({"schema": "adacheck-campaign-v1", "name": "c",
+                       "matrix": [{"scenario": "x", "seeds": [1, 1]}]})"),
+               ScenarioError);
+  EXPECT_THROW(parse_campaign_text(
+                   R"({"schema": "adacheck-campaign-v1", "name": "c",
+                       "matrix": [{"scenario": "x", "seeds": [-1]}]})"),
+               ScenarioError);
+}
+
+TEST(CampaignSchema, IsCampaignDocumentDispatches) {
+  EXPECT_TRUE(is_campaign_document(util::json::parse(
+      R"({"schema": "adacheck-campaign-v1", "name": "c", "matrix": []})")));
+  EXPECT_FALSE(is_campaign_document(
+      util::json::parse(R"({"schema": "adacheck-scenario-v1"})")));
+  EXPECT_FALSE(is_campaign_document(util::json::parse("[1]")));
+}
+
+// --- fingerprints --------------------------------------------------------
+
+TEST(CampaignFingerprint, StableUnderDocumentKeyReordering) {
+  const auto a = scenario::parse_scenario_text(kMiniScenario);
+  // The same scenario with every object's keys in a different order.
+  const auto b = scenario::parse_scenario_text(R"({
+    "experiments": [{
+      "rows": [{"lambda": 1.4e-3, "utilization": 0.8}],
+      "schemes": ["Poisson"],
+      "fault_tolerance": 5,
+      "costs": {"rollback": 0, "compare": 20, "store": 2},
+      "id": "mini"
+    }],
+    "output": "mini_sweep.json",
+    "config": {"seed": 5, "runs": 64},
+    "name": "mini",
+    "schema": "adacheck-scenario-v1"
+  })");
+  EXPECT_EQ(cell_fingerprint_document(a), cell_fingerprint_document(b));
+  EXPECT_EQ(cell_fingerprint(a), cell_fingerprint(b));
+}
+
+TEST(CampaignFingerprint, SensitiveToEveryResultAffectingKnob) {
+  const auto base = scenario::parse_scenario_text(kMiniScenario);
+  const std::string fp = cell_fingerprint(base);
+
+  auto seed = base;
+  seed.config.seed = 6;
+  EXPECT_NE(cell_fingerprint(seed), fp);
+
+  auto runs = base;
+  runs.config.runs = 65;
+  EXPECT_NE(cell_fingerprint(runs), fp);
+
+  auto validate = base;
+  validate.config.validate = true;
+  EXPECT_NE(cell_fingerprint(validate), fp);
+
+  auto environment = base;
+  environment.experiments[0].environment = "bursty-orbit";
+  EXPECT_NE(cell_fingerprint(environment), fp);
+
+  auto budget = base;
+  budget.budget.target_p_halfwidth = 0.01;
+  EXPECT_NE(cell_fingerprint(budget), fp);
+
+  auto metrics = base;
+  metrics.metrics = {"tails"};
+  EXPECT_NE(cell_fingerprint(metrics), fp);
+
+  auto row = base;
+  row.experiments[0].rows[0].utilization = 0.76;
+  EXPECT_NE(cell_fingerprint(row), fp);
+}
+
+TEST(CampaignFingerprint, ThreadsAreNotPartOfTheIdentity) {
+  const auto base = scenario::parse_scenario_text(kMiniScenario);
+  auto threaded = base;
+  threaded.config.threads = 7;
+  EXPECT_EQ(cell_fingerprint(threaded), cell_fingerprint(base));
+}
+
+TEST(CampaignFingerprint, CarriesTheCodeVersion) {
+  const auto base = scenario::parse_scenario_text(kMiniScenario);
+  const std::string doc = cell_fingerprint_document(base);
+  EXPECT_NE(doc.find("\"code_version\":\"" + util::version_string() + "\""),
+            std::string::npos)
+      << doc;
+  // The document is already canonical: re-canonicalizing is a no-op.
+  EXPECT_EQ(util::canonical_json(util::json::parse(doc)), doc);
+}
+
+// --- planning ------------------------------------------------------------
+
+TEST_F(CampaignTest, PlanExpandsSeedsByEnvironments) {
+  auto spec = mini_campaign({1, 2});
+  spec.matrix[0].environments = {"poisson", "bursty-orbit"};
+  const auto plan = plan_campaign(spec);
+  ASSERT_EQ(plan.cells.size(), 4u);  // 2 environments x 2 seeds
+  EXPECT_EQ(plan.cells[0].environment, "poisson");
+  EXPECT_EQ(plan.cells[0].seed, 1u);
+  EXPECT_EQ(plan.cells[1].seed, 2u);
+  EXPECT_EQ(plan.cells[2].environment, "bursty-orbit");
+  EXPECT_EQ(plan.cells[0].sweep_cells, 1u);
+  // Every cell's identity is distinct.
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.cells.size(); ++j) {
+      EXPECT_NE(plan.cells[i].fingerprint, plan.cells[j].fingerprint);
+    }
+  }
+}
+
+TEST_F(CampaignTest, PlanAppliesRunsAndBudgetOverrides) {
+  auto spec = mini_campaign({1});
+  spec.matrix[0].runs = 128;
+  spec.matrix[0].budget.target_p_halfwidth = 0.05;
+  const auto plan = plan_campaign(spec);
+  ASSERT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].resolved.config.runs, 128);
+  EXPECT_DOUBLE_EQ(plan.cells[0].resolved.budget.target_p_halfwidth, 0.05);
+}
+
+TEST_F(CampaignTest, MissingScenarioRefNamesThePath) {
+  auto spec = mini_campaign({1});
+  spec.matrix[0].scenario = "nope.json";
+  try {
+    plan_campaign(spec);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nope.json"), std::string::npos);
+  }
+}
+
+// --- the cache -----------------------------------------------------------
+
+TEST_F(CampaignTest, WarmRerunIsFullyCachedAndByteIdentical) {
+  const auto spec = mini_campaign();
+
+  CampaignOptions options;
+  options.threads = 1;
+  std::ostringstream first_stream;
+  options.jsonl = &first_stream;
+  const auto first = run_campaign(spec, options);
+  ASSERT_EQ(first.outcomes.size(), 2u);
+  for (const auto& outcome : first.outcomes) {
+    EXPECT_EQ(outcome.status, CellStatus::kExecuted);
+    EXPECT_GT(outcome.runs_executed, 0);
+    EXPECT_EQ(outcome.result_hash.size(), 32u);
+  }
+
+  // Second run at a DIFFERENT thread count: everything cached, zero
+  // simulation runs, byte-identical stream.
+  options.threads = 2;
+  std::ostringstream second_stream;
+  options.jsonl = &second_stream;
+  const auto second = run_campaign(spec, options);
+  for (std::size_t i = 0; i < second.outcomes.size(); ++i) {
+    EXPECT_EQ(second.outcomes[i].status, CellStatus::kCached);
+    EXPECT_EQ(second.outcomes[i].runs_executed, 0);
+    EXPECT_EQ(second.outcomes[i].result_hash, first.outcomes[i].result_hash);
+  }
+  EXPECT_EQ(first_stream.str(), second_stream.str());
+  EXPECT_FALSE(first_stream.str().empty());
+
+  // The deterministic report section is identical too.
+  CampaignReportOptions report;
+  report.include_execution = false;
+  EXPECT_EQ(campaign_json(spec, first, report),
+            campaign_json(spec, second, report));
+}
+
+TEST_F(CampaignTest, SeedFlipReexecutesExactlyThatCell) {
+  CampaignOptions options;
+  options.threads = 1;
+  run_campaign(mini_campaign({1, 2}), options);
+
+  const auto flipped = run_campaign(mini_campaign({1, 3}), options);
+  ASSERT_EQ(flipped.outcomes.size(), 2u);
+  EXPECT_EQ(flipped.outcomes[0].status, CellStatus::kCached);    // seed 1
+  EXPECT_EQ(flipped.outcomes[1].status, CellStatus::kExecuted);  // seed 3
+}
+
+TEST_F(CampaignTest, FreshIgnoresTheCache) {
+  CampaignOptions options;
+  options.threads = 1;
+  run_campaign(mini_campaign(), options);
+
+  options.resume = false;
+  const auto fresh = run_campaign(mini_campaign(), options);
+  for (const auto& outcome : fresh.outcomes) {
+    EXPECT_EQ(outcome.status, CellStatus::kExecuted);
+  }
+}
+
+TEST_F(CampaignTest, CorruptedPayloadIsAMissNotAnError) {
+  const auto spec = mini_campaign({1});
+  CampaignOptions options;
+  options.threads = 1;
+  const auto first = run_campaign(spec, options);
+  ASSERT_EQ(first.outcomes[0].status, CellStatus::kExecuted);
+
+  // Flip the cached payload; the meta hash no longer matches.
+  const auto plan = plan_campaign(spec);
+  const fs::path payload =
+      fs::path(spec.cache_dir) / (plan.cells[0].fingerprint + ".jsonl");
+  ASSERT_TRUE(fs::exists(payload));
+  std::ofstream(payload, std::ios::binary) << "{\"corrupt\":true}\n";
+
+  const auto second = run_campaign(spec, options);
+  EXPECT_EQ(second.outcomes[0].status, CellStatus::kExecuted);
+  EXPECT_EQ(second.outcomes[0].result_hash, first.outcomes[0].result_hash);
+  EXPECT_TRUE(cache_probe(spec.cache_dir, plan.cells[0].fingerprint));
+}
+
+TEST_F(CampaignTest, PayloadWithoutMetaIsAMiss) {
+  const auto spec = mini_campaign({1});
+  const auto plan = plan_campaign(spec);
+  fs::create_directories(spec.cache_dir);
+  std::ofstream(fs::path(spec.cache_dir) /
+                    (plan.cells[0].fingerprint + ".jsonl"),
+                std::ios::binary)
+      << "orphan payload\n";
+  EXPECT_FALSE(cache_probe(spec.cache_dir, plan.cells[0].fingerprint));
+}
+
+// --- failure handling ----------------------------------------------------
+
+TEST_F(CampaignTest, FailFastSkipsTheRemainingCells) {
+  CampaignOptions options;
+  options.threads = 1;
+  options.fail_fast = true;
+  options.before_execute = [](const CampaignCell&) {
+    throw std::runtime_error("injected failure");
+  };
+  const auto result = run_campaign(mini_campaign({1, 2}), options);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_EQ(result.outcomes[0].status, CellStatus::kFailed);
+  EXPECT_NE(result.outcomes[0].error.find("injected failure"),
+            std::string::npos);
+  EXPECT_EQ(result.outcomes[1].status, CellStatus::kSkipped);
+  EXPECT_TRUE(result.any_failed());
+}
+
+TEST_F(CampaignTest, WithoutFailFastEveryCellIsAttempted) {
+  CampaignOptions options;
+  options.threads = 1;
+  options.before_execute = [](const CampaignCell&) {
+    throw std::runtime_error("injected failure");
+  };
+  const auto result = run_campaign(mini_campaign({1, 2}), options);
+  EXPECT_EQ(result.outcomes[0].status, CellStatus::kFailed);
+  EXPECT_EQ(result.outcomes[1].status, CellStatus::kFailed);
+}
+
+TEST_F(CampaignTest, FailedCellDoesNotPoisonTheCache) {
+  const auto spec = mini_campaign({1});
+  CampaignOptions options;
+  options.threads = 1;
+  options.before_execute = [](const CampaignCell&) {
+    throw std::runtime_error("injected failure");
+  };
+  const auto failed = run_campaign(spec, options);
+  ASSERT_EQ(failed.outcomes[0].status, CellStatus::kFailed);
+
+  // Next run (no injection) must execute — nothing was committed.
+  const auto retry = run_campaign(spec, CampaignOptions{.threads = 1});
+  EXPECT_EQ(retry.outcomes[0].status, CellStatus::kExecuted);
+}
+
+// --- report --------------------------------------------------------------
+
+TEST_F(CampaignTest, ReportCarriesPlanExecutionAndVersion) {
+  const auto spec = mini_campaign({1});
+  const auto result = run_campaign(spec, CampaignOptions{.threads = 1});
+  const std::string report = campaign_json(spec, result);
+  EXPECT_NE(report.find("\"schema\": \"adacheck-campaign-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"version\": \"" + util::version_string() + "\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(report.find("\"status\": \"executed\""), std::string::npos);
+
+  CampaignReportOptions no_execution;
+  no_execution.include_execution = false;
+  const std::string stable = campaign_json(spec, result, no_execution);
+  EXPECT_EQ(stable.find("\"execution\""), std::string::npos);
+  EXPECT_EQ(stable.find("wall_seconds"), std::string::npos);
+}
+
+// --- shipped campaign documents ------------------------------------------
+
+TEST(CampaignFiles, EveryShippedCampaignValidatesAndPlans) {
+  const fs::path dir = ADACHECK_SCENARIO_DIR;
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    if (entry.path().filename().string().rfind("campaign_", 0) != 0) {
+      continue;
+    }
+    ++count;
+    SCOPED_TRACE(entry.path().string());
+    const auto spec = load_campaign_file(entry.path().string());
+    EXPECT_FALSE(spec.output.empty())
+        << "shipped campaigns should name their report file";
+    const auto plan = plan_campaign(spec);
+    EXPECT_FALSE(plan.cells.empty());
+    for (const auto& cell : plan.cells) {
+      EXPECT_EQ(cell.fingerprint.size(), 32u);
+      EXPECT_GT(cell.sweep_cells, 0u);
+    }
+  }
+  EXPECT_GE(count, 2u);  // campaign_smoke, campaign_tables
+}
+
+}  // namespace
+}  // namespace adacheck::campaign

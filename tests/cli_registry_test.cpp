@@ -1,0 +1,177 @@
+// cli/command.hpp: the subcommand registry every adacheck verb is
+// declared through — dispatch, generated help, --version, did-you-mean
+// for verbs and flags, and the single output-precedence rule.
+#include "cli/command.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace adacheck::cli {
+namespace {
+
+/// argv helper: builds a stable char* array from string literals.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    for (auto& s : strings) pointers.push_back(s.c_str());
+  }
+  int argc() const { return static_cast<int>(pointers.size()); }
+  const char* const* argv() const { return pointers.data(); }
+
+  std::vector<std::string> strings;
+  std::vector<const char*> pointers;
+};
+
+CommandRegistry make_registry(int* ran = nullptr,
+                              std::string* got_flag = nullptr) {
+  CommandRegistry registry("tool", "tool — a test registry", "1.2.3");
+  registry.add({"run", "run things", "run <file>",
+                {{"out", "PATH", "output path"},
+                 {"dry-run", "", "plan only"}},
+                [ran, got_flag](const util::CliArgs& args) {
+                  if (ran != nullptr) ++*ran;
+                  if (got_flag != nullptr) {
+                    *got_flag = args.get_string("out", "<unset>");
+                  }
+                  return 0;
+                }});
+  registry.add({"list", "list things", "list [what]", {},
+                [](const util::CliArgs&) { return 0; }});
+  return registry;
+}
+
+int dispatch(const CommandRegistry& registry, std::vector<std::string> args,
+             std::string* out_text = nullptr,
+             std::string* err_text = nullptr) {
+  const Argv argv(std::move(args));
+  std::ostringstream out, err;
+  const int code = registry.dispatch(argv.argc(), argv.argv(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+// --- dispatch ------------------------------------------------------------
+
+TEST(CommandRegistry, DispatchesToTheNamedCommand) {
+  int ran = 0;
+  std::string out_flag;
+  const auto registry = make_registry(&ran, &out_flag);
+  EXPECT_EQ(dispatch(registry, {"tool", "run", "file.json", "--out=x.json"}),
+            0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(out_flag, "x.json");
+}
+
+TEST(CommandRegistry, BooleanSwitchKeepsPositionals) {
+  std::string out_flag;
+  CommandRegistry registry("tool", "intro", "1");
+  std::vector<std::string> positionals;
+  registry.add({"run", "s", "run <file>",
+                {{"dry-run", "", "plan only"}},
+                [&positionals](const util::CliArgs& args) {
+                  positionals = args.positional();
+                  EXPECT_TRUE(args.get_bool("dry-run", false));
+                  return 0;
+                }});
+  EXPECT_EQ(dispatch(registry, {"tool", "run", "--dry-run", "file.json"}), 0);
+  ASSERT_EQ(positionals.size(), 2u);  // verb + file
+  EXPECT_EQ(positionals[1], "file.json");
+}
+
+TEST(CommandRegistry, MissingSubcommandIsUsageError) {
+  std::string err;
+  EXPECT_EQ(dispatch(make_registry(), {"tool"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("missing subcommand"), std::string::npos);
+  EXPECT_NE(err.find("tool run <file>"), std::string::npos);  // overview
+}
+
+TEST(CommandRegistry, UnknownVerbSuggestsTheClosest) {
+  std::string err;
+  EXPECT_EQ(dispatch(make_registry(), {"tool", "rn"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown subcommand \"rn\""), std::string::npos);
+  EXPECT_NE(err.find("did you mean \"run\"?"), std::string::npos);
+}
+
+TEST(CommandRegistry, UnknownFlagFailsWithSuggestionAndExit2) {
+  int ran = 0;
+  std::string err;
+  const auto registry = make_registry(&ran);
+  EXPECT_EQ(dispatch(registry, {"tool", "run", "--ot=x"}, nullptr, &err), 2);
+  EXPECT_EQ(ran, 0);
+  EXPECT_NE(err.find("--ot"), std::string::npos);
+  EXPECT_NE(err.find("--out"), std::string::npos);  // did you mean / allowed
+}
+
+// --- help and version ----------------------------------------------------
+
+TEST(CommandRegistry, VersionVerbAndFlag) {
+  std::string out;
+  EXPECT_EQ(dispatch(make_registry(), {"tool", "version"}, &out), 0);
+  EXPECT_EQ(out, "tool 1.2.3\n");
+  EXPECT_EQ(dispatch(make_registry(), {"tool", "--version"}, &out), 0);
+  EXPECT_EQ(out, "tool 1.2.3\n");
+}
+
+TEST(CommandRegistry, HelpOverviewListsEveryCommand) {
+  std::string out;
+  EXPECT_EQ(dispatch(make_registry(), {"tool", "help"}, &out), 0);
+  EXPECT_NE(out.find("tool — a test registry"), std::string::npos);
+  EXPECT_NE(out.find("run things"), std::string::npos);
+  EXPECT_NE(out.find("list things"), std::string::npos);
+  std::string flag_help;
+  EXPECT_EQ(dispatch(make_registry(), {"tool", "--help"}, &flag_help), 0);
+  EXPECT_EQ(out, flag_help);
+}
+
+TEST(CommandRegistry, HelpTopicShowsTheFlagTable) {
+  std::string out;
+  EXPECT_EQ(dispatch(make_registry(), {"tool", "help", "run"}, &out), 0);
+  EXPECT_NE(out.find("usage: tool run <file>"), std::string::npos);
+  EXPECT_NE(out.find("--out=PATH"), std::string::npos);
+  EXPECT_NE(out.find("--dry-run"), std::string::npos);
+  EXPECT_NE(out.find("plan only"), std::string::npos);
+}
+
+TEST(CommandRegistry, CommandDashDashHelpMatchesHelpTopic) {
+  std::string topic, flag;
+  int ran = 0;
+  const auto registry = make_registry(&ran);
+  EXPECT_EQ(dispatch(registry, {"tool", "help", "run"}, &topic), 0);
+  EXPECT_EQ(dispatch(registry, {"tool", "run", "--help"}, &flag), 0);
+  EXPECT_EQ(topic, flag);
+  EXPECT_EQ(ran, 0);  // --help never runs the command
+}
+
+TEST(CommandRegistry, HelpUnknownTopicSuggests) {
+  std::string err;
+  EXPECT_EQ(dispatch(make_registry(), {"tool", "help", "lst"}, nullptr, &err),
+            2);
+  EXPECT_NE(err.find("did you mean \"list\"?"), std::string::npos);
+}
+
+// --- output precedence ---------------------------------------------------
+
+TEST(ResolveOutput, FlagBeatsDocumentBeatsFallback) {
+  const Argv with_flag({"tool", "run", "--out=flag.json"});
+  const util::CliArgs args(with_flag.argc(), with_flag.argv(), {"out"});
+  EXPECT_EQ(resolve_output(args, "out", "doc.json", "fallback.json"),
+            "flag.json");
+
+  const Argv without({"tool", "run"});
+  const util::CliArgs bare(without.argc(), without.argv(), {"out"});
+  EXPECT_EQ(resolve_output(bare, "out", "doc.json", "fallback.json"),
+            "doc.json");
+  EXPECT_EQ(resolve_output(bare, "out", "", "fallback.json"),
+            "fallback.json");
+}
+
+TEST(ResolveOutput, ExplicitStdoutFlagWins) {
+  const Argv argv({"tool", "run", "--out=-"});
+  const util::CliArgs args(argv.argc(), argv.argv(), {"out"});
+  EXPECT_EQ(resolve_output(args, "out", "doc.json", "fallback.json"), "-");
+}
+
+}  // namespace
+}  // namespace adacheck::cli

@@ -1,7 +1,7 @@
 // The strict JSON parser (util/json): value-tree construction,
 // line/column error reporting, and the round-trip pin against the
 // harness/json_report writer — parse(sweep_json(...)) must preserve
-// every key and value of the adacheck-sweep-v4 schema.
+// every key and value of the adacheck-sweep-v5 schema.
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>
@@ -11,6 +11,7 @@
 
 #include "harness/json_report.hpp"
 #include "harness/sweep.hpp"
+#include "util/version.hpp"
 
 namespace adacheck::util::json {
 namespace {
@@ -215,10 +216,12 @@ TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
     const Value doc = parse(text);
 
     EXPECT_EQ(doc.as_object().size(), include_perf ? 4u : 3u);
-    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v4");
+    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v5");
 
     const Value& cfg = *doc.find("config");
-    EXPECT_EQ(cfg.as_object().size(), 3u);
+    EXPECT_EQ(cfg.as_object().size(), 4u);
+    EXPECT_EQ(cfg.find("version")->as_string(),
+              adacheck::util::version_string());
     EXPECT_EQ(cfg.find("runs")->as_int(), 60);
     EXPECT_EQ(cfg.find("seed")->as_int(), 0x1234);
     EXPECT_FALSE(cfg.find("validate")->as_bool());

@@ -1,27 +1,42 @@
 // adacheck — the unified scenario driver.
 //
 // One binary fronting the whole simulation service: scenarios are
-// declarative JSON files (schema adacheck-scenario-v1, see
-// src/scenario/spec.hpp and README.md "Scenarios"), and every workload
-// — paper tables, environment sweeps, the satellite/UAV examples — is
-// a file under scenarios/ instead of a hand-compiled binary.
+// declarative JSON files (schema adacheck-scenario-v1), campaigns
+// (schema adacheck-campaign-v1) are matrices of scenario runs behind a
+// content-addressed result cache, and every workload — paper tables,
+// environment sweeps, the satellite/UAV examples — is a file under
+// scenarios/ instead of a hand-compiled binary.
 //
-// Subcommands:
-//   run       execute a scenario, write the adacheck-sweep-v4 report
-//   validate  parse + validate scenario files, run nothing
+// Subcommands (one cli::CommandRegistry declaration each — dispatch,
+// help, --version, and unknown-flag/verb "did you mean" all derive
+// from the declarations; see src/cli/command.hpp):
+//   run       execute a scenario, write the adacheck-sweep-v5 report
+//   campaign  execute a campaign through the result cache, write the
+//             adacheck-campaign-report-v1 report
+//   validate  parse + validate scenario/campaign files, run nothing
 //   list      show the registries scenarios can reference
+//   version   print the code-version string
 //
-// The cell section of a `run` report is byte-identical to the
-// equivalent programmatic sweep at any --threads value (compare with
-// --no-perf; the perf section legitimately differs), and so is the
-// --jsonl cell stream.  Progress (--progress) and status go to stderr
-// whenever stdout carries a document, so machine output stays clean.
+// Output selection follows ONE precedence rule everywhere
+// (cli::resolve_output): an explicit --out/--jsonl flag wins, else the
+// document's "output" object, else the built-in default
+// ("<name>_sweep.json" for run, "<name>_campaign.json" for campaign);
+// --out=- writes the report to stdout.  The cell section of a `run`
+// report is byte-identical to the equivalent programmatic sweep at any
+// --threads value (compare with --no-perf; the perf section
+// legitimately differs), and so is the --jsonl cell stream.  Progress
+// (--progress) and status go to stderr whenever stdout carries a
+// document, so machine output stays clean.
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "cli/command.hpp"
 #include "harness/json_report.hpp"
 #include "harness/stream_report.hpp"
 #include "model/fault_env.hpp"
@@ -31,40 +46,11 @@
 #include "sim/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
+#include "util/version.hpp"
 
 namespace {
 
 using namespace adacheck;
-
-int usage(std::ostream& os, int code) {
-  os << "adacheck — declarative scenario driver "
-        "(conf_date_LiCY06 reproduction)\n"
-        "\n"
-        "usage:\n"
-        "  adacheck run <scenario.json> [--runs=N] [--seed=S] "
-        "[--threads=T]\n"
-        "               [--budget=HW] [--budget-e=HW] [--min-runs=N] "
-        "[--max-runs=N]\n"
-        "               [--out=PATH] [--jsonl=PATH] [--progress] "
-        "[--quiet]\n"
-        "               [--validate] [--no-perf] [--dry-run]\n"
-        "  adacheck validate <scenario.json> [more.json ...]\n"
-        "  adacheck list [policies|environments|tables|metrics|budget]\n"
-        "\n"
-        "run flags override the scenario's config and budget blocks;\n"
-        "--budget targets a Wilson 95% half-width on P, --budget-e a\n"
-        "relative half-width on E (cells then stop at the first\n"
-        "256-run chunk boundary meeting every target, within\n"
-        "[--min-runs, --max-runs]); --out=- writes the report to\n"
-        "stdout; --jsonl streams one JSON line per completed cell (in\n"
-        "cell order, byte-identical across thread counts); --progress\n"
-        "keeps a live cells/runs-per-second line on stderr; --quiet\n"
-        "drops the status chatter; --dry-run binds and prints the plan\n"
-        "without simulating.  ADACHECK_THREADS sizes the worker pool\n"
-        "when --threads is not given.  Statistics are bit-identical\n"
-        "across thread counts.\n";
-  return code;
-}
 
 std::size_t cell_count(const std::vector<harness::ExperimentSpec>& specs) {
   std::size_t cells = 0;
@@ -81,12 +67,34 @@ std::ostream& null_stream() {
   return stream;
 }
 
-int cmd_run(int argc, char** argv) {
-  const util::CliArgs args(argc, argv,
-                           {"runs", "seed", "threads", "budget", "budget-e",
-                            "min-runs", "max-runs", "out", "jsonl",
-                            "progress!", "quiet!", "validate!", "no-perf!",
-                            "dry-run!"});
+/// Status stream selection shared by run and campaign: with --out=-
+/// the report owns stdout, so chatter moves to stderr; --quiet drops
+/// it entirely (errors still reach stderr either way).
+std::ostream& status_stream(bool quiet, const std::string& out_path) {
+  if (quiet) return null_stream();
+  return out_path == "-" ? std::cerr : std::cout;
+}
+
+// --- run -----------------------------------------------------------------
+
+const std::vector<cli::Flag> kRunFlags = {
+    {"runs", "N", "override config.runs (fixed Monte-Carlo count)"},
+    {"seed", "S", "override config.seed"},
+    {"threads", "T", "parallelism cap and shared-pool size (0 = default)"},
+    {"budget", "HW", "target Wilson 95% half-width on P"},
+    {"budget-e", "HW", "target relative 95% half-width on E"},
+    {"min-runs", "N", "budget floor (default one 256-run chunk)"},
+    {"max-runs", "N", "budget hard cap (default config.runs)"},
+    {"out", "PATH", "report path (\"-\" = stdout); overrides \"output\""},
+    {"jsonl", "PATH", "stream one JSON line per completed cell"},
+    {"progress", "", "live cells/runs-per-second line on stderr"},
+    {"quiet", "", "drop status chatter"},
+    {"validate", "", "run invariant validators on every run"},
+    {"no-perf", "", "omit the perf section (byte-stable report)"},
+    {"dry-run", "", "bind and print the plan without simulating"},
+};
+
+int cmd_run(const util::CliArgs& args) {
   if (args.positional().size() != 2) {
     std::cerr << "run expects exactly one scenario file\n";
     return 2;
@@ -136,20 +144,16 @@ int cmd_run(int argc, char** argv) {
     return 2;
   }
 
-  std::string out_path = args.get_string("out", scenario.output);
-  if (out_path.empty()) out_path = scenario.name + "_sweep.json";
+  const std::string out_path = cli::resolve_output(
+      args, "out", scenario.output, scenario.name + "_sweep.json");
   const std::string jsonl_path =
-      args.get_string("jsonl", scenario.output_jsonl);
+      cli::resolve_output(args, "jsonl", scenario.output_jsonl, "");
   if (jsonl_path == "-") {
     std::cerr << "--jsonl needs a file path (stdout is the report's)\n";
     return 2;
   }
-  // With --out=- the report owns stdout; status moves to stderr so the
-  // emitted JSON stays clean (and byte-comparable).  --quiet drops the
-  // chatter entirely; errors still reach stderr either way.
   const bool quiet = args.get_bool("quiet", false);
-  std::ostream& status =
-      quiet ? null_stream() : (out_path == "-" ? std::cerr : std::cout);
+  std::ostream& status = status_stream(quiet, out_path);
 
   const auto specs = scenario::bind_experiments(scenario);
   status << "scenario \"" << scenario.name << "\": " << specs.size()
@@ -248,20 +252,163 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
-int cmd_validate(int argc, char** argv) {
-  const util::CliArgs args(argc, argv, {"help"});
+// --- campaign ------------------------------------------------------------
+
+const std::vector<cli::Flag> kCampaignFlags = {
+    {"cache", "DIR", "result cache directory (overrides \"cache_dir\")"},
+    {"resume", "", "replay cached cells, execute only misses (default)"},
+    {"fresh", "", "ignore the cache, re-execute and overwrite everything"},
+    {"fail-fast", "", "stop at the first failed cell, skip the rest"},
+    {"threads", "T", "per-cell parallelism cap and shared-pool size"},
+    {"out", "PATH", "report path (\"-\" = stdout); overrides \"output\""},
+    {"jsonl", "PATH", "campaign stream: header + cell lines per cell"},
+    {"progress", "", "live progress line on stderr for executed cells"},
+    {"quiet", "", "drop status chatter"},
+    {"no-perf", "", "omit the execution section (byte-stable report)"},
+    {"dry-run", "", "plan, fingerprint, and probe the cache only"},
+};
+
+int cmd_campaign(const util::CliArgs& args) {
+  if (args.positional().size() != 2) {
+    std::cerr << "campaign expects exactly one campaign file\n";
+    return 2;
+  }
+  const auto spec = campaign::load_campaign_file(args.positional()[1]);
+
+  if (args.get_bool("fresh", false) && args.get_bool("resume", false)) {
+    std::cerr << "--fresh and --resume are mutually exclusive\n";
+    return 2;
+  }
+  const std::int64_t threads = args.get_int("threads", -1);
+  if (threads < -1 || threads > 4096) {
+    std::cerr << "--threads must be in [0, 4096]\n";
+    return 2;
+  }
+
+  const std::string out_path = cli::resolve_output(
+      args, "out", spec.output, spec.name + "_campaign.json");
+  const std::string jsonl_path =
+      cli::resolve_output(args, "jsonl", spec.output_jsonl, "");
+  if (jsonl_path == "-") {
+    std::cerr << "--jsonl needs a file path (stdout is the report's)\n";
+    return 2;
+  }
+  const bool quiet = args.get_bool("quiet", false);
+  std::ostream& status = status_stream(quiet, out_path);
+
+  campaign::CampaignOptions options;
+  options.resume = !args.get_bool("fresh", false);
+  options.fail_fast = args.get_bool("fail-fast", false);
+  options.threads = static_cast<int>(threads);
+  options.cache_dir = args.get_string("cache", "");
+  options.status = &status;
+
+  const std::string cache_dir =
+      options.cache_dir.empty() ? spec.cache_dir : options.cache_dir;
+
+  if (args.get_bool("dry-run", false)) {
+    const auto plan = campaign::plan_campaign(spec);
+    status << "campaign \"" << spec.name << "\": " << plan.cells.size()
+           << " cells, cache " << cache_dir << "\n";
+    for (const auto& cell : plan.cells) {
+      status << "  [" << (cell.index + 1) << "] " << cell.resolved.name;
+      if (!cell.environment.empty()) status << "@" << cell.environment;
+      status << " seed=" << cell.seed << " runs=" << cell.resolved.config.runs
+             << " cells=" << cell.sweep_cells << " fp=" << cell.fingerprint
+             << " "
+             << (campaign::cache_probe(cache_dir, cell.fingerprint)
+                     ? "cached"
+                     : "miss")
+             << "\n";
+    }
+    status << "dry run: campaign planned, nothing executed\n";
+    return 0;
+  }
+
+  if (threads >= 0) {
+    util::ThreadPool::set_shared_size(static_cast<int>(threads));
+  }
+
+  std::ofstream jsonl_file;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path, std::ios::binary);
+    if (!jsonl_file) {
+      std::cerr << "cannot open JSONL output file: " << jsonl_path << "\n";
+      return 1;
+    }
+    options.jsonl = &jsonl_file;
+  }
+  std::unique_ptr<harness::ProgressLine> progress;
+  if (args.get_bool("progress", false)) {
+    progress = std::make_unique<harness::ProgressLine>(std::cerr);
+    options.observer = progress.get();
+  }
+
+  status << "campaign \"" << spec.name << "\": cache " << cache_dir << "\n";
+  const auto result = campaign::run_campaign(spec, options);
+
+  campaign::CampaignReportOptions report_options;
+  report_options.include_execution = !args.get_bool("no-perf", false);
+  if (out_path == "-") {
+    campaign::write_campaign_json(spec, result, std::cout, report_options);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open output file: " << out_path << "\n";
+      return 1;
+    }
+    campaign::write_campaign_json(spec, result, out, report_options);
+  }
+
+  std::size_t cached = 0, executed = 0, failed = 0, skipped = 0;
+  long long runs = 0;
+  for (const auto& outcome : result.outcomes) {
+    switch (outcome.status) {
+      case campaign::CellStatus::kCached: ++cached; break;
+      case campaign::CellStatus::kExecuted: ++executed; break;
+      case campaign::CellStatus::kFailed: ++failed; break;
+      case campaign::CellStatus::kSkipped: ++skipped; break;
+    }
+    runs += outcome.runs_executed;
+  }
+  status << "campaign: " << cached << " cached, " << executed
+         << " executed, " << failed << " failed, " << skipped
+         << " skipped; " << runs << " runs in " << result.wall_seconds
+         << " s\n";
+  if (out_path != "-") status << "wrote " << out_path << "\n";
+  if (!jsonl_path.empty()) status << "streamed to " << jsonl_path << "\n";
+  return result.any_failed() ? 1 : 0;
+}
+
+// --- validate ------------------------------------------------------------
+
+int cmd_validate(const util::CliArgs& args) {
   const auto& files = args.positional();  // [0] is the verb
   if (files.size() < 2) {
-    std::cerr << "validate expects at least one scenario file\n";
+    std::cerr << "validate expects at least one scenario or campaign file\n";
     return 2;
   }
   int failures = 0;
   for (std::size_t i = 1; i < files.size(); ++i) {
     try {
-      const auto scenario = scenario::load_scenario_file(files[i]);
-      const auto specs = scenario::bind_experiments(scenario);
-      std::cout << files[i] << ": ok (" << specs.size() << " experiments, "
-                << cell_count(specs) << " cells)\n";
+      // Dispatch on the document's "schema" member: campaign documents
+      // validate their matrix AND every referenced scenario (via
+      // planning); anything else must be a valid scenario.
+      std::ifstream in(files[i], std::ios::binary);
+      if (!in) throw std::runtime_error(files[i] + ": cannot open file");
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      if (campaign::is_campaign_document(util::json::parse(text))) {
+        const auto spec = campaign::load_campaign_file(files[i]);
+        const auto plan = campaign::plan_campaign(spec);
+        std::cout << files[i] << ": ok (campaign, " << plan.cells.size()
+                  << " cells)\n";
+      } else {
+        const auto scenario = scenario::load_scenario_file(files[i]);
+        const auto specs = scenario::bind_experiments(scenario);
+        std::cout << files[i] << ": ok (" << specs.size()
+                  << " experiments, " << cell_count(specs) << " cells)\n";
+      }
     } catch (const std::exception& e) {
       std::cerr << e.what() << "\n";
       ++failures;
@@ -270,14 +417,15 @@ int cmd_validate(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+// --- list ----------------------------------------------------------------
+
 void print_section(const std::string& heading,
                    const std::vector<std::string>& names) {
   std::cout << heading << ":\n";
   for (const auto& name : names) std::cout << "  " << name << "\n";
 }
 
-int cmd_list(int argc, char** argv) {
-  const util::CliArgs args(argc, argv, {"help"});
+int cmd_list(const util::CliArgs& args) {
   const std::string what =
       args.positional().size() > 1 ? args.positional()[1] : "";
   if (what.empty() || what == "policies") {
@@ -313,22 +461,30 @@ int cmd_list(int argc, char** argv) {
   return 0;
 }
 
+cli::CommandRegistry build_registry() {
+  cli::CommandRegistry registry(
+      "adacheck",
+      "adacheck — declarative scenario driver "
+      "(conf_date_LiCY06 reproduction)",
+      util::version_string());
+  registry.add({"run", "execute a scenario, write the sweep report",
+                "run <scenario.json>", kRunFlags, cmd_run});
+  registry.add({"campaign",
+                "execute a scenario matrix through the result cache",
+                "campaign <campaign.json>", kCampaignFlags, cmd_campaign});
+  registry.add({"validate", "parse + validate files, run nothing",
+                "validate <file.json> [more.json ...]", {}, cmd_validate});
+  registry.add({"list", "show the registries scenarios can reference",
+                "list [policies|environments|tables|metrics|budget]", {},
+                cmd_list});
+  return registry;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string verb = util::CliArgs::subcommand(argc, argv);
   try {
-    if (verb == "run") return cmd_run(argc, argv);
-    if (verb == "validate") return cmd_validate(argc, argv);
-    if (verb == "list") return cmd_list(argc, argv);
-    if (verb == "help" ||
-        util::CliArgs(argc, argv, {"help"}).get_bool("help", false)) {
-      return usage(std::cout, 0);
-    }
-    std::cerr << (verb.empty() ? std::string("missing subcommand")
-                               : "unknown subcommand \"" + verb + "\"")
-              << "\n\n";
-    return usage(std::cerr, 2);
+    return build_registry().dispatch(argc, argv, std::cout, std::cerr);
   } catch (const std::exception& e) {
     std::cerr << "adacheck: " << e.what() << "\n";
     return 1;

@@ -1,14 +1,19 @@
 #include "campaign/runner.hpp"
 
 #include <chrono>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <utility>
 
 #include "harness/json_writer.hpp"
 #include "scenario/binder.hpp"
+#include "util/thread_pool.hpp"
 #include "util/version.hpp"
 
 namespace adacheck::campaign {
@@ -285,6 +290,35 @@ bool cache_probe(const std::string& cache_dir,
   return cache_load(cache_dir, fingerprint).has_value();
 }
 
+namespace {
+
+/// Serializes an external observer shared by concurrently executing
+/// cell sweeps.  The runner serializes callbacks *within* one sweep,
+/// but two cells' sweeps may fire at the same time.
+class LockedObserver final : public sim::ISweepObserver {
+ public:
+  explicit LockedObserver(sim::ISweepObserver* inner) : inner_(inner) {}
+
+  void on_cell_start(std::size_t cell) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->on_cell_start(cell);
+  }
+  void on_cell_done(std::size_t cell, const sim::CellResult& result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->on_cell_done(cell, result);
+  }
+  void on_progress(const sim::SweepProgress& progress) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->on_progress(progress);
+  }
+
+ private:
+  sim::ISweepObserver* inner_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const CampaignOptions& options) {
   CampaignResult result;
@@ -302,38 +336,41 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   }
 
   const auto start = std::chrono::steady_clock::now();
-  bool stop = false;
-  for (std::size_t i = 0; i < result.plan.cells.size(); ++i) {
-    const CampaignCell& cell = result.plan.cells[i];
-    CellOutcome& outcome = result.outcomes[i];
-    if (stop) {
-      outcome.status = CellStatus::kSkipped;
-      continue;
-    }
+  const std::size_t n = result.plan.cells.size();
 
+  auto prefix_for = [&](std::size_t i) {
+    const CampaignCell& cell = result.plan.cells[i];
     std::string label = cell.resolved.name;
     if (!cell.environment.empty()) label += "@" + cell.environment;
     label += " seed=" + std::to_string(cell.seed);
-    const std::string prefix = "[" + std::to_string(i + 1) + "/" +
-                               std::to_string(result.plan.cells.size()) +
-                               "] " + label;
+    return "[" + std::to_string(i + 1) + "/" + std::to_string(n) + "] " +
+           label;
+  };
 
-    if (options.jsonl != nullptr) *options.jsonl << header_line(cell);
+  // Replays a committed cache entry into the cell's buffers; false on
+  // a miss.
+  auto try_replay = [&](std::size_t i, std::string& payload_out,
+                        std::string& status_out) {
+    const CampaignCell& cell = result.plan.cells[i];
+    auto entry = cache_load(result.cache_dir, cell.fingerprint);
+    if (!entry) return false;
+    CellOutcome& outcome = result.outcomes[i];
+    outcome.status = CellStatus::kCached;
+    outcome.runs_executed = 0;
+    outcome.result_hash = util::content_hash128(entry->bytes).hex();
+    payload_out = std::move(entry->bytes);
+    status_out = prefix_for(i) + " cached (" +
+                 std::to_string(cell.sweep_cells) + " cells)\n";
+    return true;
+  };
 
-    if (options.resume) {
-      if (auto entry = cache_load(result.cache_dir, cell.fingerprint)) {
-        if (options.jsonl != nullptr) *options.jsonl << entry->bytes;
-        outcome.status = CellStatus::kCached;
-        outcome.runs_executed = 0;
-        outcome.result_hash = util::content_hash128(entry->bytes).hex();
-        if (options.status != nullptr) {
-          *options.status << prefix << " cached ("
-                          << cell.sweep_cells << " cells)\n";
-        }
-        continue;
-      }
-    }
-
+  // Executes cell i's sweep (cache commit included) into its buffers.
+  // Never throws: execution errors become kFailed outcomes.
+  auto execute_cell = [&](std::size_t i, std::string& payload_out,
+                          std::string& status_out,
+                          sim::ISweepObserver* observer) {
+    const CampaignCell& cell = result.plan.cells[i];
+    CellOutcome& outcome = result.outcomes[i];
     try {
       if (options.before_execute) options.before_execute(cell);
       scenario::ScenarioSpec to_run = cell.resolved;
@@ -344,33 +381,123 @@ CampaignResult run_campaign(const CampaignSpec& spec,
           bytes, harness::sweep_cell_refs(
                      scenario::bind_experiments(to_run)));
       sim::ObserverList observers;
-      observers.add(&stream).add(options.observer);
+      observers.add(&stream).add(observer);
       harness::SweepOptions sweep_options;
       sweep_options.observer = &observers;
       const harness::SweepResult sweep =
           scenario::run_scenario(to_run, sweep_options);
 
-      const std::string payload = bytes.str();
+      std::string payload = bytes.str();
       outcome.result_hash = util::content_hash128(payload).hex();
       cache_store(result.cache_dir, cell, payload, sweep.perf.total_runs,
                   outcome.result_hash);
-      if (options.jsonl != nullptr) *options.jsonl << payload;
       outcome.status = CellStatus::kExecuted;
       outcome.runs_executed = sweep.perf.total_runs;
-      if (options.status != nullptr) {
-        *options.status << prefix << " executed (" << cell.sweep_cells
-                        << " cells, " << sweep.perf.total_runs
-                        << " runs)\n";
-      }
+      payload_out = std::move(payload);
+      status_out = prefix_for(i) + " executed (" +
+                   std::to_string(cell.sweep_cells) + " cells, " +
+                   std::to_string(sweep.perf.total_runs) + " runs)\n";
     } catch (const std::exception& e) {
       outcome.status = CellStatus::kFailed;
       outcome.error = e.what();
-      if (options.status != nullptr) {
-        *options.status << prefix << " FAILED: " << e.what() << "\n";
+      status_out = prefix_for(i) + " FAILED: " + e.what() + "\n";
+    }
+  };
+
+  if (options.fail_fast) {
+    // Strictly sequential plan order so "skip everything after the
+    // first failure" stays exact — no cell is even attempted once an
+    // earlier one failed.
+    bool stop = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stop) {
+        result.outcomes[i].status = CellStatus::kSkipped;
+        continue;
       }
-      if (options.fail_fast) stop = true;
+      const CampaignCell& cell = result.plan.cells[i];
+      if (options.jsonl != nullptr) *options.jsonl << header_line(cell);
+      std::string payload, status_line;
+      if (!(options.resume && try_replay(i, payload, status_line))) {
+        execute_cell(i, payload, status_line, options.observer);
+      }
+      if (options.jsonl != nullptr) *options.jsonl << payload;
+      if (options.status != nullptr) *options.status << status_line;
+      if (result.outcomes[i].status == CellStatus::kFailed) stop = true;
+    }
+    result.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    return result;
+  }
+
+  // Concurrent engine.  Emission stays in plan order: each cell's
+  // header/payload/status lines are buffered, and a finalized cell
+  // flushes the contiguous done-prefix under a mutex — so the streams
+  // are byte-identical to a sequential run at any parallelism.
+  std::vector<std::string> payloads(n), status_lines(n);
+  std::vector<char> finalized(n, 0);
+  std::size_t next_emit = 0;
+  std::mutex emit_mu;
+  auto finalize = [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(emit_mu);
+    finalized[i] = 1;
+    while (next_emit < n && finalized[next_emit] != 0) {
+      if (options.jsonl != nullptr) {
+        *options.jsonl << header_line(result.plan.cells[next_emit])
+                       << payloads[next_emit];
+      }
+      if (options.status != nullptr) *options.status << status_lines[next_emit];
+      payloads[next_emit].clear();  // release buffered bytes early
+      ++next_emit;
+    }
+  };
+
+  // Phase 1: replay cache hits up front and split out the misses.
+  // Duplicate fingerprints are deferred behind their first occurrence
+  // so two executions never race on the same cache files.
+  std::vector<std::size_t> primaries, deferred;
+  std::set<std::string> claimed;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (options.resume && try_replay(i, payloads[i], status_lines[i])) {
+      finalize(i);
+      continue;
+    }
+    if (claimed.insert(result.plan.cells[i].fingerprint).second) {
+      primaries.push_back(i);
+    } else {
+      deferred.push_back(i);
     }
   }
+
+  // Phase 2: execute the unique-fingerprint misses concurrently.  Each
+  // sweep is internally parallel on the same shared pool; claimants
+  // help with sweep chunks while waiting, so the pool never deadlocks.
+  if (!primaries.empty()) {
+    LockedObserver locked(options.observer);
+    sim::ISweepObserver* observer =
+        options.observer != nullptr ? &locked : nullptr;
+    util::parallel_for(
+        util::ThreadPool::shared(), 0, static_cast<int>(primaries.size()), 1,
+        [&](int lo, int hi) {
+          for (int b = lo; b < hi; ++b) {
+            const std::size_t i = primaries[static_cast<std::size_t>(b)];
+            execute_cell(i, payloads[i], status_lines[i], observer);
+            finalize(i);
+          }
+        },
+        options.cell_parallelism);
+  }
+
+  // Phase 3: deferred duplicates.  Their primary has committed by now,
+  // so this is normally a replay; a miss (primary failed, or --fresh)
+  // executes sequentially.
+  for (const std::size_t i : deferred) {
+    if (!try_replay(i, payloads[i], status_lines[i])) {
+      execute_cell(i, payloads[i], status_lines[i], options.observer);
+    }
+    finalize(i);
+  }
+
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -448,6 +575,170 @@ std::string campaign_json(const CampaignSpec& spec,
   std::ostringstream out;
   write_campaign_json(spec, result, out, options);
   return out.str();
+}
+
+std::vector<CacheEntryInfo> cache_ls(const std::string& cache_dir) {
+  std::error_code ec;
+  if (!fs::exists(cache_dir, ec)) return {};
+  fs::directory_iterator it(cache_dir, ec);
+  if (ec) {
+    throw std::runtime_error(cache_dir + ": cannot read cache directory (" +
+                             ec.message() + ")");
+  }
+
+  struct Stem {
+    bool has_payload = false;
+    bool has_meta = false;
+    std::uintmax_t bytes = 0;
+    fs::file_time_type mtime{};  ///< the meta's when present
+    bool has_mtime = false;
+  };
+  std::map<std::string, Stem> stems;
+  for (const fs::directory_entry& entry : it) {
+    std::error_code fec;
+    if (!entry.is_regular_file(fec) || fec) continue;
+    const std::string name = entry.path().filename().string();
+    std::string stem;
+    bool meta = false;
+    if (name.size() > 10 && name.ends_with(".meta.json")) {
+      stem = name.substr(0, name.size() - 10);
+      meta = true;
+    } else if (name.size() > 6 && name.ends_with(".jsonl")) {
+      stem = name.substr(0, name.size() - 6);
+    } else {
+      continue;
+    }
+    Stem& record = stems[stem];
+    (meta ? record.has_meta : record.has_payload) = true;
+    const std::uintmax_t size = entry.file_size(fec);
+    if (!fec) record.bytes += size;
+    const fs::file_time_type mtime = entry.last_write_time(fec);
+    if (!fec && (meta || !record.has_mtime)) {
+      record.mtime = mtime;
+      record.has_mtime = true;
+    }
+  }
+
+  const auto now = fs::file_time_type::clock::now();
+  std::vector<CacheEntryInfo> entries;
+  entries.reserve(stems.size());
+  for (const auto& [stem, record] : stems) {
+    CacheEntryInfo info;
+    info.fingerprint = stem;
+    info.bytes = record.bytes;
+    if (record.has_mtime) {
+      info.age_seconds =
+          std::chrono::duration<double>(now - record.mtime).count();
+      if (info.age_seconds < 0.0) info.age_seconds = 0.0;
+    }
+    if (!record.has_meta) {
+      info.defect = "missing meta (uncommitted payload)";
+    } else if (!record.has_payload) {
+      info.defect = "missing payload";
+    } else {
+      try {
+        const auto meta = util::json::parse(
+            read_file(meta_path(cache_dir, stem)));
+        const util::json::Value* fp = meta.find("fingerprint");
+        const util::json::Value* hash = meta.find("result_hash");
+        if (fp == nullptr || !fp->is_string() || fp->as_string() != stem) {
+          info.defect = "meta names a different fingerprint";
+        } else if (hash == nullptr || !hash->is_string()) {
+          info.defect = "meta lacks result_hash";
+        } else if (util::content_hash128(
+                       read_file(payload_path(cache_dir, stem)))
+                       .hex() != hash->as_string()) {
+          info.defect = "payload bytes do not match result_hash";
+        } else {
+          info.valid = true;
+          if (const auto* v = meta.find("scenario"); v && v->is_string()) {
+            info.scenario = v->as_string();
+          }
+          if (const auto* v = meta.find("environment"); v && v->is_string()) {
+            info.environment = v->as_string();
+          }
+          if (const auto* v = meta.find("seed"); v && v->is_number()) {
+            info.seed = static_cast<std::uint64_t>(v->as_int());
+          }
+          if (const auto* v = meta.find("sweep_cells"); v && v->is_number()) {
+            info.sweep_cells = static_cast<std::size_t>(v->as_int());
+          }
+          if (const auto* v = meta.find("total_runs"); v && v->is_number()) {
+            info.total_runs = v->as_int();
+          }
+          if (const auto* v = meta.find("code_version"); v && v->is_string()) {
+            info.code_version = v->as_string();
+          }
+        }
+      } catch (const std::exception&) {
+        info.defect = "unparsable meta";
+      }
+    }
+    entries.push_back(std::move(info));
+  }
+  return entries;
+}
+
+CacheGcResult cache_gc(const std::string& cache_dir,
+                       const CacheGcOptions& options) {
+  CacheGcResult result;
+  for (CacheEntryInfo& info : cache_ls(cache_dir)) {
+    const bool expired = options.older_than_seconds > 0.0 &&
+                         info.age_seconds >= options.older_than_seconds;
+    if (info.valid && !expired) {
+      ++result.kept;
+      continue;
+    }
+    if (!options.dry_run) {
+      // Meta first: it is the commit marker, so a crash mid-removal
+      // leaves an uncommitted payload (an ordinary miss), never a
+      // committed entry with missing bytes.
+      std::error_code ec;
+      fs::remove(meta_path(cache_dir, info.fingerprint), ec);
+      fs::remove(payload_path(cache_dir, info.fingerprint), ec);
+    }
+    result.bytes_freed += info.bytes;
+    result.removed.push_back(std::move(info));
+  }
+  return result;
+}
+
+double parse_duration_seconds(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("empty duration");
+  }
+  double scale = 1.0;
+  std::string number = text;
+  switch (text.back()) {
+    case 's': scale = 1.0; break;
+    case 'm': scale = 60.0; break;
+    case 'h': scale = 3600.0; break;
+    case 'd': scale = 86400.0; break;
+    case 'w': scale = 604800.0; break;
+    default:
+      if (std::isdigit(static_cast<unsigned char>(text.back())) == 0) {
+        throw std::invalid_argument(
+            text + ": unknown duration unit '" + std::string(1, text.back()) +
+            "' (use s, m, h, d, or w)");
+      }
+      scale = 0.0;  // plain number of seconds, no unit to strip
+  }
+  if (scale != 0.0) {
+    number = text.substr(0, text.size() - 1);
+  } else {
+    scale = 1.0;
+  }
+  std::size_t parsed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(number, &parsed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(text + ": not a duration");
+  }
+  if (parsed != number.size() || value < 0.0) {
+    throw std::invalid_argument(text + ": not a duration");
+  }
+  return value * scale;
 }
 
 }  // namespace adacheck::campaign

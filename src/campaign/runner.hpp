@@ -22,14 +22,21 @@
 // (torn write, manual edit) is treated as a miss too — the cache can
 // only replay exactly what a fresh run would produce.
 //
-// run_campaign executes cells sequentially in plan order (each cell's
-// sweep is internally parallel on the shared pool), replaying cached
-// cells and simulating the rest; with resume=false every cell is
-// re-executed and the cache overwritten.  The campaign JSONL stream
-// interleaves one adacheck-campaign-cell-v1 header line per cell with
-// that cell's adacheck-cell-v2 body lines (cached or fresh — same
-// bytes), so a rerun over a warm cache reproduces the stream
-// byte-for-byte.
+// run_campaign replays cached cells and executes the misses
+// CONCURRENTLY — cells are independent, so cache-miss cells run as
+// parallel tasks on the shared pool (each internally parallel too;
+// CampaignOptions::cell_parallelism caps how many are in flight, and
+// fail_fast falls back to strictly sequential plan order so "skip
+// everything after the first failure" stays exact).  Two cells with
+// the same fingerprint never execute concurrently: the first
+// occurrence runs, later duplicates replay its committed result.
+// Report and JSONL emission stay in deterministic plan order
+// regardless — per-cell output is buffered and flushed as the
+// contiguous done-prefix grows — so the stream is byte-identical to a
+// sequential run.  The JSONL stream interleaves one
+// adacheck-campaign-cell-v1 header line per cell with that cell's
+// adacheck-cell-v2 body lines (cached or fresh — same bytes), and a
+// rerun over a warm cache reproduces it byte-for-byte.
 #pragma once
 
 #include <functional>
@@ -102,15 +109,19 @@ struct CampaignOptions {
   /// Parallelism cap for each cell's sweep; -1 = keep each scenario's
   /// own config.threads.  Never part of the fingerprint.
   int threads = -1;
+  /// Cache-miss cells in flight at once: 0 = shared-pool width, 1 =
+  /// strictly sequential (also forced by fail_fast).  Results and the
+  /// emitted report/JSONL bytes are identical for every value.
+  int cell_parallelism = 0;
   /// Overrides the document's cache_dir when non-empty.
-  std::string cache_dir;
+  std::string cache_dir = {};
   std::ostream* status = nullptr;  ///< per-cell progress lines
   std::ostream* jsonl = nullptr;   ///< campaign JSONL stream
   /// Extra observer for each freshly executed sweep (progress lines).
   sim::ISweepObserver* observer = nullptr;
   /// Test seam, called before a cell is (re)executed — never for
   /// cache hits; a throw marks the cell failed.
-  std::function<void(const CampaignCell&)> before_execute;
+  std::function<void(const CampaignCell&)> before_execute = {};
 };
 
 struct CampaignResult {
@@ -148,5 +159,54 @@ void write_campaign_json(const CampaignSpec& spec,
 std::string campaign_json(const CampaignSpec& spec,
                           const CampaignResult& result,
                           const CampaignReportOptions& options = {});
+
+// --- cache inspection and pruning (`adacheck campaign ls` / `gc`) --------
+
+/// One cache entry as found on disk.  `valid` means what cache_probe
+/// means: meta parses, names the same fingerprint, and its result_hash
+/// matches the payload bytes; anything else is a defect run_campaign
+/// would treat as a miss, and `defect` says which.
+struct CacheEntryInfo {
+  std::string fingerprint;
+  bool valid = false;
+  std::string defect;       ///< "" when valid
+  std::string scenario;     ///< meta provenance (valid entries only)
+  std::string environment;
+  std::uint64_t seed = 0;
+  std::size_t sweep_cells = 0;
+  long long total_runs = 0;
+  std::string code_version;
+  std::uintmax_t bytes = 0;     ///< payload + meta size on disk
+  double age_seconds = 0.0;     ///< now - last write (the meta's when present)
+};
+
+/// Scans a cache directory; entries sorted by fingerprint (one per
+/// stem — orphan payloads and meta-only stubs appear as invalid
+/// entries).  Throws std::runtime_error when the directory cannot be
+/// read; a missing directory is an empty cache, not an error.
+std::vector<CacheEntryInfo> cache_ls(const std::string& cache_dir);
+
+struct CacheGcOptions {
+  /// Remove valid entries whose age is >= this many seconds; 0 keeps
+  /// every valid entry (corrupt ones are still pruned).
+  double older_than_seconds = 0.0;
+  /// Report what would be removed without touching the directory.
+  bool dry_run = false;
+};
+
+struct CacheGcResult {
+  std::vector<CacheEntryInfo> removed;  ///< pruned (or would-be, dry run)
+  std::size_t kept = 0;
+  std::uintmax_t bytes_freed = 0;
+};
+
+/// Prunes a cache directory: corrupt entries always (the self-healing
+/// sweep), valid entries by age when older_than_seconds is set.
+CacheGcResult cache_gc(const std::string& cache_dir,
+                       const CacheGcOptions& options = {});
+
+/// Parses a human age like "30" (seconds), "45s", "30m", "12h", or
+/// "7d" into seconds.  Throws std::invalid_argument on junk.
+double parse_duration_seconds(const std::string& text);
 
 }  // namespace adacheck::campaign

@@ -1,0 +1,309 @@
+#include "serve/job_manager.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "harness/stream_report.hpp"
+#include "scenario/binder.hpp"
+
+namespace adacheck::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+struct JobManager::Job {
+  std::uint64_t id = 0;
+  JobRequest request;
+  JobState state = JobState::kQueued;
+  std::size_t cells_total = 0;
+  std::size_t cells_done = 0;
+  long long runs_done = 0;
+  long long runs_executed = 0;
+  std::string jsonl;
+  std::string error;
+  sim::CancellationToken cancel;
+  Clock::time_point started;
+  double wall_seconds = 0.0;  ///< frozen at the terminal transition
+};
+
+/// Observer bridging one job's sweep to the manager: feeds the
+/// JsonlCellStream, then moves every freshly completed line into the
+/// job under the manager lock so stream_wait() sees it immediately.
+/// Sweep callbacks are serialized by the runner, so the buffer needs
+/// no locking of its own.
+class JobManager::SweepAdapter final : public sim::ISweepObserver {
+ public:
+  SweepAdapter(JobManager& manager, Job& job,
+               std::vector<harness::SweepCellRef> refs)
+      : manager_(manager), job_(job), stream_(buffer_, std::move(refs)) {}
+
+  void on_cell_done(std::size_t cell,
+                    const sim::CellResult& result) override {
+    stream_.on_cell_done(cell, result);
+    std::string bytes = buffer_.str();
+    buffer_.str(std::string());
+    manager_.publish(job_, std::move(bytes), /*cell_done=*/true);
+  }
+
+  void on_progress(const sim::SweepProgress& progress) override {
+    manager_.progress(job_, progress);
+  }
+
+ private:
+  JobManager& manager_;
+  Job& job_;
+  std::ostringstream buffer_;
+  harness::JsonlCellStream stream_;
+};
+
+JobManager::JobManager(Options options) : options_(std::move(options)) {
+  if (options_.max_queued < 1) options_.max_queued = 1;
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobManager::~JobManager() { shutdown(); }
+
+std::uint64_t JobManager::submit(JobRequest request) {
+  // Bind outside the lock: binding validates the document (throws
+  // ScenarioError before a job exists) and the result is discarded —
+  // the worker re-binds when the job runs.
+  const std::size_t cells =
+      harness::sweep_cell_refs(scenario::bind_experiments(request.scenario))
+          .size();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) throw std::runtime_error("job manager is shut down");
+  if (queued_ >= options_.max_queued) throw QueueFull(options_.max_queued);
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->request = std::move(request);
+  job->cells_total = cells;
+  const std::uint64_t id = job->id;
+  jobs_.emplace(id, std::move(job));
+  ++queued_;
+  queue_cv_.notify_one();
+  return id;
+}
+
+std::uint64_t JobManager::record_invalid(std::string source,
+                                         std::string error) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->request.source = std::move(source);
+  job->state = JobState::kFailed;
+  job->error = std::move(error);
+  const std::uint64_t id = job->id;
+  jobs_.emplace(id, std::move(job));
+  stream_cv_.notify_all();
+  return id;
+}
+
+JobManager::Job* JobManager::find_locked(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::optional<JobInfo> JobManager::status(std::uint64_t id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) return std::nullopt;
+  JobInfo info;
+  info.id = job->id;
+  info.name = job->request.scenario.name;
+  info.source = job->request.source;
+  info.state = job->state;
+  info.priority = job->request.priority;
+  info.cells_total = job->cells_total;
+  info.cells_done = job->cells_done;
+  info.runs_done = job->runs_done;
+  info.runs_executed = job->runs_executed;
+  info.jsonl_bytes = job->jsonl.size();
+  info.error = job->error;
+  info.wall_seconds = job->state == JobState::kRunning
+                          ? seconds_since(job->started)
+                          : job->wall_seconds;
+  return info;
+}
+
+std::vector<JobInfo> JobManager::list() const {
+  std::vector<std::uint64_t> ids;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ids.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) ids.push_back(id);
+  }
+  std::vector<JobInfo> infos;
+  infos.reserve(ids.size());
+  for (const auto id : ids) {
+    if (auto info = status(id)) infos.push_back(std::move(*info));
+  }
+  return infos;
+}
+
+bool JobManager::cancel(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Job* job = find_locked(id);
+  if (job == nullptr) return false;
+  if (job->state == JobState::kQueued) {
+    job->state = JobState::kCancelled;
+    --queued_;
+    stream_cv_.notify_all();
+  } else if (job->state == JobState::kRunning) {
+    job->cancel.request_stop();
+  }
+  return true;
+}
+
+JobManager::StreamChunk JobManager::stream_wait(std::uint64_t id,
+                                                std::size_t offset) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) {
+    throw std::out_of_range("unknown job " + std::to_string(id));
+  }
+  stream_cv_.wait(lock, [&] {
+    return stop_ || is_terminal(job->state) || job->jsonl.size() > offset;
+  });
+  StreamChunk chunk;
+  chunk.state = job->state;
+  if (offset < job->jsonl.size()) {
+    chunk.bytes = job->jsonl.substr(offset);
+  }
+  chunk.terminal = is_terminal(job->state) &&
+                   offset + chunk.bytes.size() >= job->jsonl.size();
+  // A manager shutdown must not leave streamers spinning on a job that
+  // will never progress again.
+  if (stop_) chunk.terminal = true;
+  return chunk;
+}
+
+std::size_t JobManager::queued() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queued_;
+}
+
+void JobManager::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stop_) {
+      stop_ = true;
+      for (auto& [id, job] : jobs_) {
+        if (job->state == JobState::kQueued) {
+          job->state = JobState::kCancelled;
+          --queued_;
+        } else if (job->state == JobState::kRunning) {
+          job->cancel.request_stop();
+        }
+      }
+    }
+    queue_cv_.notify_all();
+    stream_cv_.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+JobManager::Job* JobManager::pick_locked() {
+  Job* best = nullptr;
+  for (auto& [id, job] : jobs_) {
+    if (job->state != JobState::kQueued) continue;
+    if (best == nullptr || job->request.priority > best->request.priority) {
+      best = job.get();  // ids iterate ascending: first of a priority wins
+    }
+  }
+  return best;
+}
+
+void JobManager::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stop_ || pick_locked() != nullptr; });
+    if (stop_) return;
+    Job* job = pick_locked();
+    if (job == nullptr) continue;
+    job->state = JobState::kRunning;
+    job->started = Clock::now();
+    --queued_;
+    lock.unlock();
+    execute(*job);
+    lock.lock();
+    stream_cv_.notify_all();
+  }
+}
+
+void JobManager::execute(Job& job) {
+  const auto finish = [&](JobState state, std::string error,
+                          long long runs) {
+    std::unique_lock<std::mutex> lock(mu_);
+    job.state = state;
+    job.error = std::move(error);
+    job.runs_executed = runs;
+    job.wall_seconds = seconds_since(job.started);
+    stream_cv_.notify_all();
+  };
+  try {
+    if (options_.before_job) options_.before_job(job.id);
+    scenario::ScenarioSpec to_run = job.request.scenario;
+    if (job.request.threads > 0) {
+      to_run.config.threads = job.request.threads;
+    }
+    const auto specs = scenario::bind_experiments(to_run);
+    SweepAdapter adapter(*this, job, harness::sweep_cell_refs(specs));
+    harness::SweepOptions options;
+    options.observer = &adapter;
+    options.cancel = &job.cancel;
+    const auto sweep = harness::run_sweep(
+        specs, scenario::monte_carlo_config(to_run), options);
+    finish(JobState::kDone, "", sweep.perf.total_runs);
+  } catch (const sim::SweepCancelled&) {
+    finish(JobState::kCancelled, "", job.runs_done);
+  } catch (const std::exception& e) {
+    finish(JobState::kFailed,
+           "job " + std::to_string(job.id) + ": " + e.what(), 0);
+  }
+}
+
+void JobManager::publish(Job& job, std::string bytes, bool cell_done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (cell_done) ++job.cells_done;
+  if (!bytes.empty()) {
+    job.jsonl += bytes;
+    stream_cv_.notify_all();
+  }
+}
+
+void JobManager::progress(Job& job, const sim::SweepProgress& progress) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job.runs_done = progress.runs_done;
+}
+
+}  // namespace adacheck::serve

@@ -1,0 +1,311 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "scenario/spec.hpp"
+
+namespace adacheck::serve {
+
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// send() the whole buffer; false on any failure (client went away).
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Buffered line reader + writer for one accepted socket.
+class Server::Connection {
+ public:
+  explicit Connection(int fd) : fd_(fd) {}
+
+  int fd() const noexcept { return fd_; }
+
+  /// Next '\n'-terminated line (terminator stripped); false on EOF or
+  /// error.  A final unterminated fragment at EOF is delivered as a
+  /// line so `printf '...' | nc`-style clients still work.
+  bool read_line(std::string& line) {
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (buffer_.empty()) return false;
+        line = std::exchange(buffer_, std::string());
+        return true;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool send(const std::string& bytes) { return send_all(fd_, bytes); }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), jobs_(options_.jobs) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(errno_message("serve: cannot create socket"));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("serve: invalid host \"" + options_.host +
+                             "\" (expected a dotted IPv4 address)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string message = errno_message(
+        "serve: cannot bind " + options_.host + ":" +
+        std::to_string(options_.port));
+    ::close(listen_fd_);
+    throw std::runtime_error(message);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string message = errno_message("serve: cannot listen");
+    ::close(listen_fd_);
+    throw std::runtime_error(message);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+}
+
+Server::~Server() {
+  request_shutdown();
+  for (auto& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::string Server::endpoint() const {
+  return options_.host + ":" + std::to_string(port_);
+}
+
+void Server::log(char direction, const std::string& line) {
+  if (options_.transcript == nullptr) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  *options_.transcript << (direction == '>' ? ">> " : "<< ") << line;
+  if (line.empty() || line.back() != '\n') *options_.transcript << "\n";
+  options_.transcript->flush();
+}
+
+void Server::run() {
+  if (options_.status != nullptr) {
+    *options_.status << kProtocolSchema << " listening on " << endpoint()
+                     << "\n";
+    options_.status->flush();
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or hard error): stop accepting
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  // A shutdown request (or listener failure) ends the accept loop;
+  // everything else winds down here so run() returns fully stopped.
+  request_shutdown();
+  for (auto& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  connection_threads_.clear();
+}
+
+void Server::request_shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock connection reads; fds are closed by their handlers.
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  jobs_.shutdown();  // cancels all jobs, wakes every stream_wait
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept
+}
+
+void Server::handle_connection(int fd) {
+  Connection conn(fd);
+  std::string line;
+  while (conn.read_line(line)) {
+    if (line.empty()) continue;
+    log('>', line);
+    if (!handle_line(conn, line)) break;
+  }
+  ::close(fd);
+}
+
+bool Server::handle_line(Connection& conn, const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& e) {
+    const std::string response = error_response(e.what());
+    log('<', response);
+    return conn.send(response);
+  }
+
+  switch (request.type) {
+    case Request::Type::kSubmit:
+      handle_submit(conn, request);
+      return true;
+    case Request::Type::kStatus: {
+      const auto info = jobs_.status(request.job);
+      const std::string response =
+          info ? status_response(*info)
+               : error_response(
+                     "unknown job " + std::to_string(request.job),
+                     request.job);
+      log('<', response);
+      return conn.send(response);
+    }
+    case Request::Type::kList: {
+      const std::string response = list_response(jobs_.list());
+      log('<', response);
+      return conn.send(response);
+    }
+    case Request::Type::kCancel: {
+      std::string response;
+      if (!jobs_.cancel(request.job)) {
+        response = error_response(
+            "unknown job " + std::to_string(request.job), request.job);
+      } else {
+        response = cancel_response(request.job,
+                                   jobs_.status(request.job)->state);
+      }
+      log('<', response);
+      return conn.send(response);
+    }
+    case Request::Type::kStream:
+      handle_stream(conn, request);
+      return true;
+    case Request::Type::kShutdown: {
+      const std::string response = shutdown_response();
+      log('<', response);
+      conn.send(response);
+      request_shutdown();
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::handle_submit(Connection& conn, const Request& request) {
+  scenario::ScenarioSpec spec;
+  std::uint64_t id = 0;
+  try {
+    spec = request.document
+               ? scenario::parse_scenario(*request.document)
+               : scenario::load_scenario_file(request.path);
+    JobRequest job;
+    job.scenario = std::move(spec);
+    job.priority = request.priority;
+    job.threads = request.threads;
+    job.source = request.source;
+    id = jobs_.submit(std::move(job));
+  } catch (const QueueFull& e) {
+    const std::string response = error_response(e.what(), 0, true);
+    log('<', response);
+    conn.send(response);
+    return;
+  } catch (const std::exception& e) {
+    // The document never became a runnable job; record it as a failed
+    // one so the error stays addressable — and sourced — as "job <id>".
+    id = jobs_.record_invalid(request.source, e.what());
+    const std::string response = error_response(
+        "job " + std::to_string(id) + " (" + request.source + "): " +
+            e.what(),
+        id);
+    log('<', response);
+    conn.send(response);
+    return;
+  }
+  const std::string response = submit_response(id, JobState::kQueued);
+  log('<', response);
+  conn.send(response);
+}
+
+void Server::handle_stream(Connection& conn, const Request& request) {
+  if (!jobs_.status(request.job)) {
+    const std::string response = error_response(
+        "unknown job " + std::to_string(request.job), request.job);
+    log('<', response);
+    conn.send(response);
+    return;
+  }
+  const std::string opening = stream_response(request.job, request.from);
+  log('<', opening);
+  if (!conn.send(opening)) return;
+
+  std::size_t offset = request.from;
+  std::size_t streamed = 0;
+  for (;;) {
+    JobManager::StreamChunk chunk;
+    try {
+      chunk = jobs_.stream_wait(request.job, offset);
+    } catch (const std::out_of_range& e) {
+      conn.send(error_response(e.what(), request.job));
+      return;
+    }
+    if (!chunk.bytes.empty()) {
+      if (!conn.send(chunk.bytes)) return;  // client went away
+      offset += chunk.bytes.size();
+      streamed += chunk.bytes.size();
+    }
+    if (chunk.terminal) {
+      if (options_.transcript != nullptr && streamed > 0) {
+        log('<', "[streamed " + std::to_string(streamed) +
+                     " bytes of cell lines for job " +
+                     std::to_string(request.job) + "]");
+      }
+      const std::string eot =
+          stream_eot(request.job, chunk.state, offset);
+      log('<', eot);
+      conn.send(eot);
+      return;
+    }
+  }
+}
+
+}  // namespace adacheck::serve

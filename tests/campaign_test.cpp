@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -445,6 +446,166 @@ TEST(CampaignFiles, EveryShippedCampaignValidatesAndPlans) {
     }
   }
   EXPECT_GE(count, 2u);  // campaign_smoke, campaign_tables
+}
+
+// --- concurrent execution ------------------------------------------------
+
+TEST_F(CampaignTest, ConcurrentMissesMatchSequentialByteForByte) {
+  const auto spec = mini_campaign({1, 2, 3, 4});
+
+  CampaignOptions sequential;
+  sequential.cell_parallelism = 1;
+  std::ostringstream seq_jsonl, seq_status;
+  sequential.jsonl = &seq_jsonl;
+  sequential.status = &seq_status;
+  const auto seq = run_campaign(spec, sequential);
+
+  CampaignOptions parallel;
+  parallel.resume = false;  // force every cell to execute again
+  parallel.cell_parallelism = 0;
+  std::ostringstream par_jsonl, par_status;
+  parallel.jsonl = &par_jsonl;
+  parallel.status = &par_status;
+  const auto par = run_campaign(spec, parallel);
+
+  ASSERT_EQ(seq.outcomes.size(), 4u);
+  for (std::size_t i = 0; i < seq.outcomes.size(); ++i) {
+    EXPECT_EQ(par.outcomes[i].status, CellStatus::kExecuted);
+    EXPECT_EQ(par.outcomes[i].result_hash, seq.outcomes[i].result_hash);
+  }
+  // Emission is plan-ordered regardless of completion order, so the
+  // streams are byte-identical at any parallelism.
+  EXPECT_EQ(par_jsonl.str(), seq_jsonl.str());
+  EXPECT_EQ(par_status.str(), seq_status.str());
+}
+
+TEST_F(CampaignTest, DuplicateFingerprintsExecuteOnce) {
+  // Same scenario, same seed, twice: identical fingerprints.  The
+  // first occurrence executes, the duplicate replays its committed
+  // result — they never race on the same cache files.
+  auto spec = mini_campaign({9});
+  spec.matrix.push_back(spec.matrix[0]);
+
+  CampaignOptions options;
+  std::ostringstream jsonl;
+  options.jsonl = &jsonl;
+  const auto result = run_campaign(spec, options);
+
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_EQ(result.plan.cells[0].fingerprint,
+            result.plan.cells[1].fingerprint);
+  EXPECT_EQ(result.outcomes[0].status, CellStatus::kExecuted);
+  EXPECT_EQ(result.outcomes[1].status, CellStatus::kCached);
+  EXPECT_EQ(result.outcomes[0].result_hash, result.outcomes[1].result_hash);
+}
+
+// --- cache inspection (ls / gc) ------------------------------------------
+
+TEST_F(CampaignTest, CacheLsReportsValidEntriesWithProvenance) {
+  const auto spec = mini_campaign({1, 2});
+  const auto result = run_campaign(spec, {});
+
+  const auto entries = cache_ls(result.cache_dir);
+  ASSERT_EQ(entries.size(), 2u);
+  for (const auto& entry : entries) {
+    EXPECT_TRUE(entry.valid) << entry.defect;
+    EXPECT_EQ(entry.scenario, "mini");
+    EXPECT_EQ(entry.sweep_cells, 1u);
+    EXPECT_GT(entry.total_runs, 0);
+    EXPECT_EQ(entry.code_version, util::version_string());
+    EXPECT_GT(entry.bytes, 0u);
+    EXPECT_GE(entry.age_seconds, 0.0);
+  }
+  EXPECT_TRUE(entries[0].seed == 1 || entries[0].seed == 2);
+}
+
+TEST_F(CampaignTest, CacheLsFlagsEveryDefectKind) {
+  const auto spec = mini_campaign({1});
+  const auto result = run_campaign(spec, {});
+  const std::string fp = result.plan.cells[0].fingerprint;
+
+  // Corrupt the committed payload; add an orphan payload and a
+  // meta-only stub alongside.
+  write_file("cache/" + fp + ".jsonl", "{\"tampered\": true}\n");
+  write_file("cache/orphan.jsonl", "{}\n");
+  write_file("cache/stub.meta.json", "{\"fingerprint\": \"stub\"}\n");
+
+  const auto entries = cache_ls(result.cache_dir);
+  ASSERT_EQ(entries.size(), 3u);  // sorted by fingerprint
+  for (const auto& entry : entries) {
+    EXPECT_FALSE(entry.valid);
+    EXPECT_FALSE(entry.defect.empty());
+  }
+}
+
+TEST_F(CampaignTest, CacheLsOfMissingDirectoryIsEmpty) {
+  EXPECT_TRUE(cache_ls((dir_ / "no_such_cache").string()).empty());
+}
+
+TEST_F(CampaignTest, CacheGcPrunesCorruptKeepsValid) {
+  const auto spec = mini_campaign({1, 2});
+  const auto result = run_campaign(spec, {});
+  const std::string fp = result.plan.cells[0].fingerprint;
+  write_file("cache/" + fp + ".jsonl", "tampered\n");
+
+  CacheGcOptions dry;
+  dry.dry_run = true;
+  const auto preview = cache_gc(result.cache_dir, dry);
+  ASSERT_EQ(preview.removed.size(), 1u);
+  EXPECT_EQ(preview.removed[0].fingerprint, fp);
+  EXPECT_EQ(preview.kept, 1u);
+  // Dry run touched nothing: the defective entry is still there.
+  EXPECT_EQ(cache_ls(result.cache_dir).size(), 2u);
+
+  const auto gc = cache_gc(result.cache_dir, {});
+  ASSERT_EQ(gc.removed.size(), 1u);
+  EXPECT_GT(gc.bytes_freed, 0u);
+  const auto left = cache_ls(result.cache_dir);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_TRUE(left[0].valid);
+
+  // The pruned cell is an ordinary miss on the next resume run.
+  CampaignOptions options;
+  const auto rerun = run_campaign(spec, options);
+  EXPECT_EQ(rerun.outcomes[0].status, CellStatus::kExecuted);
+  EXPECT_EQ(rerun.outcomes[1].status, CellStatus::kCached);
+}
+
+TEST_F(CampaignTest, CacheGcAgePrunesOldValidEntries) {
+  const auto spec = mini_campaign({1});
+  const auto result = run_campaign(spec, {});
+
+  CacheGcOptions young;
+  young.older_than_seconds = 3600.0;  // entries are seconds old
+  EXPECT_TRUE(cache_gc(result.cache_dir, young).removed.empty());
+
+  // Backdate the entry's files: age is measured from mtime.
+  const auto past =
+      fs::file_time_type::clock::now() - std::chrono::hours(48);
+  for (const auto& file : fs::directory_iterator(result.cache_dir)) {
+    fs::last_write_time(file.path(), past);
+  }
+  CacheGcOptions old_enough;
+  old_enough.older_than_seconds = 3600.0;
+  const auto gc = cache_gc(result.cache_dir, old_enough);
+  ASSERT_EQ(gc.removed.size(), 1u);
+  EXPECT_TRUE(gc.removed[0].valid);  // pruned by age, not by defect
+  EXPECT_TRUE(cache_ls(result.cache_dir).empty());
+}
+
+TEST(CampaignDuration, ParsesUnitsAndRejectsJunk) {
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("30"), 30.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("45s"), 45.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("30m"), 1800.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("12h"), 43200.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("7d"), 604800.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("2w"), 1209600.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("1.5h"), 5400.0);
+  EXPECT_THROW(parse_duration_seconds(""), std::invalid_argument);
+  EXPECT_THROW(parse_duration_seconds("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_seconds("10x"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_seconds("-5m"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_seconds("m"), std::invalid_argument);
 }
 
 }  // namespace

@@ -12,7 +12,11 @@
 // from the declarations; see src/cli/command.hpp):
 //   run       execute a scenario, write the adacheck-sweep-v5 report
 //   campaign  execute a campaign through the result cache, write the
-//             adacheck-campaign-report-v1 report
+//             adacheck-campaign-report-v1 report; `campaign ls` and
+//             `campaign gc` inspect and prune the cache itself
+//   serve     long-lived job service: a loopback TCP daemon speaking
+//             adacheck-serve-v1 (submit/status/list/cancel/stream/
+//             shutdown) in front of a bounded priority job queue
 //   validate  parse + validate scenario/campaign files, run nothing
 //   list      show the registries scenarios can reference
 //   version   print the code-version string
@@ -27,10 +31,12 @@
 // legitimately differs), and so is the --jsonl cell stream.  Progress
 // (--progress) and status go to stderr whenever stdout carries a
 // document, so machine output stays clean.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,6 +49,7 @@
 #include "policy/factory.hpp"
 #include "scenario/binder.hpp"
 #include "scenario/spec.hpp"
+#include "serve/server.hpp"
 #include "sim/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
@@ -260,17 +267,118 @@ const std::vector<cli::Flag> kCampaignFlags = {
     {"fresh", "", "ignore the cache, re-execute and overwrite everything"},
     {"fail-fast", "", "stop at the first failed cell, skip the rest"},
     {"threads", "T", "per-cell parallelism cap and shared-pool size"},
+    {"cells", "N", "cache-miss cells in flight (0 = pool width)"},
     {"out", "PATH", "report path (\"-\" = stdout); overrides \"output\""},
     {"jsonl", "PATH", "campaign stream: header + cell lines per cell"},
     {"progress", "", "live progress line on stderr for executed cells"},
     {"quiet", "", "drop status chatter"},
     {"no-perf", "", "omit the execution section (byte-stable report)"},
-    {"dry-run", "", "plan, fingerprint, and probe the cache only"},
+    {"dry-run", "", "plan/probe only (campaign); report only (gc)"},
+    {"older-than", "AGE", "gc: prune valid entries older than 30m/12h/7d"},
 };
 
+/// Cache directory for `campaign ls` / `campaign gc`: --cache wins,
+/// else the campaign file named after the sub-verb supplies its
+/// cache_dir.  Empty string + error message when neither is given.
+std::string cache_dir_for(const util::CliArgs& args) {
+  std::string cache_dir = args.get_string("cache", "");
+  if (!cache_dir.empty()) return cache_dir;
+  if (args.positional().size() > 2) {
+    return campaign::load_campaign_file(args.positional()[2]).cache_dir;
+  }
+  return "";
+}
+
+std::string format_age(double seconds) {
+  std::ostringstream out;
+  if (seconds < 60.0) {
+    out << static_cast<long long>(seconds) << "s";
+  } else if (seconds < 3600.0) {
+    out << static_cast<long long>(seconds / 60.0) << "m";
+  } else if (seconds < 86400.0) {
+    out << static_cast<long long>(seconds / 3600.0) << "h";
+  } else {
+    out << static_cast<long long>(seconds / 86400.0) << "d";
+  }
+  return out.str();
+}
+
+void print_cache_entry(std::ostream& os, const campaign::CacheEntryInfo& e) {
+  os << "  " << e.fingerprint << "  ";
+  if (e.valid) {
+    os << e.scenario;
+    if (!e.environment.empty()) os << "@" << e.environment;
+    os << " seed=" << e.seed << " cells=" << e.sweep_cells
+       << " runs=" << e.total_runs;
+  } else {
+    os << "CORRUPT (" << e.defect << ")";
+  }
+  os << " age=" << format_age(e.age_seconds) << " " << e.bytes << "B\n";
+}
+
+int cmd_campaign_ls(const util::CliArgs& args) {
+  const std::string cache_dir = cache_dir_for(args);
+  if (cache_dir.empty()) {
+    std::cerr << "campaign ls needs --cache DIR or a campaign file\n";
+    return 2;
+  }
+  const auto entries = campaign::cache_ls(cache_dir);
+  std::size_t valid = 0;
+  std::uintmax_t bytes = 0;
+  for (const auto& entry : entries) {
+    if (entry.valid) ++valid;
+    bytes += entry.bytes;
+  }
+  std::cout << "cache " << cache_dir << ": " << entries.size() << " entries ("
+            << valid << " valid, " << (entries.size() - valid)
+            << " corrupt), " << bytes << " bytes\n";
+  for (const auto& entry : entries) print_cache_entry(std::cout, entry);
+  return 0;
+}
+
+int cmd_campaign_gc(const util::CliArgs& args) {
+  const std::string cache_dir = cache_dir_for(args);
+  if (cache_dir.empty()) {
+    std::cerr << "campaign gc needs --cache DIR or a campaign file\n";
+    return 2;
+  }
+  campaign::CacheGcOptions options;
+  options.dry_run = args.get_bool("dry-run", false);
+  const std::string older_than = args.get_string("older-than", "");
+  if (!older_than.empty()) {
+    try {
+      options.older_than_seconds = campaign::parse_duration_seconds(older_than);
+    } catch (const std::exception& e) {
+      std::cerr << "--older-than: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  const auto result = campaign::cache_gc(cache_dir, options);
+  const char* verb = options.dry_run ? "would remove" : "removed";
+  if (!result.removed.empty()) {
+    std::cout << verb << ":\n";
+    for (const auto& entry : result.removed) {
+      print_cache_entry(std::cout, entry);
+    }
+  }
+  std::cout << "gc " << cache_dir << ": " << verb << " "
+            << result.removed.size() << " entries (" << result.bytes_freed
+            << " bytes), kept " << result.kept << "\n";
+  return 0;
+}
+
 int cmd_campaign(const util::CliArgs& args) {
+  // `campaign ls` / `campaign gc` operate on the cache itself; the
+  // plain verb runs a campaign file.
+  if (args.positional().size() >= 2 && args.positional()[1] == "ls") {
+    return cmd_campaign_ls(args);
+  }
+  if (args.positional().size() >= 2 && args.positional()[1] == "gc") {
+    return cmd_campaign_gc(args);
+  }
   if (args.positional().size() != 2) {
-    std::cerr << "campaign expects exactly one campaign file\n";
+    std::cerr << "campaign expects one campaign file (or the ls/gc "
+                 "sub-verbs)\n";
     return 2;
   }
   const auto spec = campaign::load_campaign_file(args.positional()[1]);
@@ -296,10 +404,17 @@ int cmd_campaign(const util::CliArgs& args) {
   const bool quiet = args.get_bool("quiet", false);
   std::ostream& status = status_stream(quiet, out_path);
 
+  const std::int64_t cells = args.get_int("cells", 0);
+  if (cells < 0 || cells > 4096) {
+    std::cerr << "--cells must be in [0, 4096]\n";
+    return 2;
+  }
+
   campaign::CampaignOptions options;
   options.resume = !args.get_bool("fresh", false);
   options.fail_fast = args.get_bool("fail-fast", false);
   options.threads = static_cast<int>(threads);
+  options.cell_parallelism = static_cast<int>(cells);
   options.cache_dir = args.get_string("cache", "");
   options.status = &status;
 
@@ -398,7 +513,16 @@ int cmd_validate(const util::CliArgs& args) {
       if (!in) throw std::runtime_error(files[i] + ": cannot open file");
       std::string text((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
-      if (campaign::is_campaign_document(util::json::parse(text))) {
+      // Parse errors must carry the failing document's source: with
+      // several files on the command line, a bare "line 3: ..." is
+      // useless.
+      util::json::Value document;
+      try {
+        document = util::json::parse(text);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(files[i] + ": " + e.what());
+      }
+      if (campaign::is_campaign_document(document)) {
         const auto spec = campaign::load_campaign_file(files[i]);
         const auto plan = campaign::plan_campaign(spec);
         std::cout << files[i] << ": ok (campaign, " << plan.cells.size()
@@ -415,6 +539,99 @@ int cmd_validate(const util::CliArgs& args) {
     }
   }
   return failures == 0 ? 0 : 1;
+}
+
+// --- serve ---------------------------------------------------------------
+
+const std::vector<cli::Flag> kServeFlags = {
+    {"host", "ADDR", "bind address (default 127.0.0.1; local service)"},
+    {"port", "P", "TCP port (default 0 = kernel-chosen ephemeral)"},
+    {"port-file", "PATH", "write the bound port after listen (scripts)"},
+    {"queue", "N", "bounded submission queue; full rejects (default 64)"},
+    {"jobs", "N", "concurrent job executions (default 2)"},
+    {"threads", "T", "shared-pool size for job sweeps (0 = default)"},
+    {"transcript", "PATH", "write the protocol session transcript"},
+    {"quiet", "", "drop status chatter"},
+};
+
+/// SIGINT/SIGTERM land here so Ctrl-C drains jobs and exits cleanly
+/// instead of leaving half-written transcripts.
+serve::Server* g_serve_server = nullptr;
+
+void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_shutdown();
+}
+
+int cmd_serve(const util::CliArgs& args) {
+  if (args.positional().size() != 1) {
+    std::cerr << "serve takes no positional arguments\n";
+    return 2;
+  }
+  serve::ServerOptions options;
+  options.host = args.get_string("host", "127.0.0.1");
+  const std::int64_t port = args.get_int("port", 0);
+  if (port < 0 || port > 65535) {
+    std::cerr << "--port must be in [0, 65535]\n";
+    return 2;
+  }
+  options.port = static_cast<int>(port);
+  const std::int64_t queue = args.get_int("queue", 64);
+  if (queue < 1 || queue > 100000) {
+    std::cerr << "--queue must be in [1, 100000]\n";
+    return 2;
+  }
+  options.jobs.max_queued = static_cast<std::size_t>(queue);
+  const std::int64_t jobs = args.get_int("jobs", 2);
+  if (jobs < 1 || jobs > 256) {
+    std::cerr << "--jobs must be in [1, 256]\n";
+    return 2;
+  }
+  options.jobs.workers = static_cast<int>(jobs);
+  const std::int64_t threads = args.get_int("threads", 0);
+  if (threads < 0 || threads > 4096) {
+    std::cerr << "--threads must be in [0, 4096]\n";
+    return 2;
+  }
+  if (threads > 0) {
+    util::ThreadPool::set_shared_size(static_cast<int>(threads));
+  }
+
+  const bool quiet = args.get_bool("quiet", false);
+  if (!quiet) options.status = &std::cout;
+
+  std::ofstream transcript;
+  const std::string transcript_path = args.get_string("transcript", "");
+  if (!transcript_path.empty()) {
+    transcript.open(transcript_path, std::ios::binary | std::ios::trunc);
+    if (!transcript) {
+      std::cerr << "cannot open transcript file: " << transcript_path << "\n";
+      return 1;
+    }
+    options.transcript = &transcript;
+  }
+
+  serve::Server server(options);
+
+  const std::string port_file = args.get_string("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::binary | std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::cerr << "cannot write port file: " << port_file << "\n";
+      return 1;
+    }
+  }
+
+  g_serve_server = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server = nullptr;
+
+  if (!quiet) std::cout << "serve: shut down cleanly\n";
+  return 0;
 }
 
 // --- list ----------------------------------------------------------------
@@ -471,7 +688,11 @@ cli::CommandRegistry build_registry() {
                 "run <scenario.json>", kRunFlags, cmd_run});
   registry.add({"campaign",
                 "execute a scenario matrix through the result cache",
-                "campaign <campaign.json>", kCampaignFlags, cmd_campaign});
+                "campaign <campaign.json> | campaign ls|gc [campaign.json]",
+                kCampaignFlags, cmd_campaign});
+  registry.add({"serve", "long-lived job service (adacheck-serve-v1 TCP)",
+                "serve [--port P] [--port-file PATH]", kServeFlags,
+                cmd_serve});
   registry.add({"validate", "parse + validate files, run nothing",
                 "validate <file.json> [more.json ...]", {}, cmd_validate});
   registry.add({"list", "show the registries scenarios can reference",

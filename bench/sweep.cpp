@@ -20,11 +20,17 @@
 // and wall clock.  The budgeted path should hit matched precision in
 // a fraction of the runs; CI asserts the ratio stays >= 5x.
 //
+// Telemetry-overhead guard: a fourth measurement reruns the sweep
+// with the obs registry and tracer enabled, and the perf section
+// gains an advisory "telemetry_overhead" object comparing metered vs
+// unmetered throughput.  Same advisory stance as observer_overhead.
+//
 // Usage: bench_sweep [--runs=N] [--seed=S] [--threads=T]
 //                    [--out=BENCH_sweep.json] [--tables=table1a,table2b]
 //                    [--baseline=BENCH_sweep.json] [--no-observer-check]
 //                    [--precision-runs=N] [--precision-target=H]
-//                    [--no-precision-check] [--validate] [--no-perf]
+//                    [--no-precision-check] [--no-telemetry-check]
+//                    [--validate] [--no-perf]
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -36,6 +42,8 @@
 #include "harness/json_report.hpp"
 #include "harness/paper_params.hpp"
 #include "harness/sweep.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/observer.hpp"
 #include "util/cli.hpp"
@@ -70,7 +78,7 @@ int main(int argc, char** argv) {
                            {"runs", "seed", "threads", "out", "tables",
                             "baseline", "no-observer-check", "precision-runs",
                             "precision-target", "no-precision-check",
-                            "validate", "no-perf"});
+                            "no-telemetry-check", "validate", "no-perf"});
   sim::MonteCarloConfig config;
   config.runs = static_cast<int>(args.get_int("runs", 10'000));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5EED5EED));
@@ -186,6 +194,37 @@ int main(int argc, char** argv) {
     precision.budgeted_p_halfwidth =
         budgeted_stats.completion.wilson_halfwidth();
     options.precision = &precision;
+  }
+
+  // Telemetry-overhead probe: the same sweep with the metrics registry
+  // and tracer switched on.  The main sweep already measured the
+  // disabled path (telemetry defaults off), so one metered rerun gives
+  // the ratio the "telemetry is near-free" claim rests on.
+  harness::TelemetryBench telemetry;
+  if (options.include_perf && !args.get_bool("no-telemetry-check", false)) {
+    obs::Registry::instance().set_enabled(true);
+    obs::Tracer::instance().set_enabled(true);
+    const auto metered = harness::run_sweep(specs, config);
+    obs::Tracer::instance().set_enabled(false);
+    obs::Registry::instance().set_enabled(false);
+
+    telemetry.disabled_runs_per_second = sweep.perf.runs_per_second;
+    telemetry.enabled_runs_per_second = metered.perf.runs_per_second;
+    telemetry.events_recorded =
+        static_cast<long long>(obs::Tracer::instance().event_count());
+    obs::Tracer::instance().clear();
+    options.telemetry = &telemetry;
+
+    const double ratio =
+        telemetry.disabled_runs_per_second > 0.0
+            ? telemetry.enabled_runs_per_second /
+                  telemetry.disabled_runs_per_second
+            : 0.0;
+    if (ratio < harness::TelemetryBench::kMinTelemetryRatio) {
+      std::cerr << "advisory: metered path at " << ratio
+                << "x of unmetered throughput (tolerance "
+                << harness::TelemetryBench::kMinTelemetryRatio << "x)\n";
+    }
   }
 
   std::ofstream out(out_path);

@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "harness/json_writer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "scenario/binder.hpp"
 #include "util/thread_pool.hpp"
 #include "util/version.hpp"
@@ -21,6 +23,28 @@ namespace adacheck::campaign {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Telemetry handles (gated on Registry::enabled(); see obs/registry.hpp).
+/// Hit/miss semantics: a hit is a successful replay, a miss is a cell
+/// that had to execute, corrupt is a present-but-unverifiable entry
+/// (also counted as the miss its execution implies).
+struct CampaignMetrics {
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cache_corrupt;
+  obs::Gauge& cells_in_flight;
+  obs::LatencyHisto& cell_us;
+
+  static CampaignMetrics& get() {
+    static CampaignMetrics* const metrics = new CampaignMetrics{
+        obs::Registry::instance().counter("campaign.cache_hits"),
+        obs::Registry::instance().counter("campaign.cache_misses"),
+        obs::Registry::instance().counter("campaign.cache_corrupt"),
+        obs::Registry::instance().gauge("campaign.cells_in_flight"),
+        obs::Registry::instance().histogram("campaign.cell_us")};
+    return *metrics;
+  }
+};
 
 void write_budget(harness::JsonWriter& json, const sim::RunBudget& budget) {
   json.begin_object();
@@ -67,15 +91,20 @@ struct CacheEntry {
 
 /// Loads and verifies a cache entry; nullopt on any defect (missing
 /// file, unparsable meta, fingerprint or hash mismatch) — defects are
-/// misses, never errors, so a corrupted cache heals itself.
+/// misses, never errors, so a corrupted cache heals itself.  When
+/// `corrupt` is non-null it is set iff both files existed but failed
+/// verification (the telemetry distinction between "never cached" and
+/// "cached but damaged").
 std::optional<CacheEntry> cache_load(const std::string& cache_dir,
-                                     const std::string& fingerprint) {
+                                     const std::string& fingerprint,
+                                     bool* corrupt = nullptr) {
   const fs::path meta_file = meta_path(cache_dir, fingerprint);
   const fs::path payload_file = payload_path(cache_dir, fingerprint);
   std::error_code ec;
   if (!fs::exists(meta_file, ec) || !fs::exists(payload_file, ec)) {
     return std::nullopt;
   }
+  if (corrupt != nullptr) *corrupt = true;  // cleared on success below
   try {
     const auto meta = util::json::parse(read_file(meta_file));
     const util::json::Value* hash = meta.find("result_hash");
@@ -92,6 +121,7 @@ std::optional<CacheEntry> cache_load(const std::string& cache_dir,
     if (const util::json::Value* runs = meta.find("total_runs")) {
       if (runs->is_number()) entry.total_runs = runs->as_int();
     }
+    if (corrupt != nullptr) *corrupt = false;
     return entry;
   } catch (const std::exception&) {
     return std::nullopt;
@@ -352,7 +382,18 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   auto try_replay = [&](std::size_t i, std::string& payload_out,
                         std::string& status_out) {
     const CampaignCell& cell = result.plan.cells[i];
-    auto entry = cache_load(result.cache_dir, cell.fingerprint);
+    const bool telemetry = obs::Registry::instance().enabled();
+    bool corrupt = false;
+    auto entry = cache_load(result.cache_dir, cell.fingerprint,
+                            telemetry ? &corrupt : nullptr);
+    if (telemetry) {
+      if (entry) {
+        CampaignMetrics::get().cache_hits.add(1);
+      } else if (corrupt) {
+        CampaignMetrics::get().cache_corrupt.add(1);
+      }
+      // A plain miss is counted by the execution it forces.
+    }
     if (!entry) return false;
     CellOutcome& outcome = result.outcomes[i];
     outcome.status = CellStatus::kCached;
@@ -371,6 +412,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                           sim::ISweepObserver* observer) {
     const CampaignCell& cell = result.plan.cells[i];
     CellOutcome& outcome = result.outcomes[i];
+    const bool telemetry = obs::Registry::instance().enabled();
+    std::uint64_t started_us = 0;
+    if (telemetry) {
+      auto& metrics = CampaignMetrics::get();
+      metrics.cache_misses.add(1);  // executing == the cache missed
+      metrics.cells_in_flight.add(1);
+      started_us = obs::now_micros();
+    }
+    obs::Span span(cell.resolved.name, "campaign");
     try {
       if (options.before_execute) options.before_execute(cell);
       scenario::ScenarioSpec to_run = cell.resolved;
@@ -401,6 +451,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       outcome.status = CellStatus::kFailed;
       outcome.error = e.what();
       status_out = prefix_for(i) + " FAILED: " + e.what() + "\n";
+    }
+    if (telemetry) {
+      auto& metrics = CampaignMetrics::get();
+      metrics.cells_in_flight.add(-1);
+      metrics.cell_us.record(obs::now_micros() - started_us);
     }
   };
 

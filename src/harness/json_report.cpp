@@ -172,6 +172,24 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                   : 0.0);
       json.end_object();
     }
+    if (options.telemetry != nullptr) {
+      const TelemetryBench& bench = *options.telemetry;
+      json.key("telemetry_overhead");
+      json.begin_object();
+      json.kv("advisory", true);
+      json.kv("disabled_runs_per_second", bench.disabled_runs_per_second);
+      json.kv("enabled_runs_per_second", bench.enabled_runs_per_second);
+      const double ratio =
+          bench.disabled_runs_per_second > 0.0
+              ? bench.enabled_runs_per_second /
+                    bench.disabled_runs_per_second
+              : 0.0;
+      json.kv("enabled_vs_disabled_ratio", ratio);
+      json.kv("events_recorded", bench.events_recorded);
+      json.kv("within_tolerance",
+              ratio >= TelemetryBench::kMinTelemetryRatio);
+      json.end_object();
+    }
     json.end_object();
   }
 

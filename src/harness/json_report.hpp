@@ -47,6 +47,21 @@ struct PrecisionBench {
   double budgeted_p_halfwidth = 0.0;
 };
 
+/// Telemetry-enabled vs telemetry-disabled rerun of the same sweep,
+/// written into the perf section as "telemetry_overhead" (bench_sweep
+/// fills this).  Advisory like observer_overhead: the obs registry's
+/// sharded counters should keep the metered path within
+/// kMinTelemetryRatio of disabled-path throughput, and CI tracks the
+/// ratio instead of trusting the claim.
+struct TelemetryBench {
+  /// Metered path must keep >= 90% of disabled-path throughput.
+  static constexpr double kMinTelemetryRatio = 0.9;
+
+  double disabled_runs_per_second = 0.0;  ///< telemetry off (the default)
+  double enabled_runs_per_second = 0.0;   ///< registry + tracer on
+  long long events_recorded = 0;          ///< trace events from the metered run
+};
+
 struct JsonReportOptions {
   /// Emit the "perf" section (wall-clock, runs/s).  Disable to get a
   /// byte-stable document for determinism comparisons.
@@ -58,6 +73,9 @@ struct JsonReportOptions {
   /// "time_to_target_precision" object.  Not owned; must outlive the
   /// write call.
   const PrecisionBench* precision = nullptr;
+  /// When set (and include_perf), perf gains a "telemetry_overhead"
+  /// advisory object.  Not owned; must outlive the write call.
+  const TelemetryBench* telemetry = nullptr;
 };
 
 /// Writes the sweep as JSON (schema "adacheck-sweep-v5": v4 plus a

@@ -66,6 +66,14 @@ class JsonWriter {
   // non-template overload above.
   void value(std::integral auto v) { element_start(); os_ << v; }
 
+  /// Splices pre-encoded JSON verbatim as one value — for embedding a
+  /// document produced elsewhere (e.g. an obs stats snapshot inside a
+  /// protocol response line).  The caller owns its validity.
+  void raw_value(const std::string& json) {
+    element_start();
+    os_ << json;
+  }
+
   template <class T>
   void kv(const char* name, const T& v) {
     key(name);

@@ -1,0 +1,311 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace adacheck::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch as early as static init allows so now_micros() is
+// small-and-growing rather than anchored to the first instrumented call.
+const auto g_epoch_init = process_epoch();
+
+std::atomic<int> g_next_thread_id{0};
+
+}  // namespace
+
+std::uint64_t now_micros() noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - process_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+int thread_id() noexcept {
+  thread_local const int id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHisto
+
+void LatencyHisto::record(std::uint64_t micros) noexcept {
+  const int bin = std::min(static_cast<int>(std::bit_width(micros)), kBins - 1);
+  bins_[static_cast<std::size_t>(bin)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<long long>(micros), std::memory_order_relaxed);
+  long long seen = max_.load(std::memory_order_relaxed);
+  const auto value = static_cast<long long>(micros);
+  while (seen < value &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+long long LatencyHisto::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+long long LatencyHisto::sum_micros() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+long long LatencyHisto::max_micros() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHisto::quantile_micros(double q) const noexcept {
+  const long long total = count();
+  if (total <= 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  long long seen = 0;
+  for (int bin = 0; bin < kBins; ++bin) {
+    seen += bins_[static_cast<std::size_t>(bin)].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= target) {
+      // Upper bound of bin i is 2^i - 1 micros (bin 0 holds zeros);
+      // clamp to the observed maximum so the tail estimate never
+      // exceeds a real sample.
+      const double upper =
+          bin == 0 ? 0.0 : std::ldexp(1.0, bin) - 1.0;
+      return std::min(upper, static_cast<double>(max_micros()));
+    }
+  }
+  return static_cast<double>(max_micros());
+}
+
+void LatencyHisto::reset() noexcept {
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::instance() {
+  static Registry* const registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHisto& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHisto>();
+  return *slot;
+}
+
+StatsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back({name, counter->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back({name, gauge->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histo] : histograms_) {
+    StatsSnapshot::Histo h;
+    h.name = name;
+    h.count = histo->count();
+    h.sum_micros = histo->sum_micros();
+    h.max_micros = histo->max_micros();
+    h.p50_micros = histo->quantile_micros(0.50);
+    h.p90_micros = histo->quantile_micros(0.90);
+    h.p99_micros = histo->quantile_micros(0.99);
+    out.histograms.push_back(std::move(h));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histo] : histograms_) histo->reset();
+}
+
+// ---------------------------------------------------------------------------
+// adacheck-stats-v1 encoding
+//
+// obs sits below util/harness, so it carries its own minimal JSON
+// emitter: string keys are metric names (dot-separated identifiers)
+// but are escaped defensively anyway; doubles are emitted via
+// std::to_chars shortest round-trip like harness::JsonWriter.
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, long long value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, ptr);
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  std::string text(buf, ptr);
+  // Keep integral doubles recognisably floating ("12" -> "12.0").
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  out += text;
+}
+
+/// Tiny layout helper so compact and pretty share one emission path.
+struct Layout {
+  bool pretty = false;
+  int depth = 0;
+
+  void open(std::string& out, char brace) {
+    out.push_back(brace);
+    ++depth;
+  }
+  void close(std::string& out, char brace, bool had_items) {
+    --depth;
+    if (pretty && had_items) newline(out);
+    out.push_back(brace);
+  }
+  void item(std::string& out, bool first) {
+    if (!first) out.push_back(',');
+    if (pretty) newline(out);
+  }
+  void newline(std::string& out) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+  void key(std::string& out, const std::string& name) {
+    append_escaped(out, name);
+    out.push_back(':');
+    if (pretty) out.push_back(' ');
+  }
+};
+
+void append_scalars(std::string& out, Layout& layout,
+                    const std::vector<StatsSnapshot::Scalar>& scalars) {
+  layout.open(out, '{');
+  bool first = true;
+  for (const auto& scalar : scalars) {
+    layout.item(out, first);
+    first = false;
+    layout.key(out, scalar.name);
+    append_number(out, scalar.value);
+  }
+  layout.close(out, '}', !scalars.empty());
+}
+
+}  // namespace
+
+std::string stats_json(const StatsSnapshot& snapshot, bool pretty) {
+  std::string out;
+  Layout layout{pretty, 0};
+  layout.open(out, '{');
+
+  layout.item(out, true);
+  layout.key(out, "schema");
+  append_escaped(out, kStatsSchema);
+
+  layout.item(out, false);
+  layout.key(out, "counters");
+  append_scalars(out, layout, snapshot.counters);
+
+  layout.item(out, false);
+  layout.key(out, "gauges");
+  append_scalars(out, layout, snapshot.gauges);
+
+  layout.item(out, false);
+  layout.key(out, "histograms");
+  layout.open(out, '{');
+  bool first = true;
+  for (const auto& histo : snapshot.histograms) {
+    layout.item(out, first);
+    first = false;
+    layout.key(out, histo.name);
+    layout.open(out, '{');
+    layout.item(out, true);
+    layout.key(out, "count");
+    append_number(out, histo.count);
+    layout.item(out, false);
+    layout.key(out, "sum_micros");
+    append_number(out, histo.sum_micros);
+    layout.item(out, false);
+    layout.key(out, "max_micros");
+    append_number(out, histo.max_micros);
+    layout.item(out, false);
+    layout.key(out, "p50_micros");
+    append_number(out, histo.p50_micros);
+    layout.item(out, false);
+    layout.key(out, "p90_micros");
+    append_number(out, histo.p90_micros);
+    layout.item(out, false);
+    layout.key(out, "p99_micros");
+    append_number(out, histo.p99_micros);
+    layout.close(out, '}', true);
+  }
+  layout.close(out, '}', !snapshot.histograms.empty());
+
+  layout.close(out, '}', true);
+  if (pretty) out.push_back('\n');
+  return out;
+}
+
+}  // namespace adacheck::obs

@@ -1,0 +1,201 @@
+// Runtime telemetry: process-wide counters, gauges, and latency
+// histograms for the operational layers (thread pool, sweeps,
+// campaigns, serve).
+//
+// This is *operational* observability — queue depths, cache hit
+// rates, request latencies — as opposed to the *result* observability
+// of sim/metrics (statistics of the simulated system).  The hard
+// invariant, pinned by obs_test and a CI cmp: telemetry is purely
+// additive.  Result documents (sweep reports, cell JSONL, campaign
+// reports) are byte-identical with telemetry on, off, and at any
+// thread count; timestamps and durations appear only in obs outputs.
+//
+// Concurrency model:
+//  * Writes are atomics on the hot path.  Counters shard across
+//    cache-line-padded lanes keyed by a per-thread id, so concurrent
+//    increments never contend on one line; reads merge the shards.
+//  * A disabled registry costs instrumented code one relaxed load:
+//    every site checks `enabled()` before touching clocks or metrics.
+//  * Metric objects are created on first use under a mutex and are
+//    never destroyed or moved afterwards, so call sites may cache
+//    `Counter&` references for the process lifetime (reset() zeroes
+//    values in place, it does not invalidate references).
+//
+// Snapshots serialize as the adacheck-stats-v1 JSON document (the
+// serve `stats` verb and the --metrics-out flags): metric names map
+// to values, sorted by name, deterministic encoding.  Layering: obs
+// sits *below* util (the thread pool is itself instrumented), so this
+// header depends on the standard library only.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adacheck::obs {
+
+/// Monotonic microseconds since the process-wide telemetry epoch (the
+/// first call).  The one clock every obs timestamp uses — never wall
+/// time, so traces and transcripts are immune to clock steps.
+std::uint64_t now_micros() noexcept;
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-use
+/// order) — the "tid" of trace events and the counter-shard key.
+int thread_id() noexcept;
+
+/// Monotonically increasing event count, sharded to keep concurrent
+/// writers off each other's cache lines.
+class Counter {
+ public:
+  static constexpr int kShards = 8;
+
+  void add(long long delta = 1) noexcept {
+    shards_[static_cast<std::size_t>(thread_id()) % kShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Merged total across shards.
+  long long value() const noexcept {
+    long long total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<long long> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Point-in-time level (queue depth, cells in flight).  Last write
+/// wins; add() supports increment/decrement use.
+class Gauge {
+ public:
+  void set(long long value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(long long delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Latency histogram over log2 microsecond bins: bin i holds samples
+/// in [2^(i-1), 2^i) microseconds (bin 0 is < 1us).  Quantiles are
+/// bin-resolution estimates (reported as the bin's upper bound,
+/// clamped to the observed maximum) — right for "where does the time
+/// go", not for nanosecond benchmarking.
+class LatencyHisto {
+ public:
+  static constexpr int kBins = 64;
+
+  void record(std::uint64_t micros) noexcept;
+
+  long long count() const noexcept;
+  long long sum_micros() const noexcept;
+  long long max_micros() const noexcept;
+  /// q in (0, 1]; 0 when the histogram is empty.
+  double quantile_micros(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<long long>, kBins> bins_{};
+  std::atomic<long long> count_{0};
+  std::atomic<long long> sum_{0};
+  std::atomic<long long> max_{0};
+};
+
+/// One merged, ordered read of a registry (the adacheck-stats-v1
+/// payload before encoding).
+struct StatsSnapshot {
+  struct Scalar {
+    std::string name;
+    long long value = 0;
+  };
+  struct Histo {
+    std::string name;
+    long long count = 0;
+    long long sum_micros = 0;
+    long long max_micros = 0;
+    double p50_micros = 0.0;
+    double p90_micros = 0.0;
+    double p99_micros = 0.0;
+  };
+  std::vector<Scalar> counters;    ///< sorted by name
+  std::vector<Scalar> gauges;      ///< sorted by name
+  std::vector<Histo> histograms;   ///< sorted by name
+};
+
+inline constexpr const char* kStatsSchema = "adacheck-stats-v1";
+
+/// Serializes a snapshot as one adacheck-stats-v1 JSON document:
+/// {"schema":...,"counters":{name:value,...},"gauges":{...},
+/// "histograms":{name:{"count","sum_micros","max_micros",
+/// "p50_micros","p90_micros","p99_micros"},...}}.  Compact by default
+/// (embeddable in a protocol line); pretty adds two-space indentation
+/// for --metrics-out files.  Deterministic given the snapshot.
+std::string stats_json(const StatsSnapshot& snapshot, bool pretty = false);
+
+/// Named-metric registry.  The process-wide one is instance();
+/// separate instances exist for unit tests.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every instrumented layer writes to.
+  /// Never destroyed (worker threads may outlive static teardown).
+  static Registry& instance();
+
+  /// Master switch; disabled (the default) makes every instrumentation
+  /// site a single relaxed load.
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the named metric.  The reference stays valid for
+  /// the registry's lifetime; naming scheme is "layer.metric"
+  /// ("pool.queue_depth", "serve.request_us.submit").
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHisto& histogram(const std::string& name);
+
+  /// Merged, name-sorted read of everything registered so far.
+  StatsSnapshot snapshot() const;
+
+  /// Zeroes every value in place (references stay valid).  Tests only.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHisto>> histograms_;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace adacheck::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+namespace adacheck::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out.push_back(' ');  // control chars never appear in span names
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* const tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+void Tracer::complete(std::string name, const char* category,
+                      std::uint64_t start_micros, std::uint64_t dur_micros) {
+  if (!enabled()) return;
+  Event event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'X';
+  event.ts_micros = start_micros;
+  event.dur_micros = dur_micros;
+  event.tid = thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::instant(std::string name, const char* category) {
+  if (!enabled()) return;
+  Event event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.ts_micros = now_micros();
+  event.tid = thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  std::string line;
+  for (const auto& event : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    line.clear();
+    line += "  {\"name\": ";
+    append_escaped(line, event.name);
+    line += ", \"cat\": ";
+    append_escaped(line, event.category);
+    line += ", \"ph\": \"";
+    line.push_back(event.phase);
+    line += "\", \"ts\": ";
+    line += std::to_string(event.ts_micros);
+    if (event.phase == 'X') {
+      line += ", \"dur\": ";
+      line += std::to_string(event.dur_micros);
+    } else {
+      line += ", \"s\": \"t\"";
+    }
+    line += ", \"pid\": 1, \"tid\": ";
+    line += std::to_string(event.tid);
+    line += "}";
+    os << line;
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_json(os);
+  return os.good();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace adacheck::obs

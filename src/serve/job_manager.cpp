@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "harness/stream_report.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "scenario/binder.hpp"
 
 namespace adacheck::serve {
@@ -14,6 +16,41 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Telemetry handles (gated on Registry::enabled(); see obs/registry.hpp).
+struct ServeMetrics {
+  obs::Counter& jobs_submitted;
+  obs::Counter& jobs_done;
+  obs::Counter& jobs_failed;
+  obs::Counter& jobs_cancelled;
+  obs::Counter& rejected_queue_full;
+  obs::Gauge& queue_depth;
+
+  static ServeMetrics& get() {
+    static ServeMetrics* const metrics = new ServeMetrics{
+        obs::Registry::instance().counter("serve.jobs_submitted"),
+        obs::Registry::instance().counter("serve.jobs_done"),
+        obs::Registry::instance().counter("serve.jobs_failed"),
+        obs::Registry::instance().counter("serve.jobs_cancelled"),
+        obs::Registry::instance().counter("serve.rejected_queue_full"),
+        obs::Registry::instance().gauge("serve.queue_depth")};
+    return *metrics;
+  }
+};
+
+/// Terminal-state accounting shared by every path that parks a job in
+/// done/failed/cancelled (worker finish, queued cancel, shutdown,
+/// invalid submission).
+void count_terminal(JobState state) {
+  if (!obs::Registry::instance().enabled()) return;
+  auto& metrics = ServeMetrics::get();
+  switch (state) {
+    case JobState::kDone: metrics.jobs_done.add(1); break;
+    case JobState::kFailed: metrics.jobs_failed.add(1); break;
+    case JobState::kCancelled: metrics.jobs_cancelled.add(1); break;
+    default: break;
+  }
 }
 
 }  // namespace
@@ -47,6 +84,11 @@ struct JobManager::Job {
   sim::CancellationToken cancel;
   Clock::time_point started;
   double wall_seconds = 0.0;  ///< frozen at the terminal transition
+  /// obs::now_micros() stamps for the lifecycle trace spans ("job N
+  /// queued" from submit to pick, "job N run" from pick to terminal);
+  /// 0 when telemetry was off at submit time.
+  std::uint64_t submitted_us = 0;
+  std::uint64_t run_start_us = 0;
 };
 
 /// Observer bridging one job's sweep to the manager: feeds the
@@ -98,16 +140,26 @@ std::uint64_t JobManager::submit(JobRequest request) {
       harness::sweep_cell_refs(scenario::bind_experiments(request.scenario))
           .size();
 
+  const bool telemetry = obs::Registry::instance().enabled();
   std::unique_lock<std::mutex> lock(mu_);
   if (stop_) throw std::runtime_error("job manager is shut down");
-  if (queued_ >= options_.max_queued) throw QueueFull(options_.max_queued);
+  if (queued_ >= options_.max_queued) {
+    if (telemetry) ServeMetrics::get().rejected_queue_full.add(1);
+    throw QueueFull(options_.max_queued);
+  }
   auto job = std::make_unique<Job>();
   job->id = next_id_++;
   job->request = std::move(request);
   job->cells_total = cells;
+  if (telemetry) job->submitted_us = obs::now_micros();
   const std::uint64_t id = job->id;
   jobs_.emplace(id, std::move(job));
   ++queued_;
+  if (telemetry) {
+    auto& metrics = ServeMetrics::get();
+    metrics.jobs_submitted.add(1);
+    metrics.queue_depth.set(static_cast<long long>(queued_));
+  }
   queue_cv_.notify_one();
   return id;
 }
@@ -122,6 +174,7 @@ std::uint64_t JobManager::record_invalid(std::string source,
   job->error = std::move(error);
   const std::uint64_t id = job->id;
   jobs_.emplace(id, std::move(job));
+  count_terminal(JobState::kFailed);
   stream_cv_.notify_all();
   return id;
 }
@@ -175,6 +228,10 @@ bool JobManager::cancel(std::uint64_t id) {
   if (job->state == JobState::kQueued) {
     job->state = JobState::kCancelled;
     --queued_;
+    count_terminal(JobState::kCancelled);
+    if (obs::Registry::instance().enabled()) {
+      ServeMetrics::get().queue_depth.set(static_cast<long long>(queued_));
+    }
     stream_cv_.notify_all();
   } else if (job->state == JobState::kRunning) {
     job->cancel.request_stop();
@@ -219,9 +276,13 @@ void JobManager::shutdown() {
         if (job->state == JobState::kQueued) {
           job->state = JobState::kCancelled;
           --queued_;
+          count_terminal(JobState::kCancelled);
         } else if (job->state == JobState::kRunning) {
           job->cancel.request_stop();
         }
+      }
+      if (obs::Registry::instance().enabled()) {
+        ServeMetrics::get().queue_depth.set(static_cast<long long>(queued_));
       }
     }
     queue_cv_.notify_all();
@@ -253,6 +314,16 @@ void JobManager::worker_loop() {
     job->state = JobState::kRunning;
     job->started = Clock::now();
     --queued_;
+    if (obs::Registry::instance().enabled()) {
+      ServeMetrics::get().queue_depth.set(static_cast<long long>(queued_));
+      job->run_start_us = obs::now_micros();
+      if (job->submitted_us != 0) {
+        // The queued phase of the job's lifecycle, now that it ended.
+        obs::Tracer::instance().complete(
+            "job " + std::to_string(job->id) + " queued", "serve",
+            job->submitted_us, job->run_start_us - job->submitted_us);
+      }
+    }
     lock.unlock();
     execute(*job);
     lock.lock();
@@ -268,6 +339,12 @@ void JobManager::execute(Job& job) {
     job.error = std::move(error);
     job.runs_executed = runs;
     job.wall_seconds = seconds_since(job.started);
+    count_terminal(state);
+    if (job.run_start_us != 0 && obs::Registry::instance().enabled()) {
+      obs::Tracer::instance().complete(
+          "job " + std::to_string(job.id) + " run", "serve",
+          job.run_start_us, obs::now_micros() - job.run_start_us);
+    }
     stream_cv_.notify_all();
   };
   try {

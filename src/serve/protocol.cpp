@@ -64,13 +64,15 @@ const char* to_string(Request::Type type) {
     case Request::Type::kList: return "list";
     case Request::Type::kCancel: return "cancel";
     case Request::Type::kStream: return "stream";
+    case Request::Type::kStats: return "stats";
     case Request::Type::kShutdown: return "shutdown";
   }
   return "unknown";
 }
 
 std::vector<std::string> known_requests() {
-  return {"submit", "status", "list", "cancel", "stream", "shutdown"};
+  return {"submit", "status", "list", "cancel", "stream", "stats",
+          "shutdown"};
 }
 
 Request parse_request(const std::string& line) {
@@ -137,6 +139,9 @@ Request parse_request(const std::string& line) {
   } else if (req == "list") {
     request.type = Request::Type::kList;
     check_keys(root, req, {"req"});
+  } else if (req == "stats") {
+    request.type = Request::Type::kStats;
+    check_keys(root, req, {"req"});
   } else {
     request.type = Request::Type::kShutdown;
     check_keys(root, req, {"req"});
@@ -198,6 +203,14 @@ std::string stream_response(std::uint64_t job, std::size_t from) {
   line.json().kv("req", std::string("stream"));
   line.json().kv("job", job);
   line.json().kv("from", from);
+  return line.finish();
+}
+
+std::string stats_response(const std::string& stats_json) {
+  ResponseLine line(true);
+  line.json().kv("req", std::string("stats"));
+  line.json().key("stats");
+  line.json().raw_value(stats_json);
   return line.finish();
 }
 

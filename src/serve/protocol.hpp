@@ -17,6 +17,7 @@
 //   {"req": "list"}
 //   {"req": "cancel", "job": 3}
 //   {"req": "stream", "job": 3, "from": 0}   // byte offset, default 0
+//   {"req": "stats"}      // adacheck-stats-v1 telemetry snapshot
 //   {"req": "shutdown"}
 //
 // Responses always carry "schema": "adacheck-serve-v1" and "ok".
@@ -40,7 +41,15 @@ inline constexpr const char* kProtocolSchema = "adacheck-serve-v1";
 inline constexpr const char* kEotSchema = "adacheck-serve-eot-v1";
 
 struct Request {
-  enum class Type { kSubmit, kStatus, kList, kCancel, kStream, kShutdown };
+  enum class Type {
+    kSubmit,
+    kStatus,
+    kList,
+    kCancel,
+    kStream,
+    kStats,
+    kShutdown
+  };
   Type type = Type::kList;
 
   // submit — exactly one of `document` (inline scenario object) and
@@ -95,6 +104,11 @@ std::string cancel_response(std::uint64_t job, JobState state);
 /// The opening line of a stream reply: {"ok":true,"req":"stream",
 /// "job":N,"from":OFFSET}.
 std::string stream_response(std::uint64_t job, std::size_t from);
+
+/// {"ok":true,"req":"stats","stats":SNAPSHOT} — `stats_json` is a
+/// pre-encoded compact adacheck-stats-v1 document (obs::stats_json),
+/// spliced in verbatim.
+std::string stats_response(const std::string& stats_json);
 
 /// The closing line of a stream reply: {"schema":"adacheck-serve-
 /// eot-v1","job":N,"state":...,"bytes":TOTAL} — `bytes` is the job's

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "scenario/spec.hpp"
 
 namespace adacheck::serve {
@@ -18,6 +19,29 @@ namespace {
 std::string errno_message(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
+
+/// Counts and times one request by its wire verb ("submit", "list",
+/// ... or "invalid" for lines that never parsed).  Verb names are an
+/// enum-sized set, so the per-request registry lookups stay cheap.
+class RequestTimer {
+ public:
+  RequestTimer() : enabled_(obs::Registry::instance().enabled()) {
+    if (enabled_) start_ = obs::now_micros();
+  }
+  ~RequestTimer() {
+    if (!enabled_) return;
+    auto& registry = obs::Registry::instance();
+    registry.counter(std::string("serve.requests.") + verb_).add(1);
+    registry.histogram(std::string("serve.request_us.") + verb_)
+        .record(obs::now_micros() - start_);
+  }
+  void set_verb(const char* verb) noexcept { verb_ = verb; }
+
+ private:
+  bool enabled_;
+  const char* verb_ = "invalid";
+  std::uint64_t start_ = 0;
+};
 
 /// send() the whole buffer; false on any failure (client went away).
 bool send_all(int fd, const std::string& bytes) {
@@ -71,6 +95,11 @@ class Server::Connection {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), jobs_(options_.jobs) {
+  // A daemon always runs with metrics on: the stats verb must have
+  // real queue depths and request latencies to report, and telemetry
+  // is additive by construction (result bytes are pinned identical by
+  // serve_test / obs_test either way).
+  obs::Registry::instance().set_enabled(true);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error(errno_message("serve: cannot create socket"));
@@ -119,7 +148,10 @@ std::string Server::endpoint() const {
 void Server::log(char direction, const std::string& line) {
   if (options_.transcript == nullptr) return;
   std::unique_lock<std::mutex> lock(mu_);
-  *options_.transcript << (direction == '>' ? ">> " : "<< ") << line;
+  // Monotonic-micros prefix: transcripts double as a poor man's
+  // latency record, and monotonic time is immune to clock steps.
+  *options_.transcript << '[' << obs::now_micros() << "us] "
+                       << (direction == '>' ? ">> " : "<< ") << line;
   if (line.empty() || line.back() != '\n') *options_.transcript << "\n";
   options_.transcript->flush();
 }
@@ -177,6 +209,7 @@ void Server::handle_connection(int fd) {
 }
 
 bool Server::handle_line(Connection& conn, const std::string& line) {
+  RequestTimer timer;
   Request request;
   try {
     request = parse_request(line);
@@ -185,6 +218,7 @@ bool Server::handle_line(Connection& conn, const std::string& line) {
     log('<', response);
     return conn.send(response);
   }
+  timer.set_verb(to_string(request.type));
 
   switch (request.type) {
     case Request::Type::kSubmit:
@@ -220,6 +254,12 @@ bool Server::handle_line(Connection& conn, const std::string& line) {
     case Request::Type::kStream:
       handle_stream(conn, request);
       return true;
+    case Request::Type::kStats: {
+      const std::string response = stats_response(
+          obs::stats_json(obs::Registry::instance().snapshot()));
+      log('<', response);
+      return conn.send(response);
+    }
     case Request::Type::kShutdown: {
       const std::string response = shutdown_response();
       log('<', response);

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/validators.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -14,6 +16,21 @@
 namespace adacheck::sim {
 
 namespace {
+
+/// Telemetry handles (gated on Registry::enabled(); see obs/registry.hpp).
+struct SweepMetrics {
+  obs::Counter& chunks;
+  obs::Counter& runs;
+  obs::Counter& budget_stops;
+
+  static SweepMetrics& get() {
+    static SweepMetrics* const metrics = new SweepMetrics{
+        obs::Registry::instance().counter("sweep.chunks"),
+        obs::Registry::instance().counter("sweep.runs"),
+        obs::Registry::instance().counter("sweep.budget_stops")};
+    return *metrics;
+  }
+};
 
 /// One contiguous slice of one job's run indices.
 struct Chunk {
@@ -200,8 +217,16 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
           std::lock_guard<std::mutex> lock(tracker->callback_mu);
           options.observer->on_cell_start(chunk.job);
         }
-        partials[static_cast<std::size_t>(c)] = run_chunk(
-            job.setup, job.factory, job.config, chunk.begin, chunk.end);
+        {
+          obs::Span span("chunk", "sweep");
+          partials[static_cast<std::size_t>(c)] = run_chunk(
+              job.setup, job.factory, job.config, chunk.begin, chunk.end);
+        }
+        if (obs::Registry::instance().enabled()) {
+          auto& metrics = SweepMetrics::get();
+          metrics.chunks.add(1);
+          metrics.runs.add(chunk.end - chunk.begin);
+        }
         if (tracker) {
           const bool cell_done =
               tracker->remaining[chunk.job]->fetch_sub(
@@ -231,16 +256,20 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
   int applied = 1;
   while (round_begin < chunks.size()) {
     const std::size_t round_end = chunks.size();
-    if (options.threads == 1) {
-      // Fully serial in the calling thread — never touches (or even
-      // constructs) the shared pool.
-      process(static_cast<int>(round_begin), static_cast<int>(round_end));
-    } else {
-      applied = std::max(
-          applied, util::parallel_for(util::ThreadPool::shared(),
-                                      static_cast<int>(round_begin),
-                                      static_cast<int>(round_end),
-                                      /*grain=*/1, process, options.threads));
+    {
+      obs::Span wave("wave", "sweep");
+      if (options.threads == 1) {
+        // Fully serial in the calling thread — never touches (or even
+        // constructs) the shared pool.
+        process(static_cast<int>(round_begin), static_cast<int>(round_end));
+      } else {
+        applied = std::max(
+            applied,
+            util::parallel_for(util::ThreadPool::shared(),
+                               static_cast<int>(round_begin),
+                               static_cast<int>(round_end),
+                               /*grain=*/1, process, options.threads));
+      }
     }
     if (options.threads_used != nullptr) {
       *options.threads_used = std::max(applied, 1);
@@ -264,6 +293,10 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
           // unabsorbed: the result is the stopping prefix, which is
           // the same prefix at any thread count.
           plan.done = true;
+          if (obs::Registry::instance().enabled()) {
+            SweepMetrics::get().budget_stops.add(1);
+            obs::Tracer::instance().instant("budget_stop", "sweep");
+          }
           break;
         }
       }

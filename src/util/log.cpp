@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <iostream>
 #include <mutex>
 
@@ -24,6 +25,20 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
+
+std::optional<LogLevel> parse_log_level(const std::string& text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
 
 void log_message(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> lock(g_mutex);

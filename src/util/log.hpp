@@ -2,6 +2,7 @@
 // logging is for harness progress reporting and example narration.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global threshold; messages below it are dropped.  Defaults to kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive; "warning"
+/// accepted).  nullopt on anything else — the --log-level flag and
+/// ADACHECK_LOG env var both route through this.
+std::optional<LogLevel> parse_log_level(const std::string& text) noexcept;
 
 /// Emits one line "[LEVEL] message" to stderr if enabled.  Thread-safe.
 void log_message(LogLevel level, const std::string& message);

@@ -8,9 +8,33 @@
 #include <string>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace adacheck::util {
 
 namespace {
+
+/// Telemetry handles, resolved once; every hot-path site gates on
+/// obs::Registry::instance().enabled() before touching them, so the
+/// disabled cost is one relaxed load.
+struct PoolMetrics {
+  obs::Counter& tasks_enqueued;
+  obs::Counter& tasks_helped;
+  obs::Gauge& queue_depth;
+  obs::LatencyHisto& task_wait_us;
+  obs::LatencyHisto& task_run_us;
+
+  static PoolMetrics& get() {
+    static PoolMetrics* const metrics = new PoolMetrics{
+        obs::Registry::instance().counter("pool.tasks_enqueued"),
+        obs::Registry::instance().counter("pool.tasks_helped"),
+        obs::Registry::instance().gauge("pool.queue_depth"),
+        obs::Registry::instance().histogram("pool.task_wait_us"),
+        obs::Registry::instance().histogram("pool.task_run_us")};
+    return *metrics;
+  }
+};
 
 /// Guards the shared-pool size request; a function-local static so the
 /// mutex exists before any static-initialization-order shenanigans.
@@ -88,28 +112,50 @@ int ThreadPool::parse_thread_override(const char* text) noexcept {
 }
 
 void ThreadPool::enqueue(Task task) {
+  const bool telemetry = obs::Registry::instance().enabled();
+  if (telemetry) task.enqueued_us = obs::now_micros();
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
       throw std::runtime_error("ThreadPool: submit after shutdown");
     }
     queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  if (telemetry) {
+    auto& metrics = PoolMetrics::get();
+    metrics.tasks_enqueued.add(1);
+    metrics.queue_depth.set(static_cast<long long>(depth));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::execute(Task task) noexcept {
+  const bool telemetry =
+      obs::Registry::instance().enabled() && task.enqueued_us != 0;
+  std::uint64_t start = 0;
+  if (telemetry) {
+    start = obs::now_micros();
+    PoolMetrics::get().task_wait_us.record(start - task.enqueued_us);
+  }
   std::exception_ptr error;
   try {
     task.fn();
   } catch (...) {
     error = std::current_exception();
   }
+  if (telemetry) {
+    const std::uint64_t end = obs::now_micros();
+    PoolMetrics::get().task_run_us.record(end - start);
+    obs::Tracer::instance().complete("task", "pool", start, end - start);
+  }
   task.group->finish(error);
 }
 
 bool ThreadPool::try_run_one(const TaskGroup* group) {
   Task task;
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = group == nullptr
@@ -121,6 +167,14 @@ bool ThreadPool::try_run_one(const TaskGroup* group) {
     if (it == queue_.end()) return false;
     task = std::move(*it);
     queue_.erase(it);
+    depth = queue_.size();
+  }
+  if (obs::Registry::instance().enabled()) {
+    // A waiter executing a queued task in place of a worker — the
+    // pool's flavor of work stealing.
+    auto& metrics = PoolMetrics::get();
+    metrics.tasks_helped.add(1);
+    metrics.queue_depth.set(static_cast<long long>(depth));
   }
   execute(std::move(task));
   return true;
@@ -137,6 +191,10 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (obs::Registry::instance().enabled()) {
+        PoolMetrics::get().queue_depth.set(
+            static_cast<long long>(queue_.size()));
+      }
     }
     execute(std::move(task));
   }

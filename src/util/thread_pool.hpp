@@ -25,6 +25,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -78,6 +79,9 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
+    /// obs::now_micros() at enqueue when telemetry is enabled, else 0;
+    /// execute() derives pool.task_wait_us from it.
+    std::uint64_t enqueued_us = 0;
   };
 
   void enqueue(Task task);

@@ -129,8 +129,24 @@ TEST(ServeProtocol, ParsesEveryRequestType) {
   EXPECT_EQ(parse_request(R"({"req": "list"})").type, Request::Type::kList);
   EXPECT_EQ(parse_request(R"({"req": "cancel", "job": 1})").type,
             Request::Type::kCancel);
+  EXPECT_EQ(parse_request(R"({"req": "stats"})").type, Request::Type::kStats);
   EXPECT_EQ(parse_request(R"({"req": "shutdown"})").type,
             Request::Type::kShutdown);
+}
+
+TEST(ServeProtocol, StatsIsAKeylessRequest) {
+  // No payload keys: anything beyond "req" is a schema violation.
+  EXPECT_THROW(parse_request(R"({"req": "stats", "job": 1})"),
+               ScenarioError);
+  // And the did-you-mean net catches the obvious typo.
+  try {
+    parse_request(R"({"req": "stat"})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean \"stats\"?"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ServeProtocol, UnknownRequestTypeSuggestsTheClosest) {
@@ -548,6 +564,44 @@ TEST_F(ServeServerTest, CancelAndShutdownOverTheWire) {
   EXPECT_TRUE(bye.find("ok")->as_bool());
   runner_.join();  // run() must return on its own after shutdown
   runner_ = std::thread([] {});
+}
+
+TEST_F(ServeServerTest, StatsReportsLiveCountersMonotonically) {
+  LineClient client("127.0.0.1", server_->port());
+  // Prime some traffic: one submitted job plus a list request.
+  ASSERT_TRUE(rpc(client, inline_submit()).find("ok")->as_bool());
+  ASSERT_TRUE(rpc(client, R"({"req": "list"})").find("ok")->as_bool());
+
+  const auto first = rpc(client, R"({"req": "stats"})");
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  EXPECT_EQ(first.find("req")->as_string(), "stats");
+  const auto* stats = first.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("schema")->as_string(), "adacheck-stats-v1");
+  const auto* counters = stats->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->find("serve.jobs_submitted")->as_int(), 1);
+  const auto lists = counters->find("serve.requests.list")->as_int();
+  EXPECT_GE(lists, 1);
+  // The queue-depth gauge and per-verb latency histograms exist too.
+  ASSERT_NE(stats->find("gauges")->find("serve.queue_depth"), nullptr);
+  const auto* latency =
+      stats->find("histograms")->find("serve.request_us.list");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->find("count")->as_int(), lists);
+
+  // More traffic -> strictly larger counts (counters never move down).
+  ASSERT_TRUE(rpc(client, R"({"req": "list"})").find("ok")->as_bool());
+  const auto second = rpc(client, R"({"req": "stats"})");
+  EXPECT_GT(second.find("stats")
+                ->find("counters")
+                ->find("serve.requests.list")
+                ->as_int(),
+            lists);
+
+  // Requests with unknown keys are rejected, not silently accepted.
+  const auto extra = rpc(client, R"({"req": "stats", "verbose": true})");
+  EXPECT_FALSE(extra.find("ok")->as_bool());
 }
 
 TEST_F(ServeServerTest, MalformedLineIsAnErrorNotADisconnect) {

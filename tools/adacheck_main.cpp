@@ -44,14 +44,21 @@
 #include "campaign/spec.hpp"
 #include "cli/command.hpp"
 #include "harness/json_report.hpp"
+#include "harness/json_writer.hpp"
 #include "harness/stream_report.hpp"
 #include "model/fault_env.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "policy/factory.hpp"
 #include "scenario/binder.hpp"
 #include "scenario/spec.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "sim/metrics.hpp"
+#include "util/canonical_json.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 #include "util/version.hpp"
 
@@ -80,6 +87,73 @@ std::ostream& null_stream() {
 std::ostream& status_stream(bool quiet, const std::string& out_path) {
   if (quiet) return null_stream();
   return out_path == "-" ? std::cerr : std::cout;
+}
+
+// --- telemetry plumbing (shared by run, campaign, serve) -----------------
+
+/// The two obs output flags; appended to each batch verb's table.
+const cli::Flag kTraceOutFlag = {
+    "trace-out", "PATH",
+    "write a Chrome/Perfetto trace (open in ui.perfetto.dev)"};
+const cli::Flag kMetricsOutFlag = {
+    "metrics-out", "PATH", "write the adacheck-stats-v1 metrics snapshot"};
+
+std::vector<cli::Flag> with_telemetry_flags(std::vector<cli::Flag> flags) {
+  flags.push_back(kTraceOutFlag);
+  flags.push_back(kMetricsOutFlag);
+  return flags;
+}
+
+struct TelemetryOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+/// Reads the obs flags and switches telemetry on accordingly.  With
+/// neither flag the registry stays disabled and instrumentation costs
+/// one relaxed load per site — and the outputs produced either way are
+/// byte-identical (pinned by obs_test).
+TelemetryOutputs telemetry_setup(const util::CliArgs& args) {
+  TelemetryOutputs outputs;
+  outputs.trace_path = args.get_string("trace-out", "");
+  outputs.metrics_path = args.get_string("metrics-out", "");
+  if (!outputs.trace_path.empty()) {
+    obs::Tracer::instance().set_enabled(true);
+  }
+  if (!outputs.trace_path.empty() || !outputs.metrics_path.empty()) {
+    obs::Registry::instance().set_enabled(true);
+  }
+  return outputs;
+}
+
+/// Writes whichever obs outputs were requested.  Returns 0, or 1 when
+/// a file could not be written (after the run itself succeeded — the
+/// result documents are already on disk by now).
+int telemetry_finish(const TelemetryOutputs& outputs, std::ostream& status) {
+  int rc = 0;
+  if (!outputs.trace_path.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    if (obs::Tracer::instance().write_file(outputs.trace_path)) {
+      status << "wrote trace " << outputs.trace_path << " ("
+             << obs::Tracer::instance().event_count() << " events)\n";
+    } else {
+      std::cerr << "cannot write trace file: " << outputs.trace_path << "\n";
+      rc = 1;
+    }
+  }
+  if (!outputs.metrics_path.empty()) {
+    std::ofstream out(outputs.metrics_path, std::ios::binary);
+    out << obs::stats_json(obs::Registry::instance().snapshot(),
+                           /*pretty=*/true);
+    if (out) {
+      status << "wrote metrics " << outputs.metrics_path << "\n";
+    } else {
+      std::cerr << "cannot write metrics file: " << outputs.metrics_path
+                << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 // --- run -----------------------------------------------------------------
@@ -204,6 +278,7 @@ int cmd_run(const util::CliArgs& args) {
   }
 
   util::ThreadPool::set_shared_size(scenario.config.threads);
+  const TelemetryOutputs telemetry = telemetry_setup(args);
 
   // Observers: the JSONL cell stream and/or the live progress line,
   // both optional.  Progress always talks to stderr, so it can never
@@ -256,7 +331,7 @@ int cmd_run(const util::CliArgs& args) {
     status << "streamed " << jsonl->emitted() << " cells to " << jsonl_path
            << "\n";
   }
-  return 0;
+  return telemetry_finish(telemetry, status);
 }
 
 // --- campaign ------------------------------------------------------------
@@ -443,6 +518,7 @@ int cmd_campaign(const util::CliArgs& args) {
   if (threads >= 0) {
     util::ThreadPool::set_shared_size(static_cast<int>(threads));
   }
+  const TelemetryOutputs telemetry = telemetry_setup(args);
 
   std::ofstream jsonl_file;
   if (!jsonl_path.empty()) {
@@ -492,7 +568,9 @@ int cmd_campaign(const util::CliArgs& args) {
          << " s\n";
   if (out_path != "-") status << "wrote " << out_path << "\n";
   if (!jsonl_path.empty()) status << "streamed to " << jsonl_path << "\n";
-  return result.any_failed() ? 1 : 0;
+  const int telemetry_rc = telemetry_finish(telemetry, status);
+  if (result.any_failed()) return 1;
+  return telemetry_rc;
 }
 
 // --- validate ------------------------------------------------------------
@@ -551,6 +629,7 @@ const std::vector<cli::Flag> kServeFlags = {
     {"jobs", "N", "concurrent job executions (default 2)"},
     {"threads", "T", "shared-pool size for job sweeps (0 = default)"},
     {"transcript", "PATH", "write the protocol session transcript"},
+    {"trace-out", "PATH", "write a Chrome/Perfetto trace at shutdown"},
     {"quiet", "", "drop status chatter"},
 };
 
@@ -622,6 +701,11 @@ int cmd_serve(const util::CliArgs& args) {
     }
   }
 
+  // The Server constructor enabled the metrics registry (the stats
+  // verb needs live data); span tracing additionally needs a sink.
+  const std::string trace_path = args.get_string("trace-out", "");
+  if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+
   g_serve_server = &server;
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
@@ -630,8 +714,170 @@ int cmd_serve(const util::CliArgs& args) {
   std::signal(SIGTERM, SIG_DFL);
   g_serve_server = nullptr;
 
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    if (!obs::Tracer::instance().write_file(trace_path)) {
+      std::cerr << "cannot write trace file: " << trace_path << "\n";
+      return 1;
+    }
+    if (!quiet) {
+      std::cout << "wrote trace " << trace_path << " ("
+                << obs::Tracer::instance().event_count() << " events)\n";
+    }
+  }
   if (!quiet) std::cout << "serve: shut down cleanly\n";
   return 0;
+}
+
+// --- submit --------------------------------------------------------------
+
+const std::vector<cli::Flag> kSubmitFlags = {
+    {"host", "ADDR", "daemon address (default 127.0.0.1)"},
+    {"port", "P", "daemon TCP port"},
+    {"port-file", "PATH", "read the port from a serve --port-file"},
+    {"priority", "N", "scheduling priority (higher runs earlier)"},
+    {"threads", "T", "per-job parallelism cap (0 = job default)"},
+    {"source", "LABEL", "job label shown by status/list (default: path)"},
+    {"follow", "", "stream the job's cell JSONL to stdout until terminal"},
+};
+
+/// Resolves the daemon port: --port wins, else the first line of
+/// --port-file.  Returns 0 (with a message) when neither works.
+int resolve_port(const util::CliArgs& args) {
+  const std::int64_t port = args.get_int("port", 0);
+  if (port < 0 || port > 65535) {
+    std::cerr << "--port must be in [1, 65535]\n";
+    return 0;
+  }
+  if (port > 0) return static_cast<int>(port);
+  const std::string port_file = args.get_string("port-file", "");
+  if (port_file.empty()) {
+    std::cerr << "submit needs --port P or --port-file PATH\n";
+    return 0;
+  }
+  std::ifstream in(port_file);
+  int from_file = 0;
+  if (!(in >> from_file) || from_file < 1 || from_file > 65535) {
+    std::cerr << port_file << ": not a port file\n";
+    return 0;
+  }
+  return from_file;
+}
+
+/// `adacheck submit` — the shell-friendly serve client: submit one
+/// scenario file to a running daemon, optionally stream its JSONL to
+/// stdout (--follow).  Chatter goes to stderr; stdout carries nothing
+/// but the job's cell lines, so `adacheck submit --follow ... > out`
+/// captures a stream byte-identical to `adacheck run --jsonl`.
+int cmd_submit(const util::CliArgs& args) {
+  if (args.positional().size() != 2) {
+    std::cerr << "submit expects exactly one scenario file\n";
+    return 2;
+  }
+  const std::string& path = args.positional()[1];
+  const int port = resolve_port(args);
+  if (port == 0) return 2;
+  const std::int64_t priority = args.get_int("priority", 0);
+  if (priority < -1'000'000 || priority > 1'000'000) {
+    std::cerr << "--priority must be in [-1e6, 1e6]\n";
+    return 2;
+  }
+  const std::int64_t threads = args.get_int("threads", 0);
+  if (threads < 0 || threads > 4096) {
+    std::cerr << "--threads must be in [0, 4096]\n";
+    return 2;
+  }
+
+  // Ship the document inline (parsed client-side, so a bad file fails
+  // here with a local path, and the daemon needs no filesystem view).
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << path << ": cannot open file\n";
+    return 2;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  util::json::Value document;
+  try {
+    document = util::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << path << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  std::ostringstream request;
+  harness::JsonWriter json(request, harness::JsonStyle::kCompact);
+  json.begin_object();
+  json.kv("req", std::string("submit"));
+  json.key("scenario");
+  json.raw_value(util::canonical_json(document));
+  if (priority != 0) json.kv("priority", priority);
+  if (threads != 0) json.kv("threads", threads);
+  json.kv("source", args.get_string("source", path));
+  json.end_object();
+
+  const std::string host = args.get_string("host", "127.0.0.1");
+  try {
+    serve::LineClient client(host, port);
+    client.send_line(request.str());
+    const auto reply = client.recv_line();
+    if (!reply) {
+      std::cerr << "submit: daemon closed the connection\n";
+      return 1;
+    }
+    const auto response = util::json::parse(*reply);
+    const util::json::Value* ok = response.find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      const util::json::Value* error = response.find("error");
+      std::cerr << "submit: "
+                << (error != nullptr && error->is_string()
+                        ? error->as_string()
+                        : *reply)
+                << "\n";
+      return 1;
+    }
+    const std::uint64_t job = static_cast<std::uint64_t>(
+        response.find("job")->as_int());
+    std::cerr << "submitted job " << job << " to " << host << ":" << port
+              << "\n";
+    if (!args.get_bool("follow", false)) {
+      std::cout << job << "\n";  // the handle, for scripts
+      return 0;
+    }
+
+    // Follow: one stream request, cell lines verbatim to stdout until
+    // the adacheck-serve-eot-v1 line reports the terminal state.
+    client.send_line("{\"req\": \"stream\", \"job\": " +
+                     std::to_string(job) + "}");
+    const auto opening = client.recv_line();
+    if (!opening) {
+      std::cerr << "stream: daemon closed the connection\n";
+      return 1;
+    }
+    const auto opened = util::json::parse(*opening);
+    const util::json::Value* stream_ok = opened.find("ok");
+    if (stream_ok == nullptr || !stream_ok->as_bool()) {
+      std::cerr << "stream: " << *opening << "\n";
+      return 1;
+    }
+    for (;;) {
+      const auto line = client.recv_line();
+      if (!line) {
+        std::cerr << "stream: connection lost before end of stream\n";
+        return 1;
+      }
+      if (line->starts_with("{\"schema\":\"adacheck-serve-eot-v1\"")) {
+        const auto eot = util::json::parse(*line);
+        const std::string state = eot.find("state")->as_string();
+        std::cerr << "job " << job << " " << state << "\n";
+        return state == "done" ? 0 : 1;
+      }
+      std::cout << *line << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "submit: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 // --- list ----------------------------------------------------------------
@@ -685,14 +931,19 @@ cli::CommandRegistry build_registry() {
       "(conf_date_LiCY06 reproduction)",
       util::version_string());
   registry.add({"run", "execute a scenario, write the sweep report",
-                "run <scenario.json>", kRunFlags, cmd_run});
+                "run <scenario.json>", with_telemetry_flags(kRunFlags),
+                cmd_run});
   registry.add({"campaign",
                 "execute a scenario matrix through the result cache",
                 "campaign <campaign.json> | campaign ls|gc [campaign.json]",
-                kCampaignFlags, cmd_campaign});
+                with_telemetry_flags(kCampaignFlags), cmd_campaign});
   registry.add({"serve", "long-lived job service (adacheck-serve-v1 TCP)",
                 "serve [--port P] [--port-file PATH]", kServeFlags,
                 cmd_serve});
+  registry.add({"submit", "send a scenario to a serve daemon",
+                "submit <scenario.json> --port P|--port-file PATH "
+                "[--follow]",
+                kSubmitFlags, cmd_submit});
   registry.add({"validate", "parse + validate files, run nothing",
                 "validate <file.json> [more.json ...]", {}, cmd_validate});
   registry.add({"list", "show the registries scenarios can reference",

@@ -11,6 +11,9 @@ listening on 127.0.0.1:<port> (argv[1]):
   * submits the long scenarios/serve_soak.json job and cancels it,
   * checks submit validation errors name the job and its source and
     that unknown request types get a did-you-mean suggestion,
+  * queries the stats verb, validates the adacheck-stats-v1 payload
+    against the traffic just generated, and saves it to
+    STATS_smoke.json (the CI step uploads it as an artifact),
   * asks the daemon to shut down (the CI step asserts exit code 0).
 
 Exits non-zero (assertion) on any protocol deviation.
@@ -102,6 +105,33 @@ def main():
     states = sorted((j["job"], j["state"]) for j in listing["jobs"])
     print("serve smoke jobs:", states)
     assert len(listing["jobs"]) == 4, listing
+
+    # The stats verb must reflect the traffic this script generated.
+    reply = rpc({"req": "stats"})
+    assert reply["ok"] and reply["req"] == "stats", reply
+    stats = reply["stats"]
+    assert stats["schema"] == "adacheck-stats-v1", stats
+    counters = stats["counters"]
+    # 4 submit requests, 3 of which became queued jobs (the invalid
+    # document failed validation before entering the queue).
+    assert counters["serve.jobs_submitted"] >= 3, counters
+    assert counters["serve.jobs_failed"] >= 1, counters
+    assert counters["serve.jobs_done"] >= 2, counters
+    assert counters["serve.jobs_cancelled"] >= 1, counters
+    assert counters["serve.requests.submit"] >= 4, counters
+    assert "serve.queue_depth" in stats["gauges"], stats["gauges"]
+    assert stats["histograms"]["serve.request_us.submit"]["count"] >= 4, stats
+
+    # A request is counted when it completes, so the first stats reply
+    # cannot include itself; the second must, and counters only grow.
+    stats = rpc({"req": "stats"})["stats"]
+    assert stats["counters"]["serve.requests.stats"] >= 1, stats["counters"]
+    assert stats["counters"]["serve.requests.submit"] >= counters[
+        "serve.requests.submit"], stats["counters"]
+    with open("STATS_smoke.json", "w") as out:
+        json.dump(stats, out, indent=1, sort_keys=True)
+    print("serve stats:", {k: v for k, v in sorted(counters.items())
+                           if not k.startswith("pool.")})
 
     bye = rpc({"req": "shutdown"})
     assert bye["ok"], bye

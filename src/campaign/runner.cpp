@@ -244,6 +244,81 @@ std::string cell_fingerprint_document(
     json.end_object();
   }
   json.end_array();
+  // Graph experiments are result-affecting too: the whole DAG shape,
+  // contention declarations, and both axes join the fingerprint.
+  const auto graphs = scenario::bind_graphs(resolved);
+  if (!graphs.empty()) {
+    json.key("graphs");
+    json.begin_array();
+    for (const auto& spec : graphs) {
+      json.begin_object();
+      json.kv("id", spec.id);
+      json.kv("environment", spec.environment);
+      json.kv("workers", spec.workers);
+      json.kv("instances", spec.instances);
+      json.kv("skip_late_jobs", spec.skip_late_jobs);
+      json.key("costs");
+      json.begin_object();
+      json.kv("store", spec.costs.store);
+      json.kv("compare", spec.costs.compare);
+      json.kv("rollback", spec.costs.rollback);
+      json.end_object();
+      json.kv("speed_ratio", spec.speed_ratio);
+      json.kv("voltage_kappa", spec.voltage.kappa);
+      if (spec.budget.enabled()) {
+        json.key("budget");
+        write_budget(json, spec.budget);
+      }
+      json.key("graph");
+      json.begin_object();
+      json.kv("period", spec.graph.period);
+      json.kv("deadline", spec.graph.deadline);
+      json.key("nodes");
+      json.begin_array();
+      for (const auto& node : spec.graph.nodes) {
+        json.begin_object();
+        json.kv("name", node.name);
+        json.kv("cycles", node.cycles);
+        json.kv("fault_tolerance", node.fault_tolerance);
+        json.kv("policy", node.policy);
+        json.key("resources");
+        json.begin_array();
+        for (const auto r : node.resources) json.value(r);
+        json.end_array();
+        json.end_object();
+      }
+      json.end_array();
+      json.key("edges");
+      json.begin_array();
+      for (const auto& edge : spec.graph.edges) {
+        json.begin_object();
+        json.kv("from", edge.from);
+        json.kv("to", edge.to);
+        json.end_object();
+      }
+      json.end_array();
+      json.key("resources");
+      json.begin_array();
+      for (const auto& resource : spec.graph.resources) {
+        json.begin_object();
+        json.kv("name", resource.name);
+        json.kv("capacity", resource.capacity);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+      json.key("schedulers");
+      json.begin_array();
+      for (const auto& scheduler : spec.schedulers) json.value(scheduler);
+      json.end_array();
+      json.key("lambdas");
+      json.begin_array();
+      for (const auto lambda : spec.lambdas) json.value(lambda);
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
   return util::canonical_json(util::json::parse(out.str()));
 }
@@ -275,6 +350,10 @@ CampaignPlan plan_campaign(const CampaignSpec& spec) {
           exp.environment = environment;
           exp.environments.clear();
         }
+        for (auto& graph : with_env.graphs) {
+          graph.environment = environment;
+          graph.environments.clear();
+        }
       }
       for (const auto seed : seeds) {
         CampaignCell cell;
@@ -288,7 +367,8 @@ CampaignPlan plan_campaign(const CampaignSpec& spec) {
         cell.resolved.config.seed = seed;
         cell.sweep_cells =
             harness::sweep_cell_refs(
-                scenario::bind_experiments(cell.resolved))
+                scenario::bind_experiments(cell.resolved),
+                scenario::bind_graphs(cell.resolved))
                 .size();
         cell.fingerprint = cell_fingerprint(cell.resolved);
         plan.cells.push_back(std::move(cell));
@@ -429,7 +509,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       std::ostringstream bytes;
       harness::JsonlCellStream stream(
           bytes, harness::sweep_cell_refs(
-                     scenario::bind_experiments(to_run)));
+                     scenario::bind_experiments(to_run),
+                     scenario::bind_graphs(to_run)));
       sim::ObserverList observers;
       observers.add(&stream).add(observer);
       harness::SweepOptions sweep_options;

@@ -92,7 +92,7 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options) {
   JsonWriter json(os);
   json.begin_object();
-  json.kv("schema", std::string("adacheck-sweep-v5"));
+  json.kv("schema", std::string("adacheck-sweep-v6"));
 
   // Only result-affecting parameters here — thread count is an
   // execution detail and lives in "perf", keeping the no-perf document
@@ -237,6 +237,98 @@ void write_sweep_json(const SweepResult& sweep, std::ostream& os,
     json.end_object();
   }
   json.end_array();
+
+  // v6: DAG experiments, present only when the sweep ran any — classic
+  // sweeps keep their v5 byte layout under the new schema tag.
+  if (!sweep.graph_experiments.empty()) {
+    json.key("graph_experiments");
+    json.begin_array();
+    for (const auto& experiment : sweep.graph_experiments) {
+      const auto& spec = experiment.spec;
+      json.begin_object();
+      json.kv("id", spec.id);
+      json.kv("title", spec.title);
+      json.key("environment");
+      write_environment(json, spec.environment);
+      json.kv("workers", spec.workers);
+      json.kv("instances", spec.instances);
+      json.kv("skip_late_jobs", spec.skip_late_jobs);
+      if (spec.budget.enabled()) {
+        json.key("budget");
+        write_budget(json, spec.budget);
+      }
+      json.key("graph");
+      json.begin_object();
+      json.kv("period", spec.graph.period);
+      json.kv("deadline", spec.graph.end_to_end_deadline());
+      json.kv("critical_path_cycles", spec.graph.critical_path_cycles());
+      json.key("nodes");
+      json.begin_array();
+      for (const auto& node : spec.graph.nodes) {
+        json.begin_object();
+        json.kv("name", node.name);
+        json.kv("cycles", node.cycles);
+        json.kv("fault_tolerance", node.fault_tolerance);
+        json.kv("policy", node.policy);
+        json.key("resources");
+        json.begin_array();
+        for (const std::size_t r : node.resources) {
+          json.value(spec.graph.resources[r].name);
+        }
+        json.end_array();
+        json.end_object();
+      }
+      json.end_array();
+      json.key("edges");
+      json.begin_array();
+      for (const auto& edge : spec.graph.edges) {
+        json.begin_object();
+        json.kv("from", spec.graph.nodes[edge.from].name);
+        json.kv("to", spec.graph.nodes[edge.to].name);
+        json.end_object();
+      }
+      json.end_array();
+      json.key("resources");
+      json.begin_array();
+      for (const auto& resource : spec.graph.resources) {
+        json.begin_object();
+        json.kv("name", resource.name);
+        json.kv("capacity", resource.capacity);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+      json.key("schedulers");
+      json.begin_array();
+      for (const auto& scheduler : spec.schedulers) json.value(scheduler);
+      json.end_array();
+      json.key("rows");
+      json.begin_array();
+      for (std::size_t r = 0; r < spec.lambdas.size(); ++r) {
+        json.begin_object();
+        json.kv("lambda", spec.lambdas[r]);
+        json.key("cells");
+        json.begin_array();
+        for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+          static const sim::MetricValues kNoMetrics;
+          const auto& metrics = r < experiment.metrics.size() &&
+                                        s < experiment.metrics[r].size()
+                                    ? experiment.metrics[r][s]
+                                    : kNoMetrics;
+          json.begin_object();
+          write_cell_fields(json, spec.schedulers[s], experiment.cells[r][s],
+                            metrics);
+          json.end_object();
+        }
+        json.end_array();
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+  }
+
   json.end_object();
   os << "\n";
 }

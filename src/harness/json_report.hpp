@@ -78,10 +78,10 @@ struct JsonReportOptions {
   const TelemetryBench* telemetry = nullptr;
 };
 
-/// Writes the sweep as JSON (schema "adacheck-sweep-v5": v4 plus a
-/// "version" field in config — the code-version string
-/// (util::version_string) shared with `adacheck --version` and the
-/// campaign cache fingerprint; every v4 field is unchanged).
+/// Writes the sweep as JSON (schema "adacheck-sweep-v6": v5 plus a
+/// "graph_experiments" array — DAG experiment grids with the graph
+/// shape, scheduler axis, and per-cell graph metrics — emitted only
+/// when the sweep ran graph experiments; every v5 field is unchanged).
 void write_sweep_json(const SweepResult& sweep, std::ostream& os,
                       const JsonReportOptions& options = {});
 

@@ -1,7 +1,7 @@
 // Minimal streaming JSON encoder shared by the sweep report writer and
 // the JSONL cell stream: fixed key order, shortest round-trip doubles,
 // non-finite doubles as null.  Two layouts: kPretty (two-space indent,
-// the adacheck-sweep-v5 document) and kCompact (no whitespace at all,
+// the adacheck-sweep-v6 document) and kCompact (no whitespace at all,
 // one JSONL line).  Internal to the harness layer — not a public API.
 #pragma once
 

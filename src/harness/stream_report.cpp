@@ -16,8 +16,36 @@ std::vector<SweepCellRef> sweep_cell_refs(
     spec.validate();
     for (std::size_t r = 0; r < spec.rows.size(); ++r) {
       for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
-        refs.push_back({spec.id, r, s, spec.rows[r].utilization,
-                        spec.rows[r].lambda, spec.schemes[s]});
+        SweepCellRef ref;
+        ref.experiment_id = spec.id;
+        ref.row = r;
+        ref.scheme = s;
+        ref.utilization = spec.rows[r].utilization;
+        ref.lambda = spec.rows[r].lambda;
+        ref.scheme_name = spec.schemes[s];
+        refs.push_back(std::move(ref));
+      }
+    }
+  }
+  return refs;
+}
+
+std::vector<SweepCellRef> sweep_cell_refs(
+    const std::vector<ExperimentSpec>& specs,
+    const std::vector<GraphExperimentSpec>& graphs) {
+  auto refs = sweep_cell_refs(specs);
+  for (const auto& spec : graphs) {
+    spec.validate();
+    for (std::size_t r = 0; r < spec.lambdas.size(); ++r) {
+      for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+        SweepCellRef ref;
+        ref.kind = SweepCellRef::Kind::kGraph;
+        ref.experiment_id = spec.id;
+        ref.row = r;
+        ref.scheme = s;
+        ref.lambda = spec.lambdas[r];
+        ref.scheme_name = spec.schedulers[s];
+        refs.push_back(std::move(ref));
       }
     }
   }
@@ -42,12 +70,14 @@ void JsonlCellStream::on_cell_done(std::size_t cell,
   {
     JsonWriter json(line, JsonStyle::kCompact);
     const SweepCellRef& ref = refs_[cell];
+    const bool graph = ref.kind == SweepCellRef::Kind::kGraph;
     json.begin_object();
-    json.kv("schema", std::string("adacheck-cell-v2"));
+    json.kv("schema", std::string(graph ? "adacheck-graph-cell-v1"
+                                        : "adacheck-cell-v2"));
     json.kv("cell", cell);
     json.kv("experiment", ref.experiment_id);
     json.kv("row", ref.row);
-    json.kv("utilization", ref.utilization);
+    if (!graph) json.kv("utilization", ref.utilization);
     json.kv("lambda", ref.lambda);
     write_cell_fields(json, ref.scheme_name, result.stats, result.metrics);
     json.end_object();

@@ -2,9 +2,12 @@
 // line, both implemented as sim::ISweepObserver so they plug straight
 // into run_sweep / run_cells_ex.
 //
-// JSONL stream ("adacheck-cell-v2"): one compact JSON object per
-// completed cell, one per line, written in flat cell-index order (the
-// sweep_cell_refs order: spec-major, row-major, scheme inner).  Cells
+// JSONL stream ("adacheck-cell-v2" for classic cells,
+// "adacheck-graph-cell-v1" for DAG cells, whose lines carry the
+// scheduler name in the "scheme" field and no utilization): one
+// compact JSON object per completed cell, one per line, written in
+// flat cell-index order (the sweep_cell_refs order: spec-major,
+// row-major, scheme inner, graph experiments appended last).  Cells
 // complete out of order under parallel execution, so the stream
 // buffers finished lines until their predecessors are written — the
 // emitted bytes are therefore identical for every thread count, just
@@ -23,25 +26,35 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/graph_experiment.hpp"
 #include "sim/observer.hpp"
 
 namespace adacheck::harness {
 
 /// Coordinates of one flat sweep cell, in the exact order run_sweep
 /// flattens jobs (and numbers observer cells): spec-major, then
-/// row-major with schemes innermost.
+/// row-major with schemes innermost; graph cells (lambda rows,
+/// scheduler columns) follow every classic cell.
 struct SweepCellRef {
+  enum class Kind { kScheme, kGraph };
+  Kind kind = Kind::kScheme;
   std::string experiment_id;
   std::size_t row = 0;
-  std::size_t scheme = 0;
-  double utilization = 0.0;
+  std::size_t scheme = 0;     ///< scheme or scheduler column
+  double utilization = 0.0;   ///< classic cells only
   double lambda = 0.0;
-  std::string scheme_name;
+  std::string scheme_name;    ///< scheme or scheduler name
 };
 
 /// The flat cell list of a sweep over `specs` (validates each spec).
 std::vector<SweepCellRef> sweep_cell_refs(
     const std::vector<ExperimentSpec>& specs);
+
+/// The flat cell list with graph experiments appended — the order of
+/// the two-list run_sweep overload.
+std::vector<SweepCellRef> sweep_cell_refs(
+    const std::vector<ExperimentSpec>& specs,
+    const std::vector<GraphExperimentSpec>& graphs);
 
 /// Streams one JSONL line per completed cell to `os`, in cell-index
 /// order.  Construct with the refs of the exact spec list passed to

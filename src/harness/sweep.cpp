@@ -1,14 +1,19 @@
 #include "harness/sweep.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 namespace adacheck::harness {
 
 SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
+                      const std::vector<GraphExperimentSpec>& graphs,
                       const sim::MonteCarloConfig& config,
                       const SweepOptions& options) {
-  // Flatten: [spec][row][scheme] -> one job list, remembering where
-  // each spec's slice starts.
+  if (specs.empty() && graphs.empty()) {
+    throw std::invalid_argument("run_sweep: nothing to run");
+  }
+  // Flatten: [spec][row][scheme] then [graph][lambda][scheduler] ->
+  // one job list, remembering where each spec's slice starts.
   std::vector<sim::CellJob> jobs;
   std::vector<std::size_t> offsets;
   offsets.reserve(specs.size());
@@ -17,6 +22,14 @@ SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
     auto spec_jobs = experiment_jobs(spec, config);
     jobs.insert(jobs.end(), std::make_move_iterator(spec_jobs.begin()),
                 std::make_move_iterator(spec_jobs.end()));
+  }
+  std::vector<std::size_t> graph_offsets;
+  graph_offsets.reserve(graphs.size());
+  for (const auto& graph : graphs) {
+    graph_offsets.push_back(jobs.size());
+    auto graph_jobs = graph_experiment_jobs(graph, config);
+    jobs.insert(jobs.end(), std::make_move_iterator(graph_jobs.begin()),
+                std::make_move_iterator(graph_jobs.end()));
   }
 
   int threads_used = 1;
@@ -36,6 +49,11 @@ SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
     result.experiments.push_back(
         assemble_experiment(specs[i], cell_results, offsets[i]));
   }
+  result.graph_experiments.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    result.graph_experiments.push_back(assemble_graph_experiment(
+        graphs[i], cell_results, graph_offsets[i]));
+  }
 
   result.perf.wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();
@@ -54,6 +72,12 @@ SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
           : 0.0;
   result.perf.threads = threads_used;
   return result;
+}
+
+SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
+                      const sim::MonteCarloConfig& config,
+                      const SweepOptions& options) {
+  return run_sweep(specs, {}, config, options);
 }
 
 }  // namespace adacheck::harness

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/graph_experiment.hpp"
 
 namespace adacheck::harness {
 
@@ -35,6 +36,7 @@ struct SweepPerf {
 /// Every spec's measured cells plus the sweep's perf metrics.
 struct SweepResult {
   std::vector<ExperimentResult> experiments;
+  std::vector<GraphExperimentResult> graph_experiments;
   sim::MonteCarloConfig config;  ///< per-cell budget/seed actually used
   SweepPerf perf;
 };
@@ -44,6 +46,15 @@ struct SweepResult {
 /// order of sweep_cell_refs); its cancellation token aborts the queue
 /// with sim::SweepCancelled.
 SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
+                      const sim::MonteCarloConfig& config = {},
+                      const SweepOptions& options = {});
+
+/// run_sweep with DAG experiments in the same flat queue: graph cells
+/// are appended after every classic cell, spec-major with schedulers
+/// innermost — the order of sweep_cell_refs(specs, graphs).  Either
+/// list may be empty (but not both).
+SweepResult run_sweep(const std::vector<ExperimentSpec>& specs,
+                      const std::vector<GraphExperimentSpec>& graphs,
                       const sim::MonteCarloConfig& config = {},
                       const SweepOptions& options = {});
 

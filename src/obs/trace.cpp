@@ -54,6 +54,21 @@ void Tracer::complete(std::string name, const char* category,
   events_.push_back(std::move(event));
 }
 
+void Tracer::complete(std::string name, const char* category,
+                      std::uint64_t start_micros, std::uint64_t dur_micros,
+                      int tid) {
+  if (!enabled()) return;
+  Event event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'X';
+  event.ts_micros = start_micros;
+  event.dur_micros = dur_micros;
+  event.tid = tid;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
 void Tracer::instant(std::string name, const char* category) {
   if (!enabled()) return;
   Event event;

@@ -49,6 +49,15 @@ class Tracer {
   void complete(std::string name, const char* category,
                 std::uint64_t start_micros, std::uint64_t dur_micros);
 
+  /// complete() with an explicit lane id instead of the calling
+  /// thread's.  For simulated-time spans (the DAG executive's worker
+  /// lanes): timestamps come from the simulation clock and the "tid"
+  /// is the simulated worker, so Perfetto renders the schedule rather
+  /// than the host threads.
+  void complete(std::string name, const char* category,
+                std::uint64_t start_micros, std::uint64_t dur_micros,
+                int tid);
+
   /// Records a zero-duration instant event ('i', thread scope).
   void instant(std::string name, const char* category);
 

@@ -44,6 +44,35 @@ harness::ExperimentSpec build_inline(const ScenarioExperiment& exp) {
 
 }  // namespace
 
+std::vector<harness::GraphExperimentSpec> bind_graphs(
+    const ScenarioSpec& scenario) {
+  std::vector<harness::GraphExperimentSpec> specs;
+  for (const auto& graph : scenario.graphs) {
+    harness::GraphExperimentSpec spec;
+    spec.id = graph.id;
+    spec.title = graph.title;
+    spec.graph = graph.graph;
+    spec.workers = graph.workers;
+    spec.instances = graph.instances;
+    spec.skip_late_jobs = graph.skip_late_jobs;
+    spec.costs = graph.costs;
+    spec.speed_ratio = graph.speed_ratio;
+    spec.voltage.kappa = graph.voltage_kappa;
+    spec.schedulers = graph.schedulers;
+    spec.lambdas = graph.lambdas;
+    if (graph.environments.empty()) {
+      spec.environment = graph.environment;
+      specs.push_back(std::move(spec));
+    } else {
+      auto expanded =
+          harness::graphs_with_environments({spec}, graph.environments);
+      specs.insert(specs.end(), std::make_move_iterator(expanded.begin()),
+                   std::make_move_iterator(expanded.end()));
+    }
+  }
+  return specs;
+}
+
 std::vector<harness::ExperimentSpec> bind_experiments(
     const ScenarioSpec& scenario) {
   std::vector<harness::ExperimentSpec> specs;
@@ -77,7 +106,7 @@ sim::MonteCarloConfig monte_carlo_config(const ScenarioSpec& scenario) {
 
 harness::SweepResult run_scenario(const ScenarioSpec& scenario,
                                   const harness::SweepOptions& options) {
-  return harness::run_sweep(bind_experiments(scenario),
+  return harness::run_sweep(bind_experiments(scenario), bind_graphs(scenario),
                             monte_carlo_config(scenario), options);
 }
 

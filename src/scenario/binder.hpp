@@ -16,6 +16,12 @@ namespace adacheck::scenario {
 std::vector<harness::ExperimentSpec> bind_experiments(
     const ScenarioSpec& spec);
 
+/// The DAG experiment specs from the scenario's "graphs" array, in
+/// document order (environment axes expand in place via
+/// harness::graphs_with_environments, "id@env" naming).
+std::vector<harness::GraphExperimentSpec> bind_graphs(
+    const ScenarioSpec& spec);
+
 /// The sim::MonteCarloConfig encoded by the scenario's config block,
 /// including the metric suite built from the "metrics" array and the
 /// run budget from the "budget" object (disabled when absent).

@@ -8,6 +8,7 @@
 #include "harness/paper_params.hpp"
 #include "model/fault_env.hpp"
 #include "policy/factory.hpp"
+#include "sched/scheduler.hpp"
 #include "scenario/schema.hpp"
 #include "sim/metrics.hpp"
 #include "util/text.hpp"
@@ -121,31 +122,32 @@ std::vector<double> parse_axis(const Value& v, const std::string& path,
 }
 
 void parse_environment_keys(const Value& v, const std::string& path,
-                            ScenarioExperiment& exp) {
-  const Value* environment = v.find("environment");
-  const Value* environments = v.find("environments");
-  if (environment != nullptr && environments != nullptr) {
+                            std::string& environment,
+                            std::vector<std::string>& environments) {
+  const Value* env = v.find("environment");
+  const Value* envs = v.find("environments");
+  if (env != nullptr && envs != nullptr) {
     fail(path, "give at most one of \"environment\" (in place) or "
                "\"environments\" (axis, ids become \"id@env\")");
   }
-  if (environment != nullptr) {
+  if (env != nullptr) {
     const std::string env_path = member_path(path, "environment");
-    exp.environment = as_string(*environment, env_path);
-    check_name(exp.environment, model::known_environments(), env_path);
+    environment = as_string(*env, env_path);
+    check_name(environment, model::known_environments(), env_path);
   }
-  if (environments != nullptr) {
+  if (envs != nullptr) {
     const std::string axis_path = member_path(path, "environments");
-    const auto& array = as_array(*environments, axis_path);
+    const auto& array = as_array(*envs, axis_path);
     if (array.empty()) fail(axis_path, "must not be empty");
     for (std::size_t i = 0; i < array.size(); ++i) {
       const std::string item_path = index_path(axis_path, i);
       const std::string& name = as_string(array[i], item_path);
       check_name(name, model::known_environments(), item_path);
-      if (std::find(exp.environments.begin(), exp.environments.end(), name) !=
-          exp.environments.end()) {
+      if (std::find(environments.begin(), environments.end(), name) !=
+          environments.end()) {
         fail(item_path, "duplicate environment \"" + name + "\"");
       }
-      exp.environments.push_back(name);
+      environments.push_back(name);
     }
   }
 }
@@ -160,7 +162,7 @@ ScenarioExperiment parse_experiment(const Value& v, const std::string& path) {
     check_keys(v, path, {"table", "environment", "environments"});
     exp.table = as_string(*table, member_path(path, "table"));
     check_name(exp.table, known_tables(), member_path(path, "table"));
-    parse_environment_keys(v, path, exp);
+    parse_environment_keys(v, path, exp.environment, exp.environments);
     return exp;
   }
 
@@ -241,8 +243,207 @@ ScenarioExperiment parse_experiment(const Value& v, const std::string& path) {
                                  /*strictly_positive=*/false);
   }
 
-  parse_environment_keys(v, path, exp);
+  parse_environment_keys(v, path, exp.environment, exp.environments);
   return exp;
+}
+
+// --- graph parsers -------------------------------------------------------
+
+/// A declared-name list for did-you-mean checks on edge and node
+/// resource references.
+std::vector<std::string> declared_names(const auto& items) {
+  std::vector<std::string> names;
+  names.reserve(items.size());
+  for (const auto& item : items) names.push_back(item.name);
+  return names;
+}
+
+sched::GraphNode parse_graph_node(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"name", "cycles", "fault_tolerance", "policy", "resources"});
+  sched::GraphNode node;
+  node.name = as_string(require(v, path, "name"), member_path(path, "name"));
+  if (node.name.empty()) fail(member_path(path, "name"), "must not be empty");
+  node.cycles = positive_number(require(v, path, "cycles"),
+                                member_path(path, "cycles"));
+  if (const Value* k = v.find("fault_tolerance")) {
+    const auto value = as_int(*k, member_path(path, "fault_tolerance"));
+    if (value < 0) fail(member_path(path, "fault_tolerance"), "must be >= 0");
+    node.fault_tolerance = static_cast<int>(value);
+  }
+  if (const Value* policy = v.find("policy")) {
+    const std::string policy_path = member_path(path, "policy");
+    node.policy = as_string(*policy, policy_path);
+    check_name(node.policy, policy::known_policies(), policy_path);
+  }
+  // Resource name references are resolved to indices by the caller,
+  // which knows the declared resource list.
+  return node;
+}
+
+sched::TaskGraph parse_task_graph(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path, {"period", "deadline", "nodes", "edges", "resources"});
+  sched::TaskGraph graph;
+  graph.period = positive_number(require(v, path, "period"),
+                                 member_path(path, "period"));
+  if (const Value* deadline = v.find("deadline")) {
+    graph.deadline =
+        positive_number(*deadline, member_path(path, "deadline"));
+  }
+
+  if (const Value* resources = v.find("resources")) {
+    const std::string res_path = member_path(path, "resources");
+    const auto& array = as_array(*resources, res_path);
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      const std::string item_path = index_path(res_path, i);
+      require_object(array[i], item_path);
+      check_keys(array[i], item_path, {"name", "capacity"});
+      sched::GraphResource resource;
+      resource.name = as_string(require(array[i], item_path, "name"),
+                                member_path(item_path, "name"));
+      if (resource.name.empty()) {
+        fail(member_path(item_path, "name"), "must not be empty");
+      }
+      if (const Value* capacity = array[i].find("capacity")) {
+        const auto value =
+            as_int(*capacity, member_path(item_path, "capacity"));
+        if (value < 1 || value > 1'000'000) {
+          fail(member_path(item_path, "capacity"), "must be in [1, 1e6]");
+        }
+        resource.capacity = static_cast<int>(value);
+      }
+      graph.resources.push_back(std::move(resource));
+    }
+  }
+  const auto resource_names = declared_names(graph.resources);
+
+  const std::string nodes_path = member_path(path, "nodes");
+  const auto& nodes = as_array(require(v, path, "nodes"), nodes_path);
+  if (nodes.empty()) fail(nodes_path, "must not be empty");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::string node_path = index_path(nodes_path, i);
+    sched::GraphNode node = parse_graph_node(nodes[i], node_path);
+    if (const Value* refs = nodes[i].find("resources")) {
+      const std::string refs_path = member_path(node_path, "resources");
+      const auto& array = as_array(*refs, refs_path);
+      for (std::size_t r = 0; r < array.size(); ++r) {
+        const std::string item_path = index_path(refs_path, r);
+        const std::string& name = as_string(array[r], item_path);
+        check_name(name, resource_names, item_path);
+        for (std::size_t j = 0; j < graph.resources.size(); ++j) {
+          if (graph.resources[j].name == name) {
+            node.resources.push_back(j);
+            break;
+          }
+        }
+      }
+    }
+    graph.nodes.push_back(std::move(node));
+  }
+  const auto node_names = declared_names(graph.nodes);
+
+  if (const Value* edges = v.find("edges")) {
+    const std::string edges_path = member_path(path, "edges");
+    const auto& array = as_array(*edges, edges_path);
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      const std::string edge_path = index_path(edges_path, i);
+      require_object(array[i], edge_path);
+      check_keys(array[i], edge_path, {"from", "to"});
+      const std::string from_path = member_path(edge_path, "from");
+      const std::string to_path = member_path(edge_path, "to");
+      const std::string& from =
+          as_string(require(array[i], edge_path, "from"), from_path);
+      const std::string& to =
+          as_string(require(array[i], edge_path, "to"), to_path);
+      check_name(from, node_names, from_path);
+      check_name(to, node_names, to_path);
+      graph.edges.push_back(
+          {graph.node_index(from), graph.node_index(to)});
+    }
+  }
+
+  // Cross-field invariants (duplicate names, self-edges, cycles with
+  // the path spelled out) live in TaskGraph::validate; re-throw its
+  // errors at the JSON path that declared the graph.
+  try {
+    graph.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(path, e.what());
+  }
+  return graph;
+}
+
+ScenarioGraph parse_graph(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"id", "title", "graph", "workers", "instances",
+              "skip_late_jobs", "costs", "speed_ratio", "voltage_kappa",
+              "schedulers", "lambdas", "environment", "environments"});
+
+  ScenarioGraph graph;
+  graph.id = as_string(require(v, path, "id"), member_path(path, "id"));
+  if (graph.id.empty()) fail(member_path(path, "id"), "must not be empty");
+  graph.title = v.find("title")
+                    ? as_string(*v.find("title"), member_path(path, "title"))
+                    : graph.id;
+  graph.graph = parse_task_graph(require(v, path, "graph"),
+                                 member_path(path, "graph"));
+  graph.graph.name = graph.id;
+  if (const Value* workers = v.find("workers")) {
+    const auto value = as_int(*workers, member_path(path, "workers"));
+    if (value < 1 || value > 4096) {
+      fail(member_path(path, "workers"), "must be in [1, 4096]");
+    }
+    graph.workers = static_cast<int>(value);
+  }
+  if (const Value* instances = v.find("instances")) {
+    const auto value = as_int(*instances, member_path(path, "instances"));
+    if (value < 1 || value > 1'000'000) {
+      fail(member_path(path, "instances"), "must be in [1, 1e6]");
+    }
+    graph.instances = static_cast<int>(value);
+  }
+  if (const Value* skip = v.find("skip_late_jobs")) {
+    graph.skip_late_jobs =
+        as_bool(*skip, member_path(path, "skip_late_jobs"));
+  }
+  if (const Value* costs = v.find("costs")) {
+    graph.costs = parse_costs(*costs, member_path(path, "costs"));
+  }
+  if (const Value* ratio = v.find("speed_ratio")) {
+    graph.speed_ratio = as_number(*ratio, member_path(path, "speed_ratio"));
+    if (graph.speed_ratio <= 1.0) {
+      fail(member_path(path, "speed_ratio"), "must be > 1 (f2/f1)");
+    }
+  }
+  if (const Value* kappa = v.find("voltage_kappa")) {
+    graph.voltage_kappa =
+        positive_number(*kappa, member_path(path, "voltage_kappa"));
+  }
+
+  const std::string sched_path = member_path(path, "schedulers");
+  const auto& schedulers =
+      as_array(require(v, path, "schedulers"), sched_path);
+  if (schedulers.empty()) fail(sched_path, "must not be empty");
+  for (std::size_t i = 0; i < schedulers.size(); ++i) {
+    const std::string item_path = index_path(sched_path, i);
+    const std::string& name = as_string(schedulers[i], item_path);
+    check_name(name, sched::known_schedulers(), item_path);
+    if (std::find(graph.schedulers.begin(), graph.schedulers.end(), name) !=
+        graph.schedulers.end()) {
+      fail(item_path, "duplicate scheduler \"" + name + "\"");
+    }
+    graph.schedulers.push_back(name);
+  }
+
+  graph.lambdas = parse_axis(require(v, path, "lambdas"),
+                             member_path(path, "lambdas"),
+                             /*strictly_positive=*/false);
+
+  parse_environment_keys(v, path, graph.environment, graph.environments);
+  return graph;
 }
 
 /// The experiment ids a ScenarioExperiment expands to; must match the
@@ -253,6 +454,18 @@ std::vector<std::string> expanded_ids(const ScenarioExperiment& exp) {
   std::vector<std::string> ids;
   ids.reserve(exp.environments.size());
   for (const auto& env : exp.environments) ids.push_back(base + "@" + env);
+  return ids;
+}
+
+/// Graph ids expand the same way (the binder reuses
+/// harness::graphs_with_environments, which suffixes "@env").
+std::vector<std::string> expanded_ids(const ScenarioGraph& graph) {
+  if (graph.environments.empty()) return {graph.id};
+  std::vector<std::string> ids;
+  ids.reserve(graph.environments.size());
+  for (const auto& env : graph.environments) {
+    ids.push_back(graph.id + "@" + env);
+  }
   return ids;
 }
 
@@ -354,7 +567,7 @@ ScenarioSpec parse_scenario(const util::json::Value& root) {
   require_object(root, top);
   check_keys(root, top,
              {"schema", "name", "title", "config", "budget", "output",
-              "metrics", "experiments"});
+              "metrics", "experiments", "graphs"});
 
   const std::string& schema = as_string(require(root, top, "schema"), "schema");
   if (schema != "adacheck-scenario-v1") {
@@ -380,25 +593,42 @@ ScenarioSpec parse_scenario(const util::json::Value& root) {
     spec.metrics = parse_metrics(*metrics, "metrics");
   }
 
-  const auto& experiments =
-      as_array(require(root, top, "experiments"), "experiments");
-  if (experiments.empty()) fail("experiments", "must not be empty");
-  for (std::size_t i = 0; i < experiments.size(); ++i) {
-    spec.experiments.push_back(
-        parse_experiment(experiments[i], index_path("experiments", i)));
+  if (const Value* experiments = root.find("experiments")) {
+    const auto& array = as_array(*experiments, "experiments");
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      spec.experiments.push_back(
+          parse_experiment(array[i], index_path("experiments", i)));
+    }
+  }
+  if (const Value* graphs = root.find("graphs")) {
+    const auto& array = as_array(*graphs, "graphs");
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      spec.graphs.push_back(parse_graph(array[i], index_path("graphs", i)));
+    }
+  }
+  if (spec.experiments.empty() && spec.graphs.empty()) {
+    fail(top, "at least one of \"experiments\" or \"graphs\" must be a "
+              "non-empty array");
   }
 
-  // Expanded ids must be unique: the sweep report keys cells by them.
+  // Expanded ids must be unique across both lists: the sweep report
+  // keys cells by them.
   std::vector<std::string> seen;
-  for (const auto& exp : spec.experiments) {
-    for (auto& id : expanded_ids(exp)) {
+  const auto claim = [&](std::vector<std::string> ids,
+                         const std::string& where) {
+    for (auto& id : ids) {
       if (std::find(seen.begin(), seen.end(), id) != seen.end()) {
-        fail("experiments", "duplicate experiment id \"" + id +
-                                "\" (use an environment axis or distinct "
-                                "ids)");
+        fail(where, "duplicate experiment id \"" + id +
+                        "\" (use an environment axis or distinct ids)");
       }
       seen.push_back(std::move(id));
     }
+  };
+  for (const auto& exp : spec.experiments) {
+    claim(expanded_ids(exp), "experiments");
+  }
+  for (const auto& graph : spec.graphs) {
+    claim(expanded_ids(graph), "graphs");
   }
   return spec;
 }

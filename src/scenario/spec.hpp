@@ -24,8 +24,8 @@
 //     "output": {"report": "table1_sweep.json",
 //                "jsonl": "table1_cells.jsonl"},  // + JSONL cell stream
 //     "metrics": ["tails", "checkpoints"],   // optional extra recorders
-//     "experiments": [                       // required, non-empty
-//       {"table": "table1a"},                // a paper table, or:
+//     "experiments": [                       // classic cells (see below
+//       {"table": "table1a"},                // for "graphs"): a table, or:
 //       {"id": "custom",
 //        "title": "...",
 //        "costs": {"store": 2, "compare": 20, "rollback": 0},
@@ -37,8 +37,28 @@
 //        "rows": [{"utilization": 0.92, "lambda": 1e-4}],
 //        "environment": "poisson",           // one registry name, or
 //        "environments": ["poisson", "bursty-orbit"]}  // an axis
+//     ],
+//     "graphs": [                            // optional DAG experiments
+//       {"id": "pipeline",
+//        "title": "...",
+//        "graph": {"period": 30000, "deadline": 28000,  // end-to-end
+//                  "nodes": [{"name": "decode", "cycles": 5000,
+//                             "fault_tolerance": 2, "policy": "A_D_S",
+//                             "resources": ["bus"]}],
+//                  "edges": [{"from": "decode", "to": "filter"}],
+//                  "resources": [{"name": "bus", "capacity": 1}]},
+//        "workers": 2, "instances": 8, "skip_late_jobs": true,
+//        "costs": {"store": 2, "compare": 20, "rollback": 0},
+//        "speed_ratio": 2.0, "voltage_kappa": 4.0,
+//        "schedulers": ["edf", "critical-path"],  // registry names
+//        "lambdas": [1e-4, 1e-3],            // fault-rate rows
+//        "environment": "poisson",           // one registry name, or
+//        "environments": ["poisson", "bursty-orbit"]}  // an axis
 //     ]
 //   }
+//
+// At least one of "experiments" / "graphs" must be non-empty; ids
+// share one uniqueness domain (the sweep report keys cells by them).
 //
 // Validation reports path-qualified errors with "did you mean"
 // suggestions, e.g.:
@@ -58,6 +78,7 @@
 #include <vector>
 
 #include "model/checkpoint.hpp"
+#include "sched/task_graph.hpp"
 #include "sim/metrics.hpp"
 #include "util/json.hpp"
 
@@ -115,6 +136,29 @@ struct ScenarioExperiment {
   std::vector<std::string> environments;
 };
 
+/// One DAG experiment from the "graphs" array: a task graph crossed
+/// with a scheduler axis and a fault-rate (lambda) axis, mirroring
+/// harness::GraphExperimentSpec knob for knob.
+struct ScenarioGraph {
+  std::string id;
+  std::string title;  ///< defaults to id
+  sched::TaskGraph graph;
+  int workers = 1;
+  int instances = 8;
+  bool skip_late_jobs = true;
+  model::CheckpointCosts costs = model::CheckpointCosts::paper_scp_flavor();
+  double speed_ratio = 2.0;
+  double voltage_kappa = 4.0;
+  std::vector<std::string> schedulers;  ///< scheduler registry names
+  std::vector<double> lambdas;          ///< fault-rate rows
+
+  /// Single environment: applied in place, experiment id unchanged.
+  std::string environment = "poisson";
+  /// Environment axis: one spec copy per name, ids become "id@env".
+  /// Exclusive with environment.
+  std::vector<std::string> environments;
+};
+
 struct ScenarioSpec {
   std::string name;
   std::string title;  ///< defaults to name
@@ -131,7 +175,9 @@ struct ScenarioSpec {
   /// Extra metric recorders applied to every cell, by registry name
   /// (sim::known_metric_recorders(); the "metrics" array).
   std::vector<std::string> metrics;
+  /// At least one of experiments / graphs is non-empty.
   std::vector<ScenarioExperiment> experiments;
+  std::vector<ScenarioGraph> graphs;
 };
 
 /// Paper tables addressable from ScenarioExperiment::table

@@ -1,9 +1,9 @@
 #include "sched/executive.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "policy/factory.hpp"
 #include "util/rng.hpp"
 
@@ -12,6 +12,10 @@ namespace adacheck::sched {
 void ExecutiveConfig::validate() const {
   if (horizon <= 0.0)
     throw std::invalid_argument("ExecutiveConfig: horizon must be > 0");
+  if (!is_known_scheduler(scheduler)) {
+    throw std::invalid_argument("ExecutiveConfig: unknown scheduler \"" +
+                                scheduler + "\"");
+  }
   costs.validate();
   if (!fault_model.valid())
     throw std::invalid_argument("ExecutiveConfig: invalid fault model");
@@ -28,22 +32,21 @@ double ScheduleResult::miss_ratio(std::size_t task) const {
 
 namespace {
 
-struct PendingJob {
-  std::size_t task_index;
-  int job_index;
-  double release;
-  double absolute_deadline;
-};
+/// Telemetry handles shared with the graph executive (same registry
+/// names resolve to the same counters); gated on Registry::enabled().
+struct SchedMetrics {
+  obs::Counter& released;
+  obs::Counter& completed;
+  obs::Counter& missed;
+  obs::LatencyHisto& response;
 
-/// EDF order: earliest absolute deadline first (FIFO on ties via
-/// release, then task index for determinism).
-struct EdfLater {
-  bool operator()(const PendingJob& a, const PendingJob& b) const {
-    if (a.absolute_deadline != b.absolute_deadline) {
-      return a.absolute_deadline > b.absolute_deadline;
-    }
-    if (a.release != b.release) return a.release > b.release;
-    return a.task_index > b.task_index;
+  static SchedMetrics& get() {
+    static SchedMetrics* const metrics = new SchedMetrics{
+        obs::Registry::instance().counter("sched.jobs_released"),
+        obs::Registry::instance().counter("sched.jobs_completed"),
+        obs::Registry::instance().counter("sched.jobs_missed"),
+        obs::Registry::instance().histogram("sched.job_response_us")};
+    return *metrics;
   }
 };
 
@@ -54,27 +57,46 @@ ScheduleResult run_executive(const TaskSet& set,
   set.validate();
   config.validate();
 
-  // All releases inside the horizon, fed to the queue in time order.
+  // All releases inside the horizon, admitted in (release, task) order
+  // — admission order is the sequence number every policy tie-breaks
+  // on, so "edf" reproduces the pre-registry (deadline, release, task)
+  // dispatch exactly.
+  struct PendingJob : DispatchCandidate {
+    int job_index = 0;
+  };
   std::vector<PendingJob> releases;
   for (std::size_t t = 0; t < set.tasks.size(); ++t) {
     const auto& task = set.tasks[t];
     int index = 0;
     for (double r = task.phase; r < config.horizon; r += task.period) {
-      releases.push_back({t, index++, r, r + task.deadline()});
+      PendingJob job;
+      job.node = t;
+      job.instance = index;
+      job.job_index = index++;
+      job.release = r;
+      job.ready_time = r;
+      job.absolute_deadline = r + task.deadline();
+      job.remaining_path = task.cycles;
+      releases.push_back(job);
     }
   }
   std::sort(releases.begin(), releases.end(),
             [](const PendingJob& a, const PendingJob& b) {
               if (a.release != b.release) return a.release < b.release;
-              return a.task_index < b.task_index;
+              return a.node < b.node;
             });
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    releases[i].sequence = static_cast<std::uint64_t>(i);
+  }
 
   ScheduleResult result;
   result.per_task.resize(set.tasks.size());
   const auto processor =
       model::DvsProcessor::two_speed(config.speed_ratio, config.voltage);
+  const auto scheduler = make_scheduler(config.scheduler);
+  const bool telemetry = obs::Registry::instance().enabled();
 
-  std::priority_queue<PendingJob, std::vector<PendingJob>, EdfLater> ready;
+  std::vector<PendingJob> ready;
   std::size_t next_release = 0;
   double now = 0.0;
   std::uint64_t job_counter = 0;
@@ -82,8 +104,9 @@ ScheduleResult run_executive(const TaskSet& set,
   const auto admit_released = [&](double until) {
     while (next_release < releases.size() &&
            releases[next_release].release <= until) {
-      ready.push(releases[next_release]);
-      ++result.per_task[releases[next_release].task_index].released;
+      ready.push_back(releases[next_release]);
+      ++result.per_task[releases[next_release].node].released;
+      if (telemetry) SchedMetrics::get().released.add(1);
       ++next_release;
     }
   };
@@ -95,13 +118,24 @@ ScheduleResult run_executive(const TaskSet& set,
       now = std::max(now, releases[next_release].release);
       continue;
     }
-    const PendingJob job = ready.top();
-    ready.pop();
-    const auto& task = set.tasks[job.task_index];
-    auto& stats = result.per_task[job.task_index];
+    // Dispatch the policy's pick: lowest (key, sequence).
+    auto best = ready.begin();
+    double best_key = scheduler->priority_key(*best, now);
+    for (auto it = std::next(ready.begin()); it != ready.end(); ++it) {
+      const double key = scheduler->priority_key(*it, now);
+      if (key < best_key ||
+          (key == best_key && it->sequence < best->sequence)) {
+        best = it;
+        best_key = key;
+      }
+    }
+    const PendingJob job = *best;
+    ready.erase(best);
+    const auto& task = set.tasks[job.node];
+    auto& stats = result.per_task[job.node];
 
     JobRecord record;
-    record.task_index = job.task_index;
+    record.task_index = job.node;
     record.job_index = job.job_index;
     record.release = job.release;
     record.absolute_deadline = job.absolute_deadline;
@@ -113,6 +147,7 @@ ScheduleResult run_executive(const TaskSet& set,
       record.finish = now;
       ++stats.missed;
       ++stats.skipped;
+      if (telemetry) SchedMetrics::get().missed.add(1);
       result.jobs.push_back(record);
       continue;
     }
@@ -140,8 +175,14 @@ ScheduleResult run_executive(const TaskSet& set,
     if (run.completed()) {
       ++stats.completed;
       stats.response_time.add(record.finish - record.release);
+      if (telemetry) {
+        SchedMetrics::get().completed.add(1);
+        SchedMetrics::get().response.record(static_cast<std::uint64_t>(
+            (record.finish - record.release) * 1e6));
+      }
     } else {
       ++stats.missed;
+      if (telemetry) SchedMetrics::get().missed.add(1);
     }
     now = record.finish;
   }

@@ -1,11 +1,13 @@
-// Non-preemptive EDF executive.
+// Non-preemptive executive over a periodic task set.
 //
 // Runs a periodic task set on one DMR (or TMR) platform: jobs are
-// released on their periods, queued, and dispatched
-// earliest-absolute-deadline-first; each dispatched job executes under
-// its task's checkpointing policy via the simulation engine, with the
-// job deadline equal to the time remaining until its absolute deadline
-// at dispatch.  Non-preemptive executives are the common shape of
+// released on their periods, queued, and dispatched by a pluggable
+// scheduler policy (sched/scheduler.hpp; the default "edf" is
+// earliest-absolute-deadline-first, bit-identical to the pre-registry
+// hardwired dispatch); each dispatched job executes under its task's
+// checkpointing policy via the simulation engine, with the job
+// deadline equal to the time remaining until its absolute deadline at
+// dispatch.  Non-preemptive executives are the common shape of
 // safety-kernel cyclic executives in the paper's application domain;
 // full preemption would require checkpoint-state virtualization the
 // paper does not model.
@@ -17,8 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "sched/scheduler.hpp"
 #include "sched/taskset.hpp"
 #include "sim/engine.hpp"
 #include "util/statistics.hpp"
@@ -29,6 +33,8 @@ struct ExecutiveConfig {
   double horizon = 0.0;        ///< simulate releases in [0, horizon)
   std::uint64_t seed = 0x5EED;
   bool skip_late_jobs = true;
+  /// Dispatch-order registry name (see sched/scheduler.hpp).
+  std::string scheduler = "edf";
   model::CheckpointCosts costs;
   model::FaultModel fault_model;
   double speed_ratio = 2.0;    ///< platform f2/f1

@@ -137,7 +137,8 @@ std::uint64_t JobManager::submit(JobRequest request) {
   // ScenarioError before a job exists) and the result is discarded —
   // the worker re-binds when the job runs.
   const std::size_t cells =
-      harness::sweep_cell_refs(scenario::bind_experiments(request.scenario))
+      harness::sweep_cell_refs(scenario::bind_experiments(request.scenario),
+                               scenario::bind_graphs(request.scenario))
           .size();
 
   const bool telemetry = obs::Registry::instance().enabled();
@@ -354,12 +355,14 @@ void JobManager::execute(Job& job) {
       to_run.config.threads = job.request.threads;
     }
     const auto specs = scenario::bind_experiments(to_run);
-    SweepAdapter adapter(*this, job, harness::sweep_cell_refs(specs));
+    const auto graphs = scenario::bind_graphs(to_run);
+    SweepAdapter adapter(*this, job,
+                         harness::sweep_cell_refs(specs, graphs));
     harness::SweepOptions options;
     options.observer = &adapter;
     options.cancel = &job.cancel;
     const auto sweep = harness::run_sweep(
-        specs, scenario::monte_carlo_config(to_run), options);
+        specs, graphs, scenario::monte_carlo_config(to_run), options);
     finish(JobState::kDone, "", sweep.perf.total_runs);
   } catch (const sim::SweepCancelled&) {
     finish(JobState::kCancelled, "", job.runs_done);

@@ -239,6 +239,18 @@ MetricSet MetricSet::for_cell(const SimSetup& setup,
   return set;
 }
 
+MetricSet MetricSet::from_recorders(
+    std::vector<std::unique_ptr<IMetricRecorder>> recorders) {
+  if (recorders.empty() ||
+      dynamic_cast<CellStatsRecorder*>(recorders.front().get()) == nullptr) {
+    throw std::invalid_argument(
+        "MetricSet::from_recorders: slot 0 must be a CellStatsRecorder");
+  }
+  MetricSet set;
+  set.recorders_ = std::move(recorders);
+  return set;
+}
+
 void MetricSet::observe(const RunView& run) {
   for (auto& recorder : recorders_) recorder->observe(run);
 }

@@ -143,6 +143,14 @@ class PrecisionRecorder {
   util::RunningStats energy_;
 };
 
+/// Opaque workload-specific payload a custom chunk runner can attach
+/// to a RunView (RunView::detail).  Recorders that know the concrete
+/// type downcast; everything else (including the built-in
+/// CellStatsRecorder) ignores it.
+struct IRunDetail {
+  virtual ~IRunDetail() = default;
+};
+
 /// One simulated run as seen by recorders: the engine's RunResult plus
 /// the loop-level context recorders need (the setup, the base
 /// frequency the default recorder compares speeds against, and the
@@ -152,6 +160,8 @@ struct RunView {
   const RunResult& result;
   double base_frequency = 1.0;    ///< setup.processor.slowest().frequency
   bool validation_failed = false; ///< only meaningful with config.validate
+  /// Workload payload for custom recorders; null for classic cells.
+  const IRunDetail* detail = nullptr;
 };
 
 /// Snapshot of a MetricSet's emitted values: one named group per
@@ -303,6 +313,13 @@ class MetricSet {
 
   /// The aggregation state for one chunk of one cell.
   static MetricSet for_cell(const SimSetup& setup, const MetricSuite* suite);
+
+  /// The aggregation state from an explicit recorder list — for
+  /// workloads (graph cells) whose recorders are not built from a
+  /// SimSetup.  Slot 0 must be a CellStatsRecorder; throws
+  /// std::invalid_argument otherwise.
+  static MetricSet from_recorders(
+      std::vector<std::unique_ptr<IMetricRecorder>> recorders);
 
   bool valid() const noexcept { return !recorders_.empty(); }
 

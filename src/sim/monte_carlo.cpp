@@ -79,11 +79,13 @@ MetricSet run_chunk(const SimSetup& setup, const PolicyFactory& factory,
 }
 
 void validate_job(const CellJob& job) {
-  job.setup.validate();
   if (job.config.runs <= 0) {
     throw std::invalid_argument("MonteCarloConfig: runs must be > 0");
   }
   job.config.budget.validate();
+  // Custom-runner jobs own their workload; setup/factory are unused.
+  if (job.runner) return;
+  job.setup.validate();
   if (!job.factory) {
     throw std::invalid_argument("run_cell: null policy factory");
   }
@@ -219,8 +221,11 @@ std::vector<CellResult> run_cells_ex(const std::vector<CellJob>& jobs,
         }
         {
           obs::Span span("chunk", "sweep");
-          partials[static_cast<std::size_t>(c)] = run_chunk(
-              job.setup, job.factory, job.config, chunk.begin, chunk.end);
+          partials[static_cast<std::size_t>(c)] =
+              job.runner
+                  ? job.runner(job.config, chunk.begin, chunk.end)
+                  : run_chunk(job.setup, job.factory, job.config, chunk.begin,
+                              chunk.end);
         }
         if (obs::Registry::instance().enabled()) {
           auto& metrics = SweepMetrics::get();

@@ -73,12 +73,25 @@ CellResult run_cell_ex(const SimSetup& setup, const PolicyFactory& factory,
                        ISweepObserver* observer = nullptr,
                        CancellationToken* cancel = nullptr);
 
+/// Executes one chunk [begin, end) of a cell's runs and returns the
+/// fully-observed MetricSet for it.  Custom workloads (graph cells)
+/// supply one of these instead of a SimSetup/PolicyFactory pair; the
+/// runner still owns chunking, budget waves, observers, and merge
+/// order, so the determinism contract is inherited for free.  Must
+/// derive all randomness from `config.seed` and the run indices.
+using ChunkRunner =
+    std::function<MetricSet(const MonteCarloConfig& config, int begin,
+                            int end)>;
+
 /// One independent cell of a batch.  `config.threads` is ignored here —
 /// run_cells parallelizes across the whole batch, not per cell.
 struct CellJob {
   SimSetup setup;
   PolicyFactory factory;
   MonteCarloConfig config;
+  /// When set, runs chunks through this instead of the built-in
+  /// engine loop; `setup`/`factory` are then ignored (and unvalidated).
+  ChunkRunner runner;
 };
 
 /// Execution knobs for run_cells_ex beyond the job list itself.

@@ -1,0 +1,646 @@
+// DAG task-graph subsystem: TaskGraph validation/analysis, the
+// scheduler-policy registry, the pluggable flat-executive dispatch,
+// the multi-worker graph executive (precedence, contention, blocking
+// accounting, skip-late interactions), and the harness bridge
+// (thread-count bit-identity, paired-policy miss-rate separation,
+// cancellation leaving a clean JSONL prefix).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "harness/graph_experiment.hpp"
+#include "harness/json_report.hpp"
+#include "harness/stream_report.hpp"
+#include "harness/sweep.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sched/executive.hpp"
+#include "sched/graph_executive.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task_graph.hpp"
+#include "sched/taskset.hpp"
+
+namespace adacheck {
+namespace {
+
+using sched::GraphExecutiveConfig;
+using sched::GraphNode;
+using sched::TaskGraph;
+
+GraphNode node(const char* name, double cycles, int k = 2) {
+  GraphNode n;
+  n.name = name;
+  n.cycles = cycles;
+  n.fault_tolerance = k;
+  return n;
+}
+
+/// fetch -> decode -> process -> commit, no resources.
+TaskGraph chain_graph() {
+  TaskGraph graph;
+  graph.period = 16'000.0;
+  graph.deadline = 15'000.0;
+  graph.add_node(node("fetch", 2'000.0));
+  graph.add_node(node("decode", 3'000.0));
+  graph.add_node(node("process", 4'000.0, 3));
+  graph.add_node(node("commit", 1'000.0));
+  graph.add_edge("fetch", "decode");
+  graph.add_edge("decode", "process");
+  graph.add_edge("process", "commit");
+  return graph;
+}
+
+/// split -> {left, right} -> join; left/right contend on one bus.
+TaskGraph diamond_graph(int bus_capacity = 1) {
+  TaskGraph graph;
+  graph.period = 18'000.0;
+  graph.deadline = 17'000.0;
+  const std::size_t bus = graph.add_resource("bus", bus_capacity);
+  graph.add_node(node("split", 1'500.0));
+  GraphNode left = node("left", 4'000.0);
+  left.resources.push_back(bus);
+  graph.add_node(left);
+  GraphNode right = node("right", 3'500.0);
+  right.resources.push_back(bus);
+  graph.add_node(right);
+  graph.add_node(node("join", 1'000.0));
+  graph.add_edge("split", "left");
+  graph.add_edge("split", "right");
+  graph.add_edge("left", "join");
+  graph.add_edge("right", "join");
+  return graph;
+}
+
+/// Four independent short jobs (admitted first) competing with a
+/// three-stage critical chain on two workers.  A ready-order policy
+/// starves the chain; a path-aware policy runs it immediately.
+TaskGraph chain_vs_shorts_graph() {
+  TaskGraph graph;
+  graph.period = 20'000.0;
+  graph.deadline = 11'500.0;
+  graph.add_node(node("s1", 2'000.0));
+  graph.add_node(node("s2", 2'000.0));
+  graph.add_node(node("s3", 2'000.0));
+  graph.add_node(node("s4", 2'000.0));
+  graph.add_node(node("c1", 3'000.0));
+  graph.add_node(node("c2", 3'000.0));
+  graph.add_node(node("c3", 3'000.0));
+  graph.add_edge("c1", "c2");
+  graph.add_edge("c2", "c3");
+  return graph;
+}
+
+GraphExecutiveConfig quiet_config(double lambda = 0.0) {
+  GraphExecutiveConfig config;
+  config.costs = model::CheckpointCosts::paper_scp_flavor();
+  config.fault_model = model::FaultModel{lambda, false};
+  return config;
+}
+
+// --- TaskGraph validation and analysis -----------------------------------
+
+TEST(TaskGraph, ValidationRules) {
+  TaskGraph empty;
+  empty.period = 100.0;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  TaskGraph no_period;
+  no_period.add_node(node("a", 10.0));
+  EXPECT_THROW(no_period.validate(), std::invalid_argument);
+
+  TaskGraph dup;
+  dup.period = 100.0;
+  dup.add_node(node("a", 10.0));
+  dup.add_node(node("a", 20.0));
+  EXPECT_THROW(dup.validate(), std::invalid_argument);
+
+  TaskGraph bad_cycles;
+  bad_cycles.period = 100.0;
+  bad_cycles.add_node(node("a", 0.0));
+  EXPECT_THROW(bad_cycles.validate(), std::invalid_argument);
+
+  TaskGraph self_edge;
+  self_edge.period = 100.0;
+  self_edge.add_node(node("a", 10.0));
+  self_edge.edges.push_back({0, 0});
+  EXPECT_THROW(self_edge.validate(), std::invalid_argument);
+
+  TaskGraph bad_resource;
+  bad_resource.period = 100.0;
+  GraphNode needs = node("a", 10.0);
+  needs.resources.push_back(3);  // no such resource
+  bad_resource.add_node(needs);
+  EXPECT_THROW(bad_resource.validate(), std::invalid_argument);
+
+  TaskGraph dup_ref;
+  dup_ref.period = 100.0;
+  const std::size_t r = dup_ref.add_resource("bus");
+  GraphNode twice = node("a", 10.0);
+  twice.resources.push_back(r);
+  twice.resources.push_back(r);
+  dup_ref.add_node(twice);
+  EXPECT_THROW(dup_ref.validate(), std::invalid_argument);
+
+  TaskGraph bad_capacity;
+  bad_capacity.period = 100.0;
+  bad_capacity.add_node(node("a", 10.0));
+  bad_capacity.resources.push_back({"bus", 0});
+  EXPECT_THROW(bad_capacity.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(chain_graph().validate());
+  EXPECT_NO_THROW(diamond_graph().validate());
+}
+
+TEST(TaskGraph, CycleErrorNamesThePath) {
+  TaskGraph graph;
+  graph.period = 100.0;
+  graph.add_node(node("a", 10.0));
+  graph.add_node(node("b", 10.0));
+  graph.add_edge("a", "b");
+  graph.add_edge("b", "a");
+  try {
+    graph.validate();
+    FAIL() << "cycle not detected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find("a -> b -> a"), std::string::npos) << what;
+  }
+}
+
+TEST(TaskGraph, UnknownEdgeNameThrows) {
+  TaskGraph graph;
+  graph.period = 100.0;
+  graph.add_node(node("a", 10.0));
+  EXPECT_THROW(graph.add_edge("a", "nope"), std::invalid_argument);
+  EXPECT_THROW(graph.node_index("nope"), std::invalid_argument);
+}
+
+TEST(TaskGraph, TopologicalOrderAndCriticalPath) {
+  const TaskGraph diamond = diamond_graph();
+  const auto order = diamond.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], diamond.node_index("split"));
+  // Among simultaneously ready nodes the smallest index first.
+  EXPECT_EQ(order[1], diamond.node_index("left"));
+  EXPECT_EQ(order[2], diamond.node_index("right"));
+  EXPECT_EQ(order[3], diamond.node_index("join"));
+
+  // Longest path: split -> left -> join.
+  EXPECT_DOUBLE_EQ(diamond.critical_path_cycles(), 6'500.0);
+  const auto downstream = diamond.downstream_path_cycles();
+  EXPECT_DOUBLE_EQ(downstream[diamond.node_index("split")], 6'500.0);
+  EXPECT_DOUBLE_EQ(downstream[diamond.node_index("left")], 5'000.0);
+  EXPECT_DOUBLE_EQ(downstream[diamond.node_index("right")], 4'500.0);
+  EXPECT_DOUBLE_EQ(downstream[diamond.node_index("join")], 1'000.0);
+
+  EXPECT_DOUBLE_EQ(chain_graph().critical_path_cycles(), 10'000.0);
+}
+
+TEST(TaskGraph, ImplicitDeadlineEqualsPeriod) {
+  TaskGraph graph;
+  graph.period = 500.0;
+  EXPECT_DOUBLE_EQ(graph.end_to_end_deadline(), 500.0);
+  graph.deadline = 400.0;
+  EXPECT_DOUBLE_EQ(graph.end_to_end_deadline(), 400.0);
+}
+
+// --- scheduler registry --------------------------------------------------
+
+TEST(SchedulerRegistry, KnownNamesAndFactories) {
+  const auto names = sched::known_schedulers();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_TRUE(sched::is_known_scheduler("edf"));
+  EXPECT_TRUE(sched::is_known_scheduler("fifo"));
+  EXPECT_TRUE(sched::is_known_scheduler("critical-path"));
+  EXPECT_TRUE(sched::is_known_scheduler("least-laxity"));
+  EXPECT_FALSE(sched::is_known_scheduler("edff"));
+  for (const auto& name : names) {
+    const auto policy = sched::make_scheduler(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  for (const auto& info : sched::known_scheduler_info()) {
+    EXPECT_FALSE(info.description.empty()) << info.name;
+  }
+  EXPECT_THROW(sched::make_scheduler("edff"), std::invalid_argument);
+}
+
+TEST(SchedulerRegistry, PriorityKeysOrderCandidates) {
+  sched::DispatchCandidate urgent;
+  urgent.ready_time = 5.0;
+  urgent.absolute_deadline = 100.0;
+  urgent.remaining_path = 50.0;
+  sched::DispatchCandidate relaxed;
+  relaxed.ready_time = 1.0;
+  relaxed.absolute_deadline = 900.0;
+  relaxed.remaining_path = 10.0;
+
+  const auto edf = sched::make_scheduler("edf");
+  EXPECT_LT(edf->priority_key(urgent, 10.0), edf->priority_key(relaxed, 10.0));
+  const auto fifo = sched::make_scheduler("fifo");
+  EXPECT_LT(fifo->priority_key(relaxed, 10.0),
+            fifo->priority_key(urgent, 10.0));
+  const auto cp = sched::make_scheduler("critical-path");
+  EXPECT_LT(cp->priority_key(urgent, 10.0), cp->priority_key(relaxed, 10.0));
+  const auto laxity = sched::make_scheduler("least-laxity");
+  // urgent: (100 - 10) - 50 = 40; relaxed: (900 - 10) - 10 = 880.
+  EXPECT_DOUBLE_EQ(laxity->priority_key(urgent, 10.0), 40.0);
+  EXPECT_DOUBLE_EQ(laxity->priority_key(relaxed, 10.0), 880.0);
+}
+
+// --- flat executive with pluggable policies ------------------------------
+
+sched::PeriodicTask periodic(const char* name, double cycles, double period) {
+  sched::PeriodicTask task;
+  task.name = name;
+  task.cycles = cycles;
+  task.period = period;
+  task.fault_tolerance = 3;
+  task.policy = "A_D_S";
+  return task;
+}
+
+TEST(Executive, FifoRunsAdmissionOrderWhereEdfReorders) {
+  // Both release at 0: edf runs "tight" first (deadline 1000 < 4000),
+  // fifo keeps admission order (release, task index) -> "loose" first.
+  sched::TaskSet set{{periodic("loose", 200.0, 4'000.0),
+                      periodic("tight", 200.0, 1'000.0)}};
+  sched::ExecutiveConfig config;
+  config.horizon = 4'000.0;
+  config.costs = model::CheckpointCosts::paper_scp_flavor();
+  config.fault_model = model::FaultModel{0.0, false};
+
+  config.scheduler = "edf";
+  const auto edf = run_executive(set, config);
+  ASSERT_GE(edf.jobs.size(), 2u);
+  EXPECT_EQ(set.tasks[edf.jobs[0].task_index].name, "tight");
+
+  config.scheduler = "fifo";
+  const auto fifo = run_executive(set, config);
+  ASSERT_GE(fifo.jobs.size(), 2u);
+  EXPECT_EQ(set.tasks[fifo.jobs[0].task_index].name, "loose");
+  EXPECT_EQ(set.tasks[fifo.jobs[1].task_index].name, "tight");
+}
+
+TEST(Executive, SimultaneousReleaseDeadlineTieBreaksByTaskIndex) {
+  // Identical periods and deadlines: every policy key ties, so the
+  // admission sequence (release, then task index) decides — pinned.
+  sched::TaskSet set{{periodic("b_second", 100.0, 1'000.0),
+                      periodic("a_first", 100.0, 1'000.0)}};
+  for (const auto& scheduler : sched::known_schedulers()) {
+    sched::ExecutiveConfig config;
+    config.horizon = 2'000.0;
+    config.costs = model::CheckpointCosts::paper_scp_flavor();
+    config.fault_model = model::FaultModel{0.0, false};
+    config.scheduler = scheduler;
+    const auto result = run_executive(set, config);
+    ASSERT_GE(result.jobs.size(), 2u) << scheduler;
+    EXPECT_EQ(result.jobs[0].task_index, 0) << scheduler;
+    EXPECT_EQ(result.jobs[1].task_index, 1) << scheduler;
+  }
+}
+
+TEST(Executive, UnknownSchedulerRejected) {
+  sched::TaskSet set{{periodic("a", 100.0, 1'000.0)}};
+  sched::ExecutiveConfig config;
+  config.horizon = 2'000.0;
+  config.costs = model::CheckpointCosts::paper_scp_flavor();
+  config.scheduler = "round-robin";
+  EXPECT_THROW(run_executive(set, config), std::invalid_argument);
+}
+
+// --- graph executive -----------------------------------------------------
+
+TEST(GraphExecutive, ChainCompletesInPrecedenceOrder) {
+  const TaskGraph graph = chain_graph();
+  auto config = quiet_config();
+  config.instances = 4;
+  const auto result = run_graph_executive(graph, config);
+  EXPECT_EQ(result.instances_released, 4);
+  EXPECT_EQ(result.instances_completed, 4);
+  EXPECT_EQ(result.instances_missed, 0);
+  EXPECT_GT(result.total_energy, 0.0);
+  EXPECT_DOUBLE_EQ(result.total_blocking, 0.0);
+  // Response times accumulate down the chain.
+  const auto& nodes = result.per_node;
+  EXPECT_LT(nodes[graph.node_index("fetch")].response_time.mean(),
+            nodes[graph.node_index("decode")].response_time.mean());
+  EXPECT_LT(nodes[graph.node_index("decode")].response_time.mean(),
+            nodes[graph.node_index("process")].response_time.mean());
+  EXPECT_LT(nodes[graph.node_index("process")].response_time.mean(),
+            nodes[graph.node_index("commit")].response_time.mean());
+  // Completed instances all met the end-to-end deadline.
+  EXPECT_LE(result.end_to_end.max(), graph.end_to_end_deadline());
+}
+
+TEST(GraphExecutive, ContentionBlocksAndIsAccountedSeparately) {
+  auto config = quiet_config();
+  config.instances = 3;
+  config.workers = 2;
+
+  const auto contended = run_graph_executive(diamond_graph(1), config);
+  EXPECT_EQ(contended.instances_missed, 0);
+  EXPECT_GT(contended.total_blocking, 0.0);
+  // Exactly one of left/right waits per instance (the bus holder never
+  // blocks), and blocking is not execution: busy time stays the sum of
+  // node service times either way.
+  const auto uncontended = run_graph_executive(diamond_graph(2), config);
+  EXPECT_DOUBLE_EQ(uncontended.total_blocking, 0.0);
+  EXPECT_NEAR(contended.busy_time, uncontended.busy_time, 1e-6);
+  EXPECT_GT(contended.makespan, uncontended.makespan);
+}
+
+TEST(GraphExecutive, SkipLateAbandonsBlockedInstances) {
+  // "hog" (6000 cycles) can never meet the 2000 deadline even at f2;
+  // the adaptive policy predicts the guaranteed miss and aborts it at
+  // dispatch, abandoning the instance while "quick" is still blocked
+  // on the bus hog acquired: the blocked node must be skipped exactly
+  // once, without executing, and its worker freed for the next
+  // release.  Fully deterministic at lambda = 0.
+  TaskGraph graph;
+  graph.period = 2'500.0;
+  graph.deadline = 2'000.0;
+  const std::size_t bus = graph.add_resource("bus");
+  GraphNode hog = node("hog", 6'000.0);
+  hog.resources.push_back(bus);
+  graph.add_node(hog);
+  GraphNode quick = node("quick", 500.0);
+  quick.resources.push_back(bus);
+  graph.add_node(quick);
+
+  auto config = quiet_config();
+  config.workers = 2;
+  config.instances = 2;
+  const auto skipping = run_graph_executive(graph, config);
+  EXPECT_EQ(skipping.instances_released, 2);
+  EXPECT_EQ(skipping.instances_missed, 2);
+  EXPECT_EQ(skipping.instances_completed, 0);
+  const auto& hog_stats = skipping.per_node[graph.node_index("hog")];
+  const auto& quick_stats = skipping.per_node[graph.node_index("quick")];
+  EXPECT_EQ(hog_stats.skipped, 0);  // dispatched (and aborted) both times
+  EXPECT_EQ(hog_stats.missed, 2);
+  EXPECT_EQ(quick_stats.skipped, 2);  // abandoned while blocked, never ran
+  EXPECT_EQ(quick_stats.missed, 2);
+  EXPECT_EQ(quick_stats.completed, 0);
+  EXPECT_TRUE(quick_stats.blocking_time.empty());
+  EXPECT_TRUE(skipping.end_to_end.empty());
+
+  // A failed node abandons its instance regardless of skip_late_jobs
+  // (the flag only governs late dispatch/acquisition), so the blocked
+  // node is skipped either way — pinned so the semantics stay put.
+  config.skip_late_jobs = false;
+  const auto no_skip_flag = run_graph_executive(graph, config);
+  EXPECT_EQ(no_skip_flag.instances_missed, 2);
+  EXPECT_EQ(no_skip_flag.per_node[graph.node_index("quick")].skipped, 2);
+}
+
+TEST(GraphExecutive, DeterministicPerSeed) {
+  const TaskGraph graph = diamond_graph();
+  auto config = quiet_config(1e-3);
+  config.instances = 4;
+  config.workers = 2;
+  const auto r1 = run_graph_executive(graph, config);
+  const auto r2 = run_graph_executive(graph, config);
+  EXPECT_DOUBLE_EQ(r1.total_energy, r2.total_energy);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.instances_completed, r2.instances_completed);
+  config.seed += 1;
+  const auto r3 = run_graph_executive(graph, config);
+  EXPECT_NE(r1.total_energy, r3.total_energy);
+}
+
+TEST(GraphExecutive, PolicyPairMissRatesDiffer) {
+  // Fault-free, so the separation is purely the dispatch order: the
+  // ready-order policies (edf ties on the shared instance deadline and
+  // falls back to admission order, like fifo) run the four short jobs
+  // first and starve the critical chain past the deadline; the
+  // path-aware policies start the chain immediately and meet it.
+  const TaskGraph graph = chain_vs_shorts_graph();
+  auto config = quiet_config();
+  config.instances = 4;
+  config.workers = 2;
+
+  config.scheduler = "fifo";
+  const auto fifo = run_graph_executive(graph, config);
+  config.scheduler = "edf";
+  const auto edf = run_graph_executive(graph, config);
+  config.scheduler = "critical-path";
+  const auto cp = run_graph_executive(graph, config);
+  config.scheduler = "least-laxity";
+  const auto laxity = run_graph_executive(graph, config);
+
+  EXPECT_EQ(cp.instances_missed, 0);
+  EXPECT_EQ(laxity.instances_missed, 0);
+  EXPECT_EQ(fifo.instances_missed, 4);
+  EXPECT_EQ(edf.instances_missed, 4);
+  EXPECT_GT(fifo.instance_miss_ratio(), cp.instance_miss_ratio());
+}
+
+TEST(GraphExecutive, ValidationRejectsBadConfig) {
+  const TaskGraph graph = chain_graph();
+  auto config = quiet_config();
+  config.workers = 0;
+  EXPECT_THROW(run_graph_executive(graph, config), std::invalid_argument);
+  config = quiet_config();
+  config.scheduler = "nope";
+  EXPECT_THROW(run_graph_executive(graph, config), std::invalid_argument);
+  config = quiet_config();
+  config.instances = 0;
+  EXPECT_THROW(run_graph_executive(graph, config), std::invalid_argument);
+}
+
+TEST(GraphExecutive, TelemetryOnOffByteIdentity) {
+  const TaskGraph graph = diamond_graph();
+  auto config = quiet_config(8e-4);
+  config.instances = 3;
+  config.workers = 2;
+  auto& registry = obs::Registry::instance();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(false);
+  const auto off = run_graph_executive(graph, config);
+  registry.set_enabled(true);
+  const auto on = run_graph_executive(graph, config);
+  const std::string stats = obs::stats_json(registry.snapshot());
+  registry.set_enabled(was_enabled);
+  EXPECT_DOUBLE_EQ(off.total_energy, on.total_energy);
+  EXPECT_DOUBLE_EQ(off.makespan, on.makespan);
+  EXPECT_EQ(off.instances_completed, on.instances_completed);
+
+  // The metered run recorded the sched counters.
+  EXPECT_NE(stats.find("sched.jobs_released"), std::string::npos);
+  EXPECT_NE(stats.find("sched.job_response_us"), std::string::npos);
+}
+
+TEST(GraphExecutive, TraceEmitsWorkerLaneSpans) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+  const TaskGraph graph = diamond_graph();
+  auto config = quiet_config();
+  config.workers = 2;
+  config.trace = true;
+  run_graph_executive(graph, config);
+  tracer.set_enabled(false);
+  EXPECT_GE(tracer.event_count(), 4u);  // one span per node at least
+  std::ostringstream out;
+  tracer.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"dag\""), std::string::npos);
+  EXPECT_NE(json.find("blocked:"), std::string::npos);
+  tracer.clear();
+}
+
+// --- harness bridge ------------------------------------------------------
+
+harness::GraphExperimentSpec policy_sweep_spec() {
+  harness::GraphExperimentSpec spec;
+  spec.id = "chain_vs_shorts";
+  spec.title = "policy separation";
+  spec.graph = chain_vs_shorts_graph();
+  spec.workers = 2;
+  spec.instances = 4;
+  spec.costs = model::CheckpointCosts::paper_scp_flavor();
+  spec.schedulers = {"fifo", "critical-path"};
+  spec.lambdas = {1e-4};
+  return spec;
+}
+
+TEST(GraphHarness, SweepBitIdenticalAcrossThreadCounts) {
+  const auto spec = policy_sweep_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 96;
+  config.threads = 1;
+  const auto serial = harness::run_sweep({}, {spec}, config);
+  config.threads = 4;
+  const auto parallel = harness::run_sweep({}, {spec}, config);
+
+  harness::JsonReportOptions options;
+  options.include_perf = false;
+  EXPECT_EQ(harness::sweep_json(serial, options),
+            harness::sweep_json(parallel, options));
+}
+
+TEST(GraphHarness, PolicyMissRateSeparationSurvivesAggregation) {
+  const auto spec = policy_sweep_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 64;
+  const auto sweep = harness::run_sweep({}, {spec}, config);
+  ASSERT_EQ(sweep.graph_experiments.size(), 1u);
+  const auto& cells = sweep.graph_experiments[0].cells;
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_EQ(cells[0].size(), 2u);
+  const double p_fifo = cells[0][0].completion.proportion();
+  const double p_cp = cells[0][1].completion.proportion();
+  EXPECT_LT(p_fifo, 0.05);
+  EXPECT_GT(p_cp, 0.95);
+}
+
+TEST(GraphHarness, GraphCellSeedsAreRowPaired) {
+  // Scheduler columns of one lambda row share the cell seed, so policy
+  // deltas see paired fault draws.
+  sim::MonteCarloConfig config;
+  const auto jobs = harness::graph_experiment_jobs(policy_sweep_spec(), config);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].config.seed, jobs[1].config.seed);
+  EXPECT_EQ(jobs[0].config.seed, harness::graph_cell_seed(config.seed, 0));
+  EXPECT_NE(harness::graph_cell_seed(config.seed, 0),
+            harness::graph_cell_seed(config.seed, 1));
+}
+
+TEST(GraphHarness, JsonlStreamUsesGraphSchema) {
+  const auto spec = policy_sweep_spec();
+  sim::MonteCarloConfig config;
+  config.runs = 32;
+  std::ostringstream bytes;
+  harness::JsonlCellStream stream(bytes,
+                                  harness::sweep_cell_refs({}, {spec}));
+  harness::SweepOptions options;
+  options.observer = &stream;
+  harness::run_sweep({}, {spec}, config, options);
+  const std::string lines = bytes.str();
+  EXPECT_EQ(stream.emitted(), 2u);
+  EXPECT_NE(lines.find("\"schema\":\"adacheck-graph-cell-v1\""),
+            std::string::npos);
+  EXPECT_NE(lines.find("\"scheme\":\"critical-path\""), std::string::npos);
+  // Graph cells carry no utilization coordinate.
+  EXPECT_EQ(lines.find("utilization"), std::string::npos);
+}
+
+/// Cancels the sweep as soon as the first cell completes.
+class CancelAfterFirstCell final : public sim::ISweepObserver {
+ public:
+  CancelAfterFirstCell(sim::CancellationToken& token) : token_(token) {}
+  void on_cell_done(std::size_t, const sim::CellResult&) override {
+    token_.request_stop();
+  }
+
+ private:
+  sim::CancellationToken& token_;
+};
+
+TEST(GraphHarness, CancellationLeavesCleanJsonlPrefix) {
+  auto spec = policy_sweep_spec();
+  spec.lambdas = {1e-4, 4e-4, 8e-4};  // 6 cells
+  sim::MonteCarloConfig config;
+  config.runs = 64;
+  config.threads = 1;
+  std::ostringstream bytes;
+  harness::JsonlCellStream stream(bytes,
+                                  harness::sweep_cell_refs({}, {spec}));
+  sim::CancellationToken token;
+  CancelAfterFirstCell canceller(token);
+  sim::ObserverList observers;
+  observers.add(&stream).add(&canceller);
+  harness::SweepOptions options;
+  options.observer = &observers;
+  options.cancel = &token;
+  EXPECT_THROW(harness::run_sweep({}, {spec}, config, options),
+               sim::SweepCancelled);
+
+  // The stream stops at a cell boundary: every emitted line is a
+  // complete, parseable graph-cell object for a contiguous prefix.
+  EXPECT_GE(stream.emitted(), 1u);
+  EXPECT_LT(stream.emitted(), 6u);
+  std::istringstream in(bytes.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"cell\":" + std::to_string(parsed)),
+              std::string::npos);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, stream.emitted());
+}
+
+TEST(GraphHarness, MixedClassicAndGraphSweep) {
+  harness::ExperimentSpec classic;
+  classic.id = "classic";
+  classic.title = "classic";
+  classic.costs = model::CheckpointCosts::paper_scp_flavor();
+  classic.deadline = 10'000.0;
+  classic.fault_tolerance = 5;
+  classic.schemes = {"Poisson"};
+  classic.rows.push_back({0.8, 1e-3, {}});
+
+  sim::MonteCarloConfig config;
+  config.runs = 64;
+  const auto sweep = harness::run_sweep({classic}, {policy_sweep_spec()},
+                                        config);
+  EXPECT_EQ(sweep.experiments.size(), 1u);
+  EXPECT_EQ(sweep.graph_experiments.size(), 1u);
+  // The report carries both sections, classic first.
+  harness::JsonReportOptions options;
+  options.include_perf = false;
+  const std::string json = harness::sweep_json(sweep, options);
+  EXPECT_NE(json.find("\"graph_experiments\""), std::string::npos);
+  EXPECT_LT(json.find("\"experiments\""), json.find("\"graph_experiments\""));
+}
+
+}  // namespace
+}  // namespace adacheck

@@ -1,7 +1,7 @@
 // The strict JSON parser (util/json): value-tree construction,
 // line/column error reporting, and the round-trip pin against the
 // harness/json_report writer — parse(sweep_json(...)) must preserve
-// every key and value of the adacheck-sweep-v5 schema.
+// every key and value of the adacheck-sweep-v6 schema.
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>
@@ -216,7 +216,7 @@ TEST(JsonRoundTrip, SweepReportParsesAndPreservesEveryKey) {
     const Value doc = parse(text);
 
     EXPECT_EQ(doc.as_object().size(), include_perf ? 4u : 3u);
-    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v5");
+    EXPECT_EQ(doc.find("schema")->as_string(), "adacheck-sweep-v6");
 
     const Value& cfg = *doc.find("config");
     EXPECT_EQ(cfg.as_object().size(), 4u);

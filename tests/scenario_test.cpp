@@ -204,6 +204,73 @@ TEST(ScenarioRun, ByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial, parallel);
 }
 
+// --- DAG graph sections ---------------------------------------------------
+
+constexpr const char* kGraphScenario = R"json({
+  "schema": "adacheck-scenario-v1",
+  "name": "dag",
+  "output": "dag_sweep.json",
+  "graphs": [
+    {"id": "diamond",
+     "graph": {
+       "period": 18000, "deadline": 17000,
+       "nodes": [
+         {"name": "split", "cycles": 1500, "fault_tolerance": 2},
+         {"name": "left", "cycles": 4000, "fault_tolerance": 2,
+          "resources": ["bus"]},
+         {"name": "right", "cycles": 3500, "fault_tolerance": 2,
+          "resources": ["bus"]},
+         {"name": "join", "cycles": 1000, "fault_tolerance": 2}
+       ],
+       "edges": [
+         {"from": "split", "to": "left"}, {"from": "split", "to": "right"},
+         {"from": "left", "to": "join"}, {"from": "right", "to": "join"}
+       ],
+       "resources": [{"name": "bus", "capacity": 1}]},
+     "workers": 2,
+     "schedulers": ["edf", "critical-path"],
+     "lambdas": [1e-4, 8e-4]}
+  ]})json";
+
+TEST(ScenarioParse, GraphDefaultsAndBinding) {
+  const auto scenario = parse_scenario_text(kGraphScenario);
+  EXPECT_TRUE(scenario.experiments.empty());
+  ASSERT_EQ(scenario.graphs.size(), 1u);
+  const auto& parsed = scenario.graphs[0];
+  EXPECT_EQ(parsed.title, "diamond");  // defaults to the id
+  EXPECT_EQ(parsed.instances, 8);
+  EXPECT_TRUE(parsed.skip_late_jobs);
+  EXPECT_EQ(parsed.environment, "poisson");
+
+  const auto graphs = bind_graphs(scenario);
+  ASSERT_EQ(graphs.size(), 1u);
+  const auto& spec = graphs[0];
+  EXPECT_EQ(spec.id, "diamond");
+  EXPECT_EQ(spec.graph.name, "diamond");
+  EXPECT_EQ(spec.workers, 2);
+  ASSERT_EQ(spec.graph.nodes.size(), 4u);
+  EXPECT_EQ(spec.graph.edges.size(), 4u);
+  // Resource name references were resolved to declared-list indices.
+  ASSERT_EQ(spec.graph.nodes[1].resources.size(), 1u);
+  EXPECT_EQ(spec.graph.resources[spec.graph.nodes[1].resources[0]].name,
+            "bus");
+  EXPECT_EQ(spec.schedulers,
+            (std::vector<std::string>{"edf", "critical-path"}));
+  EXPECT_EQ(spec.lambdas, (std::vector<double>{1e-4, 8e-4}));
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioBind, GraphEnvironmentAxisExpandsLikeExperiments) {
+  auto scenario = parse_scenario_text(kGraphScenario);
+  scenario.graphs[0].environments = {"poisson", "bursty-orbit"};
+  const auto graphs = bind_graphs(scenario);
+  ASSERT_EQ(graphs.size(), 2u);
+  EXPECT_EQ(graphs[0].id, "diamond@poisson");
+  EXPECT_EQ(graphs[0].environment, "poisson");
+  EXPECT_EQ(graphs[1].id, "diamond@bursty-orbit");
+  EXPECT_EQ(graphs[1].environment, "bursty-orbit");
+}
+
 // --- path-qualified validation errors ------------------------------------
 
 void expect_scenario_error(std::string_view text,
@@ -373,6 +440,77 @@ TEST(ScenarioErrors, StructuralViolations) {
                         "experiments[0]", "unknown key \"deadline\"");
 }
 
+TEST(ScenarioErrors, GraphViolations) {
+  // Unknown scheduler name, with a did-you-mean suggestion.
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "graphs": [
+      {"id": "g", "schedulers": ["edff"], "lambdas": [1e-3],
+       "graph": {"period": 100, "nodes": [{"name": "a", "cycles": 10}]}}
+    ]})json",
+                        "graphs[0].schedulers[0]", "did you mean \"edf\"?");
+  // Edge endpoints must name declared nodes.
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "graphs": [
+      {"id": "g", "schedulers": ["edf"], "lambdas": [1e-3],
+       "graph": {"period": 100,
+                 "nodes": [{"name": "split", "cycles": 10},
+                           {"name": "join", "cycles": 10}],
+                 "edges": [{"from": "split", "to": "jion"}]}}
+    ]})json",
+                        "graphs[0].graph.edges[0].to",
+                        "did you mean \"join\"?");
+  // Node resource references must name declared resources.
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "graphs": [
+      {"id": "g", "schedulers": ["edf"], "lambdas": [1e-3],
+       "graph": {"period": 100,
+                 "resources": [{"name": "bus"}],
+                 "nodes": [{"name": "a", "cycles": 10,
+                            "resources": ["buss"]}]}}
+    ]})json",
+                        "graphs[0].graph.nodes[0].resources[0]",
+                        "did you mean \"bus\"?");
+  // Unknown node keys get the same did-you-mean treatment.
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "graphs": [
+      {"id": "g", "schedulers": ["edf"], "lambdas": [1e-3],
+       "graph": {"period": 100, "nodes": [{"name": "a", "cyles": 10}]}}
+    ]})json",
+                        "graphs[0].graph.nodes[0]",
+                        "did you mean \"cycles\"?");
+  // Cyclic graphs are rejected at parse time, path spelled out.
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "graphs": [
+      {"id": "g", "schedulers": ["edf"], "lambdas": [1e-3],
+       "graph": {"period": 100,
+                 "nodes": [{"name": "a", "cycles": 10},
+                           {"name": "b", "cycles": 10}],
+                 "edges": [{"from": "a", "to": "b"},
+                           {"from": "b", "to": "a"}]}}
+    ]})json",
+                        "graphs[0].graph", "cycle: a -> b -> a");
+  // Ids must be unique across experiments and graphs together.
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [{"table": "table1a"}],
+    "graphs": [
+      {"id": "table1a", "schedulers": ["edf"], "lambdas": [1e-3],
+       "graph": {"period": 100, "nodes": [{"name": "a", "cycles": 10}]}}
+    ]})json",
+                        "graphs", "duplicate experiment id \"table1a\"");
+  // A scenario needs at least one of the two sections.
+  expect_scenario_error(R"json({
+    "schema": "adacheck-scenario-v1", "name": "x",
+    "experiments": [], "graphs": []})json",
+                        "",
+                        "at least one of \"experiments\" or \"graphs\"");
+}
+
 TEST(ScenarioErrors, SyntaxErrorsPropagateWithPosition) {
   try {
     parse_scenario_text("{\"schema\": \"adacheck-scenario-v1\",");
@@ -400,18 +538,23 @@ TEST(ScenarioFiles, EveryShippedScenarioValidatesAndBinds) {
     SCOPED_TRACE(entry.path().string());
     const auto scenario = load_scenario_file(entry.path().string());
     const auto specs = bind_experiments(scenario);
-    EXPECT_FALSE(specs.empty());
+    const auto graphs = bind_graphs(scenario);
+    EXPECT_FALSE(specs.empty() && graphs.empty());
     std::size_t cells = 0;
     for (const auto& spec : specs) {
       EXPECT_NO_THROW(spec.validate());
       cells += spec.rows.size() * spec.schemes.size();
     }
+    for (const auto& graph : graphs) {
+      EXPECT_NO_THROW(graph.validate());
+      cells += graph.lambdas.size() * graph.schedulers.size();
+    }
     EXPECT_GT(cells, 0u);
     EXPECT_FALSE(scenario.output.empty())
         << "shipped scenarios should name their report file";
   }
-  EXPECT_GE(count, 9u);  // tables 1-4, paper_tables, environments,
-                         // satellite, uav, smoke
+  EXPECT_GE(count, 12u);  // tables 1-4, paper_tables, environments,
+                          // satellite, uav, smoke, dag_*
 }
 
 TEST(ScenarioFiles, MissingFileErrorNamesThePath) {

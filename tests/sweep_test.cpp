@@ -112,7 +112,7 @@ TEST(Sweep, JsonByteIdenticalAcrossThreadCounts) {
   const std::string a = sweep_json(run_sweep({spec}, serial), options);
   const std::string b = sweep_json(run_sweep({spec}, parallel), options);
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("\"schema\": \"adacheck-sweep-v5\""), std::string::npos);
+  EXPECT_NE(a.find("\"schema\": \"adacheck-sweep-v6\""), std::string::npos);
   EXPECT_NE(a.find("\"scheme\": \"A_D_S\""), std::string::npos);
   EXPECT_NE(a.find("\"environment\""), std::string::npos);
   EXPECT_NE(a.find("\"name\": \"poisson\""), std::string::npos);

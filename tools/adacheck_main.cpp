@@ -10,7 +10,7 @@
 // Subcommands (one cli::CommandRegistry declaration each — dispatch,
 // help, --version, and unknown-flag/verb "did you mean" all derive
 // from the declarations; see src/cli/command.hpp):
-//   run       execute a scenario, write the adacheck-sweep-v5 report
+//   run       execute a scenario, write the adacheck-sweep-v6 report
 //   campaign  execute a campaign through the result cache, write the
 //             adacheck-campaign-report-v1 report; `campaign ls` and
 //             `campaign gc` inspect and prune the cache itself
@@ -52,6 +52,7 @@
 #include "policy/factory.hpp"
 #include "scenario/binder.hpp"
 #include "scenario/spec.hpp"
+#include "sched/scheduler.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -70,6 +71,15 @@ std::size_t cell_count(const std::vector<harness::ExperimentSpec>& specs) {
   std::size_t cells = 0;
   for (const auto& spec : specs) {
     cells += spec.rows.size() * spec.schemes.size();
+  }
+  return cells;
+}
+
+std::size_t graph_cell_count(
+    const std::vector<harness::GraphExperimentSpec>& graphs) {
+  std::size_t cells = 0;
+  for (const auto& spec : graphs) {
+    cells += spec.lambdas.size() * spec.schedulers.size();
   }
   return cells;
 }
@@ -237,8 +247,12 @@ int cmd_run(const util::CliArgs& args) {
   std::ostream& status = status_stream(quiet, out_path);
 
   const auto specs = scenario::bind_experiments(scenario);
+  const auto graphs = scenario::bind_graphs(scenario);
   status << "scenario \"" << scenario.name << "\": " << specs.size()
-         << " experiments, " << cell_count(specs) << " cells x ";
+         << " experiments";
+  if (!graphs.empty()) status << " + " << graphs.size() << " graphs";
+  status << ", " << (cell_count(specs) + graph_cell_count(graphs))
+         << " cells x ";
   if (scenario.budget.enabled()) {
     const auto& budget = scenario.budget;
     status << "[" << budget.resolved_min(scenario.config.runs) << ", "
@@ -253,6 +267,13 @@ int cmd_run(const util::CliArgs& args) {
       status << "  " << spec.id << ": " << spec.rows.size() << " rows x "
              << spec.schemes.size() << " schemes, environment "
              << spec.environment << "\n";
+    }
+    for (const auto& spec : graphs) {
+      status << "  " << spec.id << ": graph of " << spec.graph.nodes.size()
+             << " nodes/" << spec.graph.edges.size() << " edges, "
+             << spec.lambdas.size() << " lambdas x "
+             << spec.schedulers.size() << " schedulers, " << spec.workers
+             << " workers, environment " << spec.environment << "\n";
     }
     if (!scenario.metrics.empty()) {
       status << "  metrics:";
@@ -293,7 +314,7 @@ int cmd_run(const util::CliArgs& args) {
       return 1;
     }
     jsonl = std::make_unique<harness::JsonlCellStream>(
-        jsonl_file, harness::sweep_cell_refs(specs));
+        jsonl_file, harness::sweep_cell_refs(specs, graphs));
     observers.add(jsonl.get());
   }
   std::unique_ptr<harness::ProgressLine> progress;
@@ -308,7 +329,7 @@ int cmd_run(const util::CliArgs& args) {
   // from) so the stream's cell coordinates can never desync from the
   // jobs actually run.
   const auto sweep = harness::run_sweep(
-      specs, scenario::monte_carlo_config(scenario), sweep_options);
+      specs, graphs, scenario::monte_carlo_config(scenario), sweep_options);
 
   harness::JsonReportOptions options;
   options.include_perf = !args.get_bool("no-perf", false);
@@ -608,8 +629,11 @@ int cmd_validate(const util::CliArgs& args) {
       } else {
         const auto scenario = scenario::load_scenario_file(files[i]);
         const auto specs = scenario::bind_experiments(scenario);
-        std::cout << files[i] << ": ok (" << specs.size()
-                  << " experiments, " << cell_count(specs) << " cells)\n";
+        const auto graphs = scenario::bind_graphs(scenario);
+        std::cout << files[i] << ": ok (" << specs.size() << " experiments";
+        if (!graphs.empty()) std::cout << " + " << graphs.size() << " graphs";
+        std::cout << ", " << (cell_count(specs) + graph_cell_count(graphs))
+                  << " cells)\n";
       }
     } catch (const std::exception& e) {
       std::cerr << e.what() << "\n";
@@ -899,6 +923,13 @@ int cmd_list(const util::CliArgs& args) {
     print_section("fault environments (registry names)",
                   model::known_environments());
   }
+  if (what.empty() || what == "schedulers") {
+    std::vector<std::string> lines;
+    for (const auto& info : sched::known_scheduler_info()) {
+      lines.push_back(info.name + ": " + info.description);
+    }
+    print_section("schedulers (graph \"schedulers\" names)", lines);
+  }
   if (what.empty() || what == "tables") {
     print_section("paper tables", scenario::known_tables());
   }
@@ -915,10 +946,11 @@ int cmd_list(const util::CliArgs& args) {
          "max_runs (--max-runs): hard cap; default config.runs"});
   }
   if (!what.empty() && what != "policies" && what != "environments" &&
-      what != "tables" && what != "metrics" && what != "budget") {
+      what != "schedulers" && what != "tables" && what != "metrics" &&
+      what != "budget") {
     std::cerr << "unknown list \"" << what
-              << "\"; choose policies, environments, tables, metrics, or "
-                 "budget\n";
+              << "\"; choose policies, environments, schedulers, tables, "
+                 "metrics, or budget\n";
     return 2;
   }
   return 0;
@@ -947,8 +979,9 @@ cli::CommandRegistry build_registry() {
   registry.add({"validate", "parse + validate files, run nothing",
                 "validate <file.json> [more.json ...]", {}, cmd_validate});
   registry.add({"list", "show the registries scenarios can reference",
-                "list [policies|environments|tables|metrics|budget]", {},
-                cmd_list});
+                "list [policies|environments|schedulers|tables|metrics|"
+                "budget]",
+                {}, cmd_list});
   return registry;
 }
 
